@@ -1,0 +1,146 @@
+// E8 — delayed communication binding (paper section 3.2). The same
+// neighbour-exchange traffic is driven twice:
+//
+//   unbound  "E ->"     sends to an unspecified processor; sender and
+//                       receiver meet at the run-time matchmaker (extra
+//                       control hop + matcher queue work)
+//   bound    "E -> {q}" after CommBinding derived the receiver, the send
+//                       routes directly
+//
+// Modeled time isolates the matchHop cost; wall time shows the real
+// matcher overhead in the simulator. The gap grows linearly with message
+// count — exactly the paper's argument for binding at code generation.
+#include <benchmark/benchmark.h>
+
+#include "xdp/rt/proc.hpp"
+
+using namespace xdp;
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Section;
+using sec::Triplet;
+
+namespace {
+
+void runExchange(benchmark::State& state, bool bound) {
+  const int P = 4;
+  const Index msgsPerProc = state.range(0);
+  double modeled = 0, rendezvous = 0;
+  for (auto _ : state) {
+    rt::Runtime runtime(P);
+    // One slot per (proc, message) so every transfer has a unique name.
+    Section g{Triplet(0, P * msgsPerProc - 1)};
+    const int A = runtime.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(P)}),
+        dist::SegmentShape::of({1}));
+    Section gi{Triplet(0, P * msgsPerProc - 1)};
+    const int IN = runtime.declareArray<double>(
+        "IN", gi, Distribution(gi, {DimSpec::block(P)}),
+        dist::SegmentShape::of({1}));
+    runtime.run([&](rt::Proc& p) {
+      const int me = p.mypid();
+      const int next = (me + 1) % P;
+      const int prev = (me + P - 1) % P;
+      for (Index k = 0; k < msgsPerProc; ++k) {
+        Section mine{Triplet(me * msgsPerProc + k)};
+        if (bound)
+          p.send(A, mine, std::vector<int>{next});
+        else
+          p.send(A, mine);  // unspecified: meets receiver at the matcher
+        Section from{Triplet(prev * msgsPerProc + k)};
+        Section slot{Triplet(me * msgsPerProc + k)};
+        p.recv(IN, slot, A, from);
+        p.await(IN, slot);
+      }
+    });
+    modeled = runtime.fabric().makespan();
+    rendezvous =
+        static_cast<double>(runtime.fabric().totalStats().rendezvousSends);
+  }
+  state.counters["modeled_s"] = modeled;
+  state.counters["rendezvous"] = rendezvous;
+  state.counters["msgs"] = static_cast<double>(P * msgsPerProc);
+  state.SetLabel(bound ? "bound-direct" : "unbound-matchmaker");
+}
+
+void BM_ExchangeUnbound(benchmark::State& state) {
+  runExchange(state, false);
+}
+void BM_ExchangeBound(benchmark::State& state) { runExchange(state, true); }
+
+// --- E11: receive posting time (paper 3.2's hoisting rationale) -----------
+//
+// The same bound exchange, but receives are either posted before the
+// local "work" (early: messages find a posted receive) or after it (late:
+// every message takes the transport's unexpected-buffer path and pays an
+// extra copy at completion).
+void runPosting(benchmark::State& state, bool postEarly) {
+  const int P = 4;
+  const Index msgs = state.range(0);
+  const double workBefore = 5e-4;  // enough that messages land mid-work
+  double modeled = 0, unexpected = 0;
+  for (auto _ : state) {
+    rt::Runtime runtime(P);
+    Section g{Triplet(0, P * msgs - 1)};
+    const int A = runtime.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(P)}),
+        dist::SegmentShape::of({1}));
+    Section gi{Triplet(0, P * msgs - 1)};
+    const int IN = runtime.declareArray<double>(
+        "IN", gi, Distribution(gi, {DimSpec::block(P)}),
+        dist::SegmentShape::of({1}));
+    runtime.run([&](rt::Proc& p) {
+      const int me = p.mypid();
+      const int next = (me + 1) % P;
+      const int prev = (me + P - 1) % P;
+      auto postAll = [&] {
+        for (Index k = 0; k < msgs; ++k)
+          p.recv(IN, Section{Triplet(me * msgs + k)}, A,
+                 Section{Triplet(prev * msgs + k)});
+      };
+      if (postEarly) postAll();
+      for (Index k = 0; k < msgs; ++k)
+        p.send(A, Section{Triplet(me * msgs + k)}, std::vector<int>{next});
+      p.compute(workBefore);
+      if (!postEarly) postAll();
+      for (Index k = 0; k < msgs; ++k)
+        p.await(IN, Section{Triplet(me * msgs + k)});
+    });
+    modeled = runtime.fabric().makespan();
+    unexpected = static_cast<double>(
+        runtime.fabric().totalStats().unexpectedMessages);
+  }
+  state.counters["modeled_s"] = modeled;
+  state.counters["unexpected"] = unexpected;
+  state.SetLabel(postEarly ? "posted-early" : "posted-late");
+}
+
+void BM_RecvPostedEarly(benchmark::State& state) {
+  runPosting(state, true);
+}
+void BM_RecvPostedLate(benchmark::State& state) {
+  runPosting(state, false);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RecvPostedEarly)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecvPostedLate)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ExchangeUnbound)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExchangeBound)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);

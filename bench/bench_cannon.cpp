@@ -1,0 +1,39 @@
+// E12 — Cannon's matrix multiply: ownership-migration shifts vs
+// conventional value-message shifts, across matrix sizes. Counters report
+// traffic, modeled time, and the peak per-processor storage footprint
+// (the paper 2.6 storage-reuse effect: the ownership plan needs no
+// auxiliary in-buffers).
+#include <benchmark/benchmark.h>
+
+#include "xdp/apps/cannon.hpp"
+
+using namespace xdp;
+
+namespace {
+
+void BM_Cannon(benchmark::State& state) {
+  apps::CannonConfig cfg;
+  cfg.n = state.range(1);
+  cfg.q = 4;
+  cfg.flopCost = 1e-8;
+  cfg.plan = state.range(0) == 0 ? apps::ShiftPlan::DataShift
+                                 : apps::ShiftPlan::OwnershipShift;
+  apps::CannonResult r;
+  for (auto _ : state) {
+    r = apps::runCannon(cfg);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.counters["modeled_s"] = r.makespan;
+  state.counters["msgs"] = static_cast<double>(r.net.messagesSent);
+  state.counters["bytes"] = static_cast<double>(r.net.bytesSent);
+  state.counters["peak_elems"] = static_cast<double>(r.peakElemsPerProc);
+  state.SetLabel(cfg.plan == apps::ShiftPlan::DataShift
+                     ? "value-messages"
+                     : "ownership-migration");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Cannon)
+    ->ArgsProduct({{0, 1}, {32, 64, 128}})
+    ->Unit(benchmark::kMillisecond);

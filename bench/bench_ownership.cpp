@@ -1,0 +1,131 @@
+// E5 — cost of the three transfer flavours of Figure 1 as payload grows:
+//
+//   ->    data send/receive (value only; ownership unchanged)
+//   =>    ownership only (zero payload — the compiler's tool when it can
+//         prove the value is dead or will be overwritten)
+//   -=>   ownership + value
+//
+// Counters report modeled cost and bytes per transfer; wall time is the
+// simulator's real per-transfer latency (threaded ping-pong). The paper's
+// claim: "The compiler may be able to determine that only the ownership,
+// and not the value, needs to be transferred" — i.e. "=>" should cost O(1)
+// regardless of section size, while "->" and "-=>" pay beta * bytes.
+#include <benchmark/benchmark.h>
+
+#include "xdp/rt/proc.hpp"
+
+using namespace xdp;
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Section;
+using sec::Triplet;
+
+namespace {
+
+constexpr int kRounds = 16;
+
+void reportPerOp(benchmark::State& state, rt::Runtime& runtime, Index elems,
+                 const char* label) {
+  state.counters["modeled_per_op"] =
+      runtime.fabric().makespan() / kRounds;
+  state.counters["bytes_per_op"] =
+      static_cast<double>(runtime.fabric().totalStats().bytesSent) / kRounds;
+  state.counters["elems"] = static_cast<double>(elems);
+  state.SetLabel(label);
+}
+
+void BM_OwnershipPingPong(benchmark::State& state) {
+  const bool withValue = state.range(0) != 0;
+  const Index elems = state.range(1);
+  for (auto _ : state) {
+    rt::Runtime runtime(2);
+    Section g{Triplet(1, elems)};
+    const int A = runtime.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(1)}));
+    runtime.run([&](rt::Proc& p) {
+      for (int round = 0; round < kRounds; ++round) {
+        const int src = round % 2;
+        if (p.mypid() == src) {
+          p.sendOwnership(A, g, withValue, std::vector<int>{1 - src});
+        } else {
+          p.recvOwnership(A, g, withValue);
+          p.await(A, g);
+        }
+      }
+    });
+    if (state.thread_index() == 0) {  // single-threaded driver
+      reportPerOp(state, runtime, elems,
+                  withValue ? "ownership+value(-=>)" : "ownership(=>)");
+    }
+  }
+}
+
+void BM_DataSendRecv(benchmark::State& state) {
+  // "->" flavour: p0 repeatedly sends its block, p1 receives into a
+  // same-sized inbox. Ownership never moves.
+  const Index elems = state.range(0);
+  for (auto _ : state) {
+    rt::Runtime runtime(2);
+    Section g{Triplet(1, elems)};
+    const int A = runtime.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(1)}));
+    Section g2{Triplet(1, 2 * elems)};
+    const int IN = runtime.declareArray<double>(
+        "IN", g2, Distribution(g2, {DimSpec::block(2)}));
+    runtime.run([&](rt::Proc& p) {
+      Section inbox{Triplet(elems + 1, 2 * elems)};  // p1's half of IN
+      for (int round = 0; round < kRounds; ++round) {
+        if (p.mypid() == 0) {
+          p.send(A, g, std::vector<int>{1});
+        } else {
+          p.recv(IN, inbox, A, g);
+          p.await(IN, inbox);
+        }
+      }
+    });
+    reportPerOp(state, runtime, elems, "data(->)");
+  }
+}
+
+void BM_PartialOwnershipWithSplit(benchmark::State& state) {
+  // Shipping an interior slice forces the runtime to split the segment
+  // (fresh descriptors + remainder copies) — the granularity price of
+  // element-level ownership transfer the paper's segments amortize.
+  const Index elems = state.range(0);
+  for (auto _ : state) {
+    rt::Runtime runtime(2);
+    Section g{Triplet(1, elems)};
+    const int A = runtime.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(1)}));
+    Section mid{Triplet(elems / 4, 3 * elems / 4)};
+    runtime.run([&](rt::Proc& p) {
+      if (p.mypid() == 0) {
+        p.sendOwnership(A, mid, true, std::vector<int>{1});
+      } else {
+        p.recvOwnership(A, mid, true);
+        p.await(A, mid);
+      }
+    });
+    reportPerOp(state, runtime, elems, "split(-=> interior)");
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_OwnershipPingPong)
+    ->ArgsProduct({{0, 1}, {64, 1024, 16384, 131072}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DataSendRecv)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(131072)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_PartialOwnershipWithSplit)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(131072)
+    ->Unit(benchmark::kMillisecond);

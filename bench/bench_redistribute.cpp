@@ -1,0 +1,102 @@
+// E7 — transfer granularity and pipelining (paper section 3.1: "The use of
+// segments allows the pipelining of a transfer of a section ... In many
+// cases, this can effectively reduce the total time by allowing a
+// processor to overlap one segment's transfer with computation on another
+// segment").
+//
+// Each of P processors computes over its slab chunk by chunk and ships
+// ownership of each finished chunk to its successor. Sweeping the number
+// of chunks trades per-message overhead (alpha per chunk) against overlap
+// (receivers synchronize on chunks as they arrive instead of on the whole
+// slab): modeled time follows a U-curve — the paper's motivation for
+// letting the *compiler* pick the segment shape.
+#include <benchmark/benchmark.h>
+
+#include "xdp/rt/proc.hpp"
+
+using namespace xdp;
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Section;
+using sec::Triplet;
+
+namespace {
+
+void BM_RedistributeGranularity(benchmark::State& state) {
+  const int P = 4;
+  const Index perProc = 8192;
+  const Index chunks = state.range(0);
+  const Index chunkElems = perProc / chunks;
+  const double computePerElem = 5e-8;
+  // A slow processor makes overlap matter (cf. E2).
+  const double skew = 4.0;
+
+  double modeled = 0, avg = 0, consumer = 0, msgs = 0;
+  for (auto _ : state) {
+    net::CostModel cm;  // default alpha/beta/latency
+    rt::RuntimeOptions opts;
+    opts.costModel = cm;
+    rt::Runtime runtime(P, opts);
+    Section g{Triplet(1, P * perProc)};
+    const int A = runtime.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(P)}),
+        dist::SegmentShape::of({chunkElems}));
+    runtime.run([&](rt::Proc& p) {
+      const int me = p.mypid();
+      const int next = (me + 1) % P;
+      const Index base = me * perProc;
+      const double myCost =
+          computePerElem * (me == 0 ? skew : 1.0);
+      // Post receives for everything the predecessor will ship.
+      const int prev = (me + P - 1) % P;
+      const Index pbase = prev * perProc;
+      for (Index c = 0; c < chunks; ++c) {
+        Section in{Triplet(pbase + c * chunkElems + 1,
+                           pbase + (c + 1) * chunkElems)};
+        p.recvOwnership(A, in, true);
+      }
+      // Compute chunk, ship chunk — the pipelined producer loop.
+      for (Index c = 0; c < chunks; ++c) {
+        Section chunk{Triplet(base + c * chunkElems + 1,
+                              base + (c + 1) * chunkElems)};
+        p.compute(myCost * static_cast<double>(chunkElems));
+        p.sendOwnership(A, chunk, true, std::vector<int>{next});
+      }
+      // Consume: synchronize on each incoming chunk, compute on it.
+      for (Index c = 0; c < chunks; ++c) {
+        Section in{Triplet(pbase + c * chunkElems + 1,
+                           pbase + (c + 1) * chunkElems)};
+        p.await(A, in);
+        p.compute(computePerElem * static_cast<double>(chunkElems));
+      }
+    });
+    modeled = runtime.fabric().makespan();
+    double sum = 0;
+    for (int q = 0; q < P; ++q) sum += runtime.fabric().clock(q);
+    avg = sum / P;
+    // Processor 1 consumes the slow producer's chunks; its finish time is
+    // where the overlap-vs-overhead U-curve lives.
+    consumer = runtime.fabric().clock(1);
+    msgs = static_cast<double>(runtime.fabric().totalStats().messagesSent);
+  }
+  state.counters["modeled_s"] = modeled;
+  state.counters["avg_finish"] = avg;
+  state.counters["consumer_finish"] = consumer;
+  state.counters["msgs"] = msgs;
+  state.counters["chunk_elems"] = static_cast<double>(chunkElems);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RedistributeGranularity)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,112 @@
+// E4 — section algebra microbenchmarks (paper Fig. 3 substrate): triplet
+// intersection under various stride relationships, multi-dimensional
+// section intersection, the coverage check behind iown(), and set
+// difference (the segment-splitting primitive of ownership transfer).
+#include <benchmark/benchmark.h>
+
+#include "xdp/dist/segmentation.hpp"
+#include "xdp/sections/region_list.hpp"
+
+using namespace xdp::sec;
+using xdp::dist::DimSpec;
+using xdp::dist::Distribution;
+using xdp::dist::SegmentShape;
+
+namespace {
+
+void BM_TripletIntersectUnitStride(benchmark::State& state) {
+  Triplet a(1, 100000);
+  Triplet b(50000, 150000);
+  for (auto _ : state) benchmark::DoNotOptimize(Triplet::intersect(a, b));
+}
+
+void BM_TripletIntersectCoprimeStrides(benchmark::State& state) {
+  // Worst case for the CRT path: large coprime strides.
+  Triplet a(0, 1000000, 7919);
+  Triplet b(3, 1000000, 104729);
+  for (auto _ : state) benchmark::DoNotOptimize(Triplet::intersect(a, b));
+}
+
+void BM_TripletSubtract(benchmark::State& state) {
+  Triplet a(1, 100000);
+  Triplet b(5000, 90000, state.range(0));
+  for (auto _ : state) {
+    auto rest = Triplet::subtract(a, b);
+    benchmark::DoNotOptimize(rest);
+  }
+  state.counters["pieces"] =
+      static_cast<double>(Triplet::subtract(a, b).size());
+}
+
+void BM_SectionIntersect(benchmark::State& state) {
+  const int rank = static_cast<int>(state.range(0));
+  std::vector<Triplet> da, db;
+  for (int d = 0; d < rank; ++d) {
+    da.emplace_back(1, 1024, d + 1);
+    db.emplace_back(512, 2048, d + 2);
+  }
+  Section a(da), b(db);
+  for (auto _ : state) benchmark::DoNotOptimize(Section::intersect(a, b));
+  state.counters["rank"] = rank;
+}
+
+void BM_CoverageCheck(benchmark::State& state) {
+  // The iown() algorithm of section 3.1 at the RegionList level: coverage
+  // of a query by `pieces` disjoint sections.
+  const int pieces = static_cast<int>(state.range(0));
+  RegionList rl;
+  const Index per = 4096 / pieces;
+  for (int i = 0; i < pieces; ++i)
+    rl.add(Section{Triplet(i * per + 1, (i + 1) * per)});
+  Section query{Triplet(1000, 3000)};
+  for (auto _ : state) benchmark::DoNotOptimize(rl.covers(query));
+  state.counters["pieces"] = pieces;
+}
+
+void BM_SectionSubtract2D(benchmark::State& state) {
+  // Segment splitting: carve a window out of a plane.
+  Section a{Triplet(1, 1024), Triplet(1, 1024)};
+  Section b{Triplet(100, 900), Triplet(200, 800)};
+  for (auto _ : state) {
+    auto rest = Section::subtract(a, b);
+    benchmark::DoNotOptimize(rest);
+  }
+}
+
+void BM_LocalPartCompute(benchmark::State& state) {
+  // Ownership layout computation per distribution kind.
+  Section g{Triplet(1, 4096), Triplet(1, 4096)};
+  Distribution d =
+      state.range(0) == 0
+          ? Distribution(g, {DimSpec::block(4), DimSpec::block(4)})
+          : state.range(0) == 1
+                ? Distribution(g, {DimSpec::block(4), DimSpec::cyclic(4)})
+                : Distribution(g, {DimSpec::blockCyclic(4, 16),
+                                   DimSpec::blockCyclic(4, 16)});
+  for (auto _ : state) benchmark::DoNotOptimize(d.localPart(5));
+  state.SetLabel(state.range(0) == 0   ? "(BLOCK,BLOCK)"
+                 : state.range(0) == 1 ? "(BLOCK,CYCLIC)"
+                                       : "(CYCLIC(16),CYCLIC(16))");
+}
+
+void BM_Segmentation(benchmark::State& state) {
+  Section g{Triplet(1, 1024), Triplet(1, 1024)};
+  Distribution d(g, {DimSpec::block(2), DimSpec::block(2)});
+  const Index tile = state.range(0);
+  for (auto _ : state) {
+    auto segs = xdp::dist::segmentsOf(d, 3, SegmentShape::of({tile, tile}));
+    benchmark::DoNotOptimize(segs);
+  }
+  state.counters["tile"] = static_cast<double>(tile);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TripletIntersectUnitStride);
+BENCHMARK(BM_TripletIntersectCoprimeStrides);
+BENCHMARK(BM_TripletSubtract)->Arg(1)->Arg(2)->Arg(5)->Arg(50);
+BENCHMARK(BM_SectionIntersect)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_CoverageCheck)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_SectionSubtract2D);
+BENCHMARK(BM_LocalPartCompute)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Segmentation)->Arg(16)->Arg(64)->Arg(256);

@@ -1,0 +1,92 @@
+// E1 — the section 2.2 example (`A[i] = A[i] + B[i]`) across the paper's
+// optimization stages, for the aligned (BLOCK/BLOCK) and misaligned
+// (BLOCK/CYCLIC) cases.
+//
+// Reported counters (per run):
+//   msgs        messages sent (the paper's per-element -> per-section claim)
+//   bytes       payload volume
+//   rendezvous  sends routed through the matchmaker (removed by binding)
+//   rules       compute-rule evaluations (removed by CRE)
+//   modeled_s   virtual-time makespan under the LogGP-style cost model
+// Wall time measures simulator throughput, not parallel speedup (the host
+// may have a single core); modeled_s is the reproducible quantity.
+#include <benchmark/benchmark.h>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/opt/passes.hpp"
+
+using namespace xdp;
+
+namespace {
+
+enum Stage : int {
+  kLowered = 0,
+  kRte = 1,
+  kVectorized = 2,
+  kCre = 3,
+  kBound = 4,
+};
+
+const char* stageName(int s) {
+  switch (s) {
+    case kLowered: return "lowered";
+    case kRte: return "rte";
+    case kVectorized: return "vectorized";
+    case kCre: return "cre";
+    case kBound: return "bound";
+  }
+  return "?";
+}
+
+il::Program buildStage(const apps::VecAddConfig& cfg, int stage) {
+  il::Program p = opt::lowerOwnerComputes(apps::buildVecAdd(cfg));
+  if (stage >= kRte) p = opt::redundantTransferElimination(p);
+  if (stage >= kVectorized) p = opt::messageVectorization(p);
+  if (stage >= kCre) p = opt::computeRuleElimination(p);
+  if (stage >= kBound) p = opt::commBinding(p);
+  return p;
+}
+
+void runStage(benchmark::State& state, const apps::VecAddConfig& cfg,
+              int stage) {
+  il::Program prog = buildStage(cfg, stage);
+  net::NetStats net;
+  interp::InterpStats is;
+  double makespan = 0;
+  for (auto _ : state) {
+    interp::Interpreter in(prog, {});
+    apps::registerFillKernel(in, cfg.seed);
+    in.run();
+    net = in.runtime().fabric().totalStats();
+    is = in.totalStats();
+    makespan = in.runtime().fabric().makespan();
+    benchmark::DoNotOptimize(makespan);
+  }
+  state.counters["msgs"] = static_cast<double>(net.messagesSent);
+  state.counters["bytes"] = static_cast<double>(net.bytesSent);
+  state.counters["rendezvous"] = static_cast<double>(net.rendezvousSends);
+  state.counters["rules"] = static_cast<double>(is.rulesEvaluated);
+  state.counters["modeled_s"] = makespan;
+  state.SetLabel(stageName(stage));
+}
+
+void BM_VecAddMisaligned(benchmark::State& state) {
+  auto cfg = apps::vecAddMisaligned(state.range(1), 4);
+  runStage(state, cfg, static_cast<int>(state.range(0)));
+}
+
+void BM_VecAddAligned(benchmark::State& state) {
+  auto cfg = apps::vecAddAligned(state.range(1), 4);
+  runStage(state, cfg, static_cast<int>(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_VecAddMisaligned)
+    ->ArgsProduct({{kLowered, kRte, kVectorized, kCre, kBound},
+                   {1024, 4096, 16384}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_VecAddAligned)
+    ->ArgsProduct({{kLowered, kRte, kCre}, {1024, 4096, 16384}})
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,169 @@
+// E9 — message aggregation under the alpha/beta cost model ("combine or
+// vectorize the messages", paper section 2.2; aggregation of transfers
+// into one message, section 3.2).
+//
+// A fixed volume V of elements moves from p0 to p1 as V/g messages of g
+// elements. Modeled sender cost = (V/g) * (alpha + g*beta): aggregation
+// amortizes alpha. The sweep reproduces the classic saturating curve and
+// reports the crossover granularity where per-message overhead stops
+// dominating (g ~ alpha/beta elements). Real (wall) time shows the same
+// shape through the simulator's genuine per-message bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include "xdp/rt/proc.hpp"
+
+using namespace xdp;
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Section;
+using sec::Triplet;
+
+namespace {
+
+void BM_Aggregation(benchmark::State& state) {
+  const Index V = 16384;  // elements moved in total
+  const Index g = state.range(0);
+  const Index nmsgs = V / g;
+  double modeled = 0;
+  for (auto _ : state) {
+    rt::Runtime runtime(2);
+    Section gs{Triplet(1, V)};
+    const int A = runtime.declareArray<double>(
+        "A", gs, Distribution(gs, {DimSpec::block(1)}));
+    Section g2{Triplet(1, 2 * V)};
+    const int IN = runtime.declareArray<double>(
+        "IN", g2, Distribution(g2, {DimSpec::block(2)}));
+    runtime.run([&](rt::Proc& p) {
+      for (Index m = 0; m < nmsgs; ++m) {
+        Section chunk{Triplet(m * g + 1, (m + 1) * g)};
+        if (p.mypid() == 0) {
+          p.send(A, chunk, std::vector<int>{1});
+        } else {
+          Section slot{Triplet(V + m * g + 1, V + (m + 1) * g)};
+          p.recv(IN, slot, A, chunk);
+        }
+      }
+      if (p.mypid() == 1) {
+        Section all{Triplet(V + 1, 2 * V)};
+        p.await(IN, all);
+      }
+    });
+    modeled = runtime.fabric().makespan();
+  }
+  state.counters["modeled_s"] = modeled;
+  state.counters["msgs"] = static_cast<double>(nmsgs);
+  state.counters["granularity"] = static_cast<double>(g);
+}
+
+void BM_AggregationHighAlpha(benchmark::State& state) {
+  // Same sweep with a 10x per-message overhead (slow network stack):
+  // the crossover moves right, exactly as the model predicts.
+  const Index V = 16384;
+  const Index g = state.range(0);
+  const Index nmsgs = V / g;
+  double modeled = 0;
+  for (auto _ : state) {
+    rt::RuntimeOptions opts;
+    opts.costModel.alpha = 1e-4;
+    rt::Runtime runtime(2, opts);
+    Section gs{Triplet(1, V)};
+    const int A = runtime.declareArray<double>(
+        "A", gs, Distribution(gs, {DimSpec::block(1)}));
+    Section g2{Triplet(1, 2 * V)};
+    const int IN = runtime.declareArray<double>(
+        "IN", g2, Distribution(g2, {DimSpec::block(2)}));
+    runtime.run([&](rt::Proc& p) {
+      for (Index m = 0; m < nmsgs; ++m) {
+        Section chunk{Triplet(m * g + 1, (m + 1) * g)};
+        if (p.mypid() == 0) {
+          p.send(A, chunk, std::vector<int>{1});
+        } else {
+          Section slot{Triplet(V + m * g + 1, V + (m + 1) * g)};
+          p.recv(IN, slot, A, chunk);
+        }
+      }
+      if (p.mypid() == 1) p.await(IN, Section{Triplet(V + 1, 2 * V)});
+    });
+    modeled = runtime.fabric().makespan();
+  }
+  state.counters["modeled_s"] = modeled;
+  state.counters["msgs"] = static_cast<double>(nmsgs);
+  state.counters["granularity"] = static_cast<double>(g);
+}
+
+void BM_MultiSectionAggregate(benchmark::State& state) {
+  // Aggregated *set-of-sections* transfer (paper 3.2's proposed
+  // extension, implemented as Proc::sendMulti/recvMulti): `pieces`
+  // disjoint strided sections — which cannot be coalesced into one
+  // rectangular section — move either as one message per piece or as a
+  // single multi-section message.
+  const Index V = 16384;
+  const Index pieces = state.range(0);
+  const bool aggregate = state.range(1) != 0;
+  const Index per = V / pieces;
+  double modeled = 0;
+  for (auto _ : state) {
+    rt::Runtime runtime(2);
+    Section gs{Triplet(1, 2 * V)};
+    const int A = runtime.declareArray<double>(
+        "A", gs, Distribution(gs, {DimSpec::block(2)}));
+    std::vector<Section> srcs, dsts;
+    for (Index k = 0; k < pieces; ++k) {
+      // Strided pieces interleave, so no two merge into one triplet.
+      srcs.emplace_back(
+          Section{Triplet(k + 1, k + 1 + pieces * (per - 1), pieces)});
+      dsts.emplace_back(
+          Section{Triplet(V + k + 1, V + k + 1 + pieces * (per - 1), pieces)});
+    }
+    runtime.run([&](rt::Proc& p) {
+      if (p.mypid() == 0) {
+        if (aggregate) {
+          p.sendMulti(A, srcs, std::vector<int>{1});
+        } else {
+          for (const Section& s : srcs) p.send(A, s, std::vector<int>{1});
+        }
+      } else {
+        if (aggregate) {
+          p.recvMulti(A, dsts, A, srcs);
+          for (const Section& d : dsts) p.await(A, d);
+        } else {
+          for (Index k = 0; k < pieces; ++k) {
+            p.recv(A, dsts[static_cast<std::size_t>(k)], A,
+                   srcs[static_cast<std::size_t>(k)]);
+            p.await(A, dsts[static_cast<std::size_t>(k)]);
+          }
+        }
+      }
+    });
+    modeled = runtime.fabric().makespan();
+  }
+  state.counters["modeled_s"] = modeled;
+  state.counters["pieces"] = static_cast<double>(pieces);
+  state.SetLabel(aggregate ? "multi-section" : "per-section");
+}
+
+}  // namespace
+
+BENCHMARK(BM_MultiSectionAggregate)
+    ->ArgsProduct({{8, 64, 512}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Aggregation)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_AggregationHighAlpha)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);

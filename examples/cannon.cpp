@@ -1,0 +1,44 @@
+// Cannon's matrix multiply on a q x q grid, with the block shifts done two
+// ways: conventional value messages into auxiliary buffers, or XDP
+// ownership migration ("-=>"/"<=-") with no auxiliary storage at all —
+// the freed slots of the outgoing block hold the incoming one (paper
+// section 2.6).
+#include <cstdio>
+
+#include "xdp/apps/cannon.hpp"
+
+using namespace xdp;
+
+int main() {
+  apps::CannonConfig cfg;
+  cfg.n = 64;
+  cfg.q = 4;
+  cfg.flopCost = 1e-8;
+
+  auto expect = apps::cannonReference(cfg);
+
+  std::printf("Cannon's algorithm: C = A*B, %lldx%lld on a %dx%d grid\n\n",
+              static_cast<long long>(cfg.n), static_cast<long long>(cfg.n),
+              cfg.q, cfg.q);
+  std::printf("%-22s %8s %10s %16s %12s\n", "shift plan", "msgs", "bytes",
+              "peak elems/proc", "modeled");
+  for (auto plan :
+       {apps::ShiftPlan::DataShift, apps::ShiftPlan::OwnershipShift}) {
+    cfg.plan = plan;
+    auto r = apps::runCannon(cfg);
+    bool ok = true;
+    for (std::size_t i = 0; ok && i < expect.size(); ++i)
+      ok = std::abs(r.c[i] - expect[i]) < 1e-9;
+    std::printf("%-22s %8llu %10llu %16zu %11.4gs %s\n",
+                plan == apps::ShiftPlan::DataShift ? "value messages"
+                                                   : "ownership migration",
+                static_cast<unsigned long long>(r.net.messagesSent),
+                static_cast<unsigned long long>(r.net.bytesSent),
+                r.peakElemsPerProc, r.makespan,
+                ok ? "[verified]" : "[MISMATCH]");
+  }
+  std::printf("\nSame traffic either way; the ownership plan simply has no "
+              "in-buffers — the paper's storage-reuse benefit, measured in "
+              "the peak column.\n");
+  return 0;
+}

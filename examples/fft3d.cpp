@@ -1,0 +1,85 @@
+// The paper's section 4 example: a 3-D FFT whose middle step redistributes
+// the array from (*,*,BLOCK) to (*,BLOCK,*) by transferring *ownership*
+// (with values) of one plane at a time — "-=>" / "<=-" statements — so
+// that every 1-D FFT sweep runs without communication.
+//
+// The three program versions of the paper are derived by the optimizer:
+//   stage 1  the initial guarded IL+XDP program
+//   stage 2  + compute-rule elimination + single-iteration elimination
+//   stage 3  + loop fusion (pipelines the transfer) + await sinking
+//
+// Run with --print to see each stage in the paper's notation.
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+
+using namespace xdp;
+
+namespace {
+
+void runStage(const char* title, const il::Program& prog,
+              const apps::Fft3dConfig& cfg,
+              const std::vector<apps::Complex>& expect, bool print) {
+  if (print)
+    std::printf("---- %s ----\n%s\n", title, il::printProgram(prog).c_str());
+  interp::Interpreter in(prog, {});
+  apps::registerFillKernel(in, cfg.seed);
+  apps::registerFftKernels(in, cfg.flopCost);
+  in.run();
+  sec::Section g{sec::Triplet(1, cfg.n), sec::Triplet(1, cfg.n),
+                 sec::Triplet(1, cfg.n)};
+  auto vals = apps::gatherC128(in.runtime(), 0, g);
+  double maxErr = 0;
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    maxErr = std::max(maxErr, std::abs(vals[i] - expect[i]));
+  auto net = in.runtime().fabric().totalStats();
+  double sum = 0;
+  for (int p = 0; p < cfg.nprocs; ++p)
+    sum += in.runtime().fabric().clock(p);
+  std::printf(
+      "%-22s msgs %4llu  ownership %4llu  bytes %8llu  makespan %.4g  "
+      "avg-finish %.4g  max|err| %.2e\n",
+      title, static_cast<unsigned long long>(net.messagesSent),
+      static_cast<unsigned long long>(net.ownershipTransfers),
+      static_cast<unsigned long long>(net.bytesSent),
+      in.runtime().fabric().makespan(), sum / cfg.nprocs, maxErr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool print = argc > 1 && std::string_view(argv[1]) == "--print";
+
+  apps::Fft3dConfig cfg;
+  cfg.n = 16;
+  cfg.nprocs = 4;
+  cfg.flopCost = 2e-6;
+  cfg.skewCost = 4e-4;  // processor 0 is slower: fusion's best case
+
+  std::printf("3-D FFT, N=%lld^3 over %d processors; redistribution "
+              "(*,*,BLOCK) -> (*,BLOCK,*) via ownership transfer\n\n",
+              static_cast<long long>(cfg.n), cfg.nprocs);
+
+  il::Program s1 = apps::buildFft3dStage1(cfg);
+  il::Program s2 =
+      opt::singleIterationElimination(opt::computeRuleElimination(s1));
+  il::Program s3 = opt::awaitSinking(opt::loopFusion(s2));
+  il::Program s3b = opt::commBinding(s3);
+
+  auto expect = apps::fft3dReference(cfg);
+  runStage("stage1 (guarded)", s1, cfg, expect, print);
+  runStage("stage2 (+CRE,+SIE)", s2, cfg, expect, print);
+  runStage("stage3 (+fuse,+sink)", s3, cfg, expect, print);
+  runStage("stage3 + binding", s3b, cfg, expect, print);
+
+  std::printf("\nNotes: message/byte counts are identical across stages — "
+              "the paper's section-4 optimizations restructure *when* "
+              "transfers are initiated, not how much moves. Fusion lowers "
+              "the average finish time under the skewed load; binding "
+              "removes the matchmaker hop from every transfer.\n");
+  return 0;
+}

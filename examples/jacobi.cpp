@@ -1,0 +1,59 @@
+// 2-D Jacobi relaxation with XDP halo exchange — the workload family the
+// paper's target compilers (Fortran D, SUPERB, Kali, ...) were built for.
+// Compares the naive element-wise halo plan against row-section messages
+// (message vectorization) and bound vs matchmaker routing (delayed
+// communication binding) — the two §2.2/§3.2 optimizations on a real
+// stencil.
+#include <cstdio>
+
+#include "xdp/apps/jacobi.hpp"
+
+using namespace xdp;
+
+int main() {
+  apps::JacobiConfig base;
+  base.rows = 64;
+  base.cols = 64;
+  base.nprocs = 4;
+  base.iterations = 10;
+  base.flopCost = 1e-8;
+
+  auto expect = apps::jacobiReference(base);
+
+  struct Variant {
+    const char* name;
+    apps::HaloPlan plan;
+    bool bind;
+  };
+  Variant variants[] = {
+      {"element-wise, matchmaker", apps::HaloPlan::ElementWise, false},
+      {"element-wise, bound", apps::HaloPlan::ElementWise, true},
+      {"row-sections, matchmaker", apps::HaloPlan::RowSections, false},
+      {"row-sections, bound", apps::HaloPlan::RowSections, true},
+  };
+
+  std::printf("Jacobi %lldx%lld, %d iterations over %d processors\n\n",
+              static_cast<long long>(base.rows),
+              static_cast<long long>(base.cols), base.iterations,
+              base.nprocs);
+  std::printf("%-28s %8s %10s %12s %10s\n", "halo plan", "msgs", "bytes",
+              "rendezvous", "modeled");
+  for (const Variant& v : variants) {
+    apps::JacobiConfig cfg = base;
+    cfg.plan = v.plan;
+    cfg.bindDestinations = v.bind;
+    auto r = apps::runJacobi(cfg);
+    bool ok = r.grid.size() == expect.size();
+    for (std::size_t i = 0; ok && i < expect.size(); ++i)
+      ok = r.grid[i] == expect[i];
+    std::printf("%-28s %8llu %10llu %12llu %9.4gs %s\n", v.name,
+                static_cast<unsigned long long>(r.net.messagesSent),
+                static_cast<unsigned long long>(r.net.bytesSent),
+                static_cast<unsigned long long>(r.net.rendezvousSends),
+                r.makespan, ok ? "[verified]" : "[MISMATCH]");
+  }
+  std::printf("\nAll variants compute identical grids; the halo *plan* — "
+              "which the XDP compiler chooses — decides the message count "
+              "and the matchmaker traffic.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Memory-hierarchy optimization with XDP (paper section 6: "The
+// applicability of XDP is quite general ... it can be used to optimize
+// data transfers across different levels of a memory hierarchy").
+//
+// Model: processor 0 is "main memory" and owns every tile of a large
+// array; processor 1 is the "compute engine + cache" with capacity for a
+// few tiles. Fetching a tile = ownership+value transfer into the cache;
+// eviction = ownership+value transfer back. XDP's iown() is exactly the
+// cache-residency test, so the same guarded SPMD code works for any
+// schedule — only the transfer traffic changes.
+//
+// The workload touches tiles in passes with temporal locality; we compare
+//   * naive schedule: touch tiles in the given order, LRU-evict on misses
+//   * tiled (reuse-aware) schedule: the same touches grouped per tile
+// and report ownership transfers ("cache miss traffic") for each.
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "xdp/rt/proc.hpp"
+
+using namespace xdp;
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Section;
+using sec::Triplet;
+
+namespace {
+
+constexpr Index kTiles = 16;
+constexpr Index kTileElems = 64;
+constexpr int kCacheTiles = 4;
+
+Section tileSec(Index t) {
+  return Section{Triplet(t * kTileElems + 1, (t + 1) * kTileElems)};
+}
+
+/// Run one schedule; returns (ownership transfers, modeled time).
+std::pair<std::uint64_t, double> run(const std::vector<Index>& touches) {
+  rt::Runtime runtime(2);
+  Section g{Triplet(1, kTiles * kTileElems)};
+  // Everything starts in "main memory" (processor 0).
+  const int A = runtime.declareArray<double>(
+      "A", g, Distribution(g, {DimSpec::block(1)}),
+      dist::SegmentShape::of({kTileElems}));
+
+  runtime.run([&](rt::Proc& p) {
+    std::deque<Index> lru;  // tiles resident in the cache (front = oldest)
+    for (Index t : touches) {
+      Section ts = tileSec(t);
+      if (p.mypid() == 1) {
+        // Cache side: iown() is the residency probe — the same guarded
+        // statement a compiler would emit.
+        if (!p.iown(A, ts)) {
+          if (static_cast<int>(lru.size()) == kCacheTiles) {
+            Index victim = lru.front();
+            lru.pop_front();
+            p.sendOwnership(A, tileSec(victim), /*withValue=*/true,
+                            std::vector<int>{0});  // write back
+          }
+          p.recvOwnership(A, ts, /*withValue=*/true);  // fetch
+          p.await(A, ts);
+          lru.push_back(t);
+        } else {
+          // Hit: refresh LRU position.
+          lru.erase(std::find(lru.begin(), lru.end(), t));
+          lru.push_back(t);
+        }
+        // "Compute" on the resident tile.
+        p.compute(1e-6 * static_cast<double>(kTileElems));
+        auto vals = p.read<double>(A, ts);
+        vals[0] += 1.0;
+        p.write<double>(A, ts, vals);
+      } else {
+        // Memory side mirrors the protocol deterministically.
+        std::deque<Index>& mirror = lru;
+        if (std::find(mirror.begin(), mirror.end(), t) == mirror.end()) {
+          if (static_cast<int>(mirror.size()) == kCacheTiles) {
+            Index victim = mirror.front();
+            mirror.pop_front();
+            p.recvOwnership(A, tileSec(victim), /*withValue=*/true);
+            p.await(A, tileSec(victim));
+          }
+          p.sendOwnership(A, ts, /*withValue=*/true, std::vector<int>{1});
+          mirror.push_back(t);
+        } else {
+          mirror.erase(std::find(mirror.begin(), mirror.end(), t));
+          mirror.push_back(t);
+        }
+      }
+    }
+  });
+  return {runtime.fabric().totalStats().ownershipTransfers,
+          runtime.fabric().makespan()};
+}
+
+}  // namespace
+
+int main() {
+  // Workload: 4 passes over 8 tiles — plenty of reuse if scheduled well.
+  std::vector<Index> naive;
+  for (int pass = 0; pass < 4; ++pass)
+    for (Index t = 0; t < 8; ++t) naive.push_back(t);
+  // Reuse-aware: group all passes of one cache-load's worth of tiles.
+  std::vector<Index> tiled;
+  for (Index base = 0; base < 8; base += kCacheTiles)
+    for (int pass = 0; pass < 4; ++pass)
+      for (Index t = base; t < base + kCacheTiles; ++t) tiled.push_back(t);
+
+  auto [naiveXfers, naiveTime] = run(naive);
+  auto [tiledXfers, tiledTime] = run(tiled);
+
+  std::printf("cache: %d tiles of %lld elements; workload: 4 passes over 8 "
+              "tiles\n\n",
+              kCacheTiles, static_cast<long long>(kTileElems));
+  std::printf("%-24s %20s %14s\n", "schedule", "ownership transfers",
+              "modeled time");
+  std::printf("%-24s %20llu %13.4gs\n", "naive (round-robin)",
+              static_cast<unsigned long long>(naiveXfers), naiveTime);
+  std::printf("%-24s %20llu %13.4gs\n", "tiled (reuse-aware)",
+              static_cast<unsigned long long>(tiledXfers), tiledTime);
+  std::printf("\nSame guarded SPMD program both times — iown() is the "
+              "residency test, ownership transfer is the miss. Only the "
+              "schedule (which a compiler chooses) differs.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The paper's section 2.2 walkthrough, executable: start from the
+// sequential program
+//
+//     do i = 1, n
+//       A[i] = A[i] + B[i]
+//     enddo
+//
+// and apply the XDP pass pipeline one step at a time, printing each
+// program in the paper's surface syntax and running it on the simulated
+// machine to show what every optimization buys (messages, bytes, guard
+// evaluations, modeled time).
+#include <cstdio>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+
+using namespace xdp;
+
+namespace {
+
+void runAndReport(const char* title, const il::Program& prog,
+                  const apps::VecAddConfig& cfg, bool print) {
+  if (print) {
+    std::printf("---- %s ----\n%s\n", title,
+                il::printProgram(prog).c_str());
+  }
+  interp::Interpreter in(prog, {});
+  apps::registerFillKernel(in, cfg.seed);
+  in.run();
+  // Verify against the sequential semantics.
+  auto vals = apps::gatherF64(in.runtime(), prog.findSymbol("A"),
+                              sec::Section{sec::Triplet(1, cfg.n)});
+  for (sec::Index i = 1; i <= cfg.n; ++i) {
+    double expect = apps::vecAddExpected(cfg, i);
+    if (vals[static_cast<std::size_t>(i - 1)] != expect) {
+      std::printf("!! mismatch at %lld\n", static_cast<long long>(i));
+      return;
+    }
+  }
+  auto net = in.runtime().fabric().totalStats();
+  auto st = in.totalStats();
+  std::printf(
+      "%-28s msgs %5llu  bytes %7llu  rendezvous %5llu  rules %6llu  "
+      "iters %6llu  modeled %.3gs   [results verified]\n",
+      title, static_cast<unsigned long long>(net.messagesSent),
+      static_cast<unsigned long long>(net.bytesSent),
+      static_cast<unsigned long long>(net.rendezvousSends),
+      static_cast<unsigned long long>(st.rulesEvaluated),
+      static_cast<unsigned long long>(st.loopIterations),
+      in.runtime().fabric().makespan());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool print = argc > 1 && std::string_view(argv[1]) == "--print";
+  const sec::Index n = 64;
+  const int P = 4;
+
+  std::printf("== Misaligned case: A (BLOCK), B (CYCLIC), n=%lld, P=%d ==\n",
+              static_cast<long long>(n), P);
+  auto cfg = apps::vecAddMisaligned(n, P);
+  il::Program seq = apps::buildVecAdd(cfg);
+  il::Program lowered = opt::lowerOwnerComputes(seq);
+  il::Program rte = opt::redundantTransferElimination(lowered);
+  il::Program vec = opt::messageVectorization(rte);
+  il::Program cre = opt::computeRuleElimination(vec);
+  il::Program bound = opt::commBinding(cre);
+  if (print)
+    std::printf("---- sequential input ----\n%s\n",
+                il::printProgram(seq).c_str());
+  runAndReport("owner-computes (lowered)", lowered, cfg, print);
+  runAndReport("+ redundant-transfer-elim", rte, cfg, print);
+  runAndReport("+ message-vectorization", vec, cfg, print);
+  runAndReport("+ compute-rule-elim", cre, cfg, print);
+  runAndReport("+ comm-binding", bound, cfg, print);
+
+  std::printf("\n== Aligned case: A and B both (BLOCK) ==\n");
+  auto acfg = apps::vecAddAligned(n, P);
+  il::Program aLow = opt::lowerOwnerComputes(apps::buildVecAdd(acfg));
+  il::Program aRte = opt::redundantTransferElimination(aLow);
+  il::Program aCre = opt::computeRuleElimination(aRte);
+  runAndReport("owner-computes (lowered)", aLow, acfg, false);
+  runAndReport("+ redundant-transfer-elim", aRte, acfg, false);
+  runAndReport("+ compute-rule-elim", aCre, acfg, false);
+
+  std::printf("\n(re-run with --print to see each program in the paper's"
+              " notation)\n");
+  return 0;
+}

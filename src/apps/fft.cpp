@@ -1,0 +1,77 @@
+#include "xdp/apps/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::apps {
+
+bool isPow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft1d(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  XDP_CHECK(isPow2(n), "fft1d requires a power-of-two length");
+  if (n == 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex u = data[i + k];
+        Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+std::vector<Complex> naiveDft(std::span<const Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(k * j) / static_cast<double>(n);
+      acc += data[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+void registerFftKernels(interp::Interpreter& in, double flopCost) {
+  in.registerKernel(
+      "fft1d",
+      [flopCost](rt::Proc& p,
+                 const std::vector<std::pair<int, sec::Section>>& args) {
+        XDP_CHECK(args.size() == 1, "fft1d takes one section argument");
+        const auto& [sym, s] = args[0];
+        if (s.empty()) return;
+        auto line = p.read<Complex>(sym, s);
+        fft1d(line);
+        p.write<Complex>(sym, s, std::span<const Complex>(line));
+        const double n = static_cast<double>(line.size());
+        p.compute(flopCost * n * std::log2(std::max(2.0, n)));
+      });
+}
+
+}  // namespace xdp::apps

@@ -1,0 +1,33 @@
+// 1-D FFT kernel (the paper's fft1D()) and a naive DFT reference.
+//
+// The 3-D FFT of section 4 applies fft1D along lines of each dimension in
+// turn; our IL programs call it through the interpreter's kernel registry.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+#include "xdp/interp/interpreter.hpp"
+
+namespace xdp::apps {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. n must be a power of two.
+void fft1d(std::span<Complex> data, bool inverse = false);
+
+/// O(n^2) reference DFT (allocates the result).
+std::vector<Complex> naiveDft(std::span<const Complex> data,
+                              bool inverse = false);
+
+/// True iff n is a power of two (and > 0).
+bool isPow2(std::size_t n);
+
+/// Register the "fft1d" kernel with an interpreter. The kernel expects one
+/// (symbol, section) argument naming a line of a C128 array owned by the
+/// executing processor; it gathers the line, transforms it, scatters it
+/// back, and charges `flopCost * n log2 n` of modeled compute time.
+void registerFftKernels(interp::Interpreter& in, double flopCost = 1e-8);
+
+}  // namespace xdp::apps

@@ -1,0 +1,84 @@
+// Builders for the paper's running examples as IL+XDP programs, plus the
+// verification helpers used by tests, examples and benchmarks.
+//
+//  * buildVecAdd   — section 2.2: `do i: A[i] = A[i] + B[i]` in its
+//    sequential (pre-lowering) form; the optimization pipeline derives the
+//    paper's successive versions from it.
+//  * buildFft3dStage1 — section 4, first listing (generalized from the
+//    4x4x4/P=4 case to any N divisible by P): four loops — fft sweeps
+//    along dims 1 and 0, redistribution (*,*,BLOCK) -> (*,BLOCK,*) by
+//    per-plane ownership+value transfer, fft sweep along dim 2 under
+//    await guards. Stages 2 and 3 of the paper are derived by passes:
+//       stage2 = singleIterationElimination(computeRuleElimination(s1))
+//       stage3 = awaitSinking(loopFusion(stage2))
+#pragma once
+
+#include "xdp/apps/fft.hpp"
+#include "xdp/il/program.hpp"
+
+namespace xdp::apps {
+
+using sec::Index;
+using sec::Point;
+using sec::Section;
+
+// --- section 2.2 vector add ------------------------------------------------
+
+struct VecAddConfig {
+  Index n = 16;
+  int nprocs = 4;
+  dist::Distribution distA;  ///< distribution of A over [1:n]
+  dist::Distribution distB;  ///< distribution of B over [1:n]
+  std::uint64_t seed = 42;   ///< fill seed (the program starts with fills)
+};
+
+/// Block/Block (aligned) config — transfers are all redundant.
+VecAddConfig vecAddAligned(Index n, int nprocs);
+/// Block/Cyclic (misaligned) — every element moves.
+VecAddConfig vecAddMisaligned(Index n, int nprocs);
+
+il::Program buildVecAdd(const VecAddConfig& cfg);
+
+/// Expected final value of A[i] (1-based i) given the fill seed.
+double vecAddExpected(const VecAddConfig& cfg, Index i);
+
+// --- section 4 3-D FFT ------------------------------------------------------
+
+struct Fft3dConfig {
+  Index n = 8;        ///< cube edge; power of two, divisible by nprocs
+  int nprocs = 4;
+  std::uint64_t seed = 7;
+  double flopCost = 1e-8;  ///< modeled cost per fft butterfly unit
+  /// Extra modeled compute per plane of the second fft sweep, charged on
+  /// processor 0 only. Models load imbalance: this is where loop fusion's
+  /// pipelining pays off (a slow sender's early planes reach their targets
+  /// long before its sweep finishes). 0 disables.
+  double skewCost = 0.0;
+};
+
+il::Program buildFft3dStage1(const Fft3dConfig& cfg);
+
+/// The target distribution (*,BLOCK,*) of the redistribution.
+dist::Distribution fft3dTargetDist(const Fft3dConfig& cfg);
+
+/// Reference result: the same fills, transformed with local fft1d sweeps.
+std::vector<Complex> fft3dReference(const Fft3dConfig& cfg);
+
+// --- shared helpers -----------------------------------------------------------
+
+/// Deterministic cell value at a global index point.
+double cellValueAt(std::uint64_t seed, int sym, const Point& pt);
+Complex complexCellValueAt(std::uint64_t seed, int sym, const Point& pt);
+
+/// Register the "fill" kernel: fills each (sym, section) argument — which
+/// must be owned by the executing processor — with deterministic values.
+void registerFillKernel(interp::Interpreter& in, std::uint64_t seed);
+
+/// Collect a distributed f64/c128 array into Fortran order of `global` by
+/// reading every processor's accessible segments (post-run verification).
+std::vector<double> gatherF64(rt::Runtime& rt, int sym,
+                              const Section& global);
+std::vector<Complex> gatherC128(rt::Runtime& rt, int sym,
+                                const Section& global);
+
+}  // namespace xdp::apps

@@ -1,0 +1,32 @@
+// Synthetic workload generators for the benchmark harness.
+//
+// The paper has no workload suite; these generators synthesize the inputs
+// its claims are about: deterministic array contents (so optimized and
+// unoptimized pipelines can be checked for identical results) and skewed
+// task-cost profiles (for the section-2.6/2.7 load-balancing experiments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xdp/rt/proc.hpp"
+
+namespace xdp::apps {
+
+/// Deterministic value for element `pos` of array `sym` under `seed`
+/// (uniform in [0,1)). Same on every processor, so owners can initialize
+/// their parts independently and verification can recompute expectations.
+double cellValue(std::uint64_t seed, int sym, std::int64_t pos);
+
+/// Owner-side initialization: every processor writes cellValue into the
+/// elements of `s` it owns (others are skipped). Call from a node program.
+void fillOwned(rt::Proc& p, int sym, const sec::Section& s,
+               std::uint64_t seed);
+
+/// Skewed task costs: `n` tasks whose cost follows cost0 * skew^(rank of
+/// task), normalized so the total is `n * cost0`. skew == 1 is uniform;
+/// larger skews concentrate work in few tasks (Zipf-flavoured).
+std::vector<double> skewedCosts(int n, double cost0, double skew,
+                                std::uint64_t seed);
+
+}  // namespace xdp::apps

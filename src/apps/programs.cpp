@@ -1,0 +1,307 @@
+#include "xdp/apps/programs.hpp"
+
+#include <cmath>
+
+#include "xdp/support/check.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::apps {
+
+using dist::DimSpec;
+using dist::Distribution;
+using il::ExprPtr;
+using il::SectionExprPtr;
+using il::StmtPtr;
+using sec::Triplet;
+
+// --- shared helpers ---------------------------------------------------------
+
+double cellValueAt(std::uint64_t seed, int sym, const Point& pt) {
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(sym + 1) << 56);
+  for (int d = 0; d < pt.rank(); ++d) {
+    h ^= static_cast<std::uint64_t>(pt[d] + 0x9e37) *
+         0x9e3779b97f4a7c15ULL;
+    h = (h << 13) | (h >> 51);
+  }
+  SplitMix64 sm(h);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+Complex complexCellValueAt(std::uint64_t seed, int sym, const Point& pt) {
+  return Complex(cellValueAt(seed, sym, pt),
+                 cellValueAt(seed ^ 0xabcdef0123456789ULL, sym, pt));
+}
+
+void registerFillKernel(interp::Interpreter& in, std::uint64_t seed) {
+  // Fills the *owned* part of each (symbol, section) argument — segment by
+  // segment, so it works for fragmented partitions (BLOCK-CYCLIC) and for
+  // arguments naming the whole array.
+  in.registerKernel(
+      "fill", [seed](rt::Proc& p,
+                     const std::vector<std::pair<int, Section>>& args) {
+        for (const auto& [sym, s] : args) {
+          if (s.empty()) continue;
+          const auto type = p.table().decl(sym).type;
+          for (const rt::SegmentDesc& seg : p.table().segments(sym)) {
+            Section piece = seg.bounds.rank() == s.rank()
+                                ? Section::intersect(seg.bounds, s)
+                                : Section{};
+            if (seg.bounds.rank() == s.rank() && piece.empty()) continue;
+            if (seg.bounds.rank() != s.rank()) continue;
+            if (type == rt::ElemType::F64) {
+              std::vector<double> vals;
+              vals.reserve(static_cast<std::size_t>(piece.count()));
+              piece.forEach([&](const Point& pt) {
+                vals.push_back(cellValueAt(seed, sym, pt));
+              });
+              p.write<double>(sym, piece, vals);
+            } else if (type == rt::ElemType::C128) {
+              std::vector<Complex> vals;
+              vals.reserve(static_cast<std::size_t>(piece.count()));
+              piece.forEach([&](const Point& pt) {
+                vals.push_back(complexCellValueAt(seed, sym, pt));
+              });
+              p.write<Complex>(sym, piece, std::span<const Complex>(vals));
+            } else {
+              XDP_CHECK(false, "fill supports f64/c128");
+            }
+          }
+        }
+      });
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> gatherTyped(rt::Runtime& rt, int sym, const Section& global) {
+  std::vector<T> out(static_cast<std::size_t>(global.count()));
+  for (int pid = 0; pid < rt.nprocs(); ++pid) {
+    rt::ProcTable& t = rt.table(pid);
+    for (const rt::SegmentDesc& seg : t.segments(sym)) {
+      if (seg.status != rt::SegState::Accessible) continue;
+      std::vector<T> buf(static_cast<std::size_t>(seg.bounds.count()));
+      t.readElems(sym, seg.bounds,
+                  reinterpret_cast<std::byte*>(buf.data()));
+      seg.bounds.forEach([&](const Point& pt) {
+        out[static_cast<std::size_t>(global.fortranPos(pt))] =
+            buf[static_cast<std::size_t>(seg.bounds.fortranPos(pt))];
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> gatherF64(rt::Runtime& rt, int sym,
+                              const Section& global) {
+  return gatherTyped<double>(rt, sym, global);
+}
+
+std::vector<Complex> gatherC128(rt::Runtime& rt, int sym,
+                                const Section& global) {
+  return gatherTyped<Complex>(rt, sym, global);
+}
+
+// --- vector add (section 2.2) ------------------------------------------------
+
+VecAddConfig vecAddAligned(Index n, int nprocs) {
+  VecAddConfig cfg;
+  cfg.n = n;
+  cfg.nprocs = nprocs;
+  Section g{Triplet(1, n)};
+  cfg.distA = Distribution(g, {DimSpec::block(nprocs)});
+  cfg.distB = Distribution(g, {DimSpec::block(nprocs)});
+  return cfg;
+}
+
+VecAddConfig vecAddMisaligned(Index n, int nprocs) {
+  VecAddConfig cfg = vecAddAligned(n, nprocs);
+  Section g{Triplet(1, n)};
+  cfg.distB = Distribution(g, {DimSpec::cyclic(nprocs)});
+  return cfg;
+}
+
+il::Program buildVecAdd(const VecAddConfig& cfg) {
+  il::Program prog;
+  prog.nprocs = cfg.nprocs;
+  Section g{Triplet(1, cfg.n)};
+  il::ArrayDecl da{"A", rt::ElemType::F64, g, cfg.distA, {}};
+  il::ArrayDecl db{"B", rt::ElemType::F64, g, cfg.distB, {}};
+  const int A = prog.addArray(da);
+  const int B = prog.addArray(db);
+
+  ExprPtr i = il::scalar("i");
+  SectionExprPtr ai = il::secPoint({i});
+  SectionExprPtr bi = il::secPoint({i});
+  StmtPtr init = il::kernel("fill", {{A, il::secLocalPart(A)},
+                                     {B, il::secLocalPart(B)}});
+  StmtPtr loop = il::forLoop(
+      "i", il::intConst(1), il::intConst(cfg.n),
+      il::block({il::elemAssign(A, ai,
+                                il::add(il::elem(A, ai), il::elem(B, bi)))}));
+  prog.body = il::block({init, loop});
+  return prog;
+}
+
+double vecAddExpected(const VecAddConfig& cfg, Index i) {
+  Point pt{i};
+  return cellValueAt(cfg.seed, 0, pt) + cellValueAt(cfg.seed, 1, pt);
+}
+
+// --- 3-D FFT (section 4) -------------------------------------------------------
+
+dist::Distribution fft3dTargetDist(const Fft3dConfig& cfg) {
+  Section g{Triplet(1, cfg.n), Triplet(1, cfg.n), Triplet(1, cfg.n)};
+  return Distribution(
+      g, {DimSpec::collapsed(), DimSpec::block(cfg.nprocs),
+          DimSpec::collapsed()});
+}
+
+il::Program buildFft3dStage1(const Fft3dConfig& cfg) {
+  XDP_CHECK(isPow2(static_cast<std::size_t>(cfg.n)),
+            "fft3d needs a power-of-two edge");
+  XDP_CHECK(cfg.n % cfg.nprocs == 0, "fft3d needs n divisible by nprocs");
+  il::Program prog;
+  prog.nprocs = cfg.nprocs;
+  const Index N = cfg.n;
+  Section g{Triplet(1, N), Triplet(1, N), Triplet(1, N)};
+  Distribution init(g, {DimSpec::collapsed(), DimSpec::collapsed(),
+                        DimSpec::block(cfg.nprocs)});
+  il::ArrayDecl da{"A", rt::ElemType::C128, g, init,
+                   dist::SegmentShape::of({N, 1, 1})};
+  const int A = prog.addArray(da);
+  Distribution target = fft3dTargetDist(cfg);
+
+  ExprPtr one = il::intConst(1);
+  ExprPtr nn = il::intConst(N);
+  ExprPtr i = il::scalar("i"), j = il::scalar("j"), k = il::scalar("k");
+  ExprPtr p = il::scalar("p"), q = il::scalar("q");
+  auto full = [&] { return il::TripletExpr{one, nn, {}}; };
+
+  StmtPtr fillStmt = il::kernel("fill", {{A, il::secLocalPart(A)}});
+
+  // Loop1: do k { iown(A[*,*,k]) : { do i { fft1D(A[i,*,k]) } } }
+  SectionExprPtr planeK =
+      il::secLit({full(), full(), il::TripletExpr{k, {}, {}}});
+  SectionExprPtr lineJdir =
+      il::secLit({il::TripletExpr{i, {}, {}}, full(),
+                  il::TripletExpr{k, {}, {}}});
+  StmtPtr loop1 = il::forLoop(
+      "k", one, nn,
+      il::block({il::guarded(
+          il::iown(A, planeK),
+          il::block({il::forLoop(
+              "i", one, nn,
+              il::block({il::kernel("fft1d", {{A, lineJdir}})}))}))}));
+
+  // Loop2 (j outer so later fusion with the send loop is possible):
+  // do j { do k { iown(A[*,*,k]) : { fft1D(A[*,j,k]) } } }
+  SectionExprPtr lineIdir =
+      il::secLit({full(), il::TripletExpr{j, {}, {}},
+                  il::TripletExpr{k, {}, {}}});
+  std::vector<StmtPtr> loop2Body;
+  loop2Body.push_back(il::forLoop(
+      "k", one, nn,
+      il::block({il::guarded(
+          il::iown(A, planeK),
+          il::block({il::kernel("fft1d", {{A, lineIdir}})}))})));
+  if (cfg.skewCost > 0.0) {
+    // Load imbalance: processor 0 pays extra time per plane.
+    loop2Body.push_back(il::computeCost(
+        il::mul(il::realConst(cfg.skewCost),
+                il::bin(il::BinOp::Eq, il::mypid(), il::intConst(0)))));
+  }
+  StmtPtr loop2 = il::forLoop("j", one, nn, il::block(std::move(loop2Body)));
+
+  // Loop3: redistribute (*,*,BLOCK) -> (*,BLOCK,*) via ownership+value
+  // transfers, one message per (plane j, sender) pair.
+  //   do p { iown(part(p)) : {
+  //     do j { A[*,j,*]^part(p) -=> }            // my k-slab of plane j
+  //     do j { do q { nonempty(V) : { V <=- } } } // V = [*,j,*]^part(q)
+  //   } }                                        //     ^mypart@target
+  SectionExprPtr planeJ =
+      il::secLit({full(), il::TripletExpr{j, {}, {}}, full()});
+  SectionExprPtr sendSec =
+      il::secIntersect(planeJ, il::secOwnerPart(A, p));
+  // Receiver of plane j under (*,BLOCK,*): owner coordinate (j-1)/bs.
+  const Index bs = (N + cfg.nprocs - 1) / cfg.nprocs;
+  ExprPtr targetOwner =
+      il::bin(il::BinOp::Div, il::sub(j, one), il::intConst(bs));
+  auto sendStmtBase = il::sendOwn(A, sendSec, /*withValue=*/true,
+                                  il::DestSpec::none(), prog.freshLink());
+  StmtPtr sendStmt;
+  {
+    auto n2 = std::make_shared<il::Stmt>(*sendStmtBase);
+    n2->bindHint = targetOwner;  // auxiliary link info for CommBinding
+    sendStmt = n2;
+  }
+  StmtPtr sendLoop = il::forLoop("j", one, nn, il::block({sendStmt}));
+  SectionExprPtr recvSec = il::secIntersect(
+      il::secIntersect(planeJ, il::secOwnerPart(A, q)),
+      il::secOwnerPart(A, p, target));
+  StmtPtr recvLoop = il::forLoop(
+      "j", one, nn,
+      il::block({il::forLoop(
+          "q", il::intConst(0), il::intConst(cfg.nprocs - 1),
+          il::block({il::guarded(
+              il::secNonEmpty(A, recvSec),
+              il::block({il::recvOwn(A, recvSec, /*withValue=*/true)}))}))}));
+  StmtPtr loop3 = il::forLoop(
+      "p", il::intConst(0), il::intConst(cfg.nprocs - 1),
+      il::block({il::guarded(il::iown(A, il::secOwnerPart(A, p)),
+                             il::block({sendLoop, recvLoop}))}));
+
+  // Loop4: do j { await(A[*,j,*]) : { do i { fft1D(A[i,j,*]) } } }
+  SectionExprPtr lineKdir =
+      il::secLit({il::TripletExpr{i, {}, {}}, il::TripletExpr{j, {}, {}},
+                  full()});
+  StmtPtr loop4 = il::forLoop(
+      "j", one, nn,
+      il::block({il::guarded(
+          il::awaitOf(A, planeJ),
+          il::block({il::forLoop(
+              "i", one, nn,
+              il::block({il::kernel("fft1d", {{A, lineKdir}})}))}))}));
+
+  prog.body = il::block({fillStmt, loop1, loop2, loop3, loop4});
+  return prog;
+}
+
+std::vector<Complex> fft3dReference(const Fft3dConfig& cfg) {
+  const Index N = cfg.n;
+  Section g{Triplet(1, N), Triplet(1, N), Triplet(1, N)};
+  std::vector<Complex> cube(static_cast<std::size_t>(N * N * N));
+  g.forEach([&](const Point& pt) {
+    cube[static_cast<std::size_t>(g.fortranPos(pt))] =
+        complexCellValueAt(cfg.seed, 0, pt);
+  });
+  auto at = [&](Index a, Index b, Index c) -> Complex& {
+    return cube[static_cast<std::size_t>((a - 1) + N * ((b - 1) + N * (c - 1)))];
+  };
+  std::vector<Complex> line(static_cast<std::size_t>(N));
+  // dim 1 (j) sweep
+  for (Index c = 1; c <= N; ++c)
+    for (Index a = 1; a <= N; ++a) {
+      for (Index b = 1; b <= N; ++b) line[static_cast<std::size_t>(b - 1)] = at(a, b, c);
+      fft1d(line);
+      for (Index b = 1; b <= N; ++b) at(a, b, c) = line[static_cast<std::size_t>(b - 1)];
+    }
+  // dim 0 (i) sweep
+  for (Index c = 1; c <= N; ++c)
+    for (Index b = 1; b <= N; ++b) {
+      for (Index a = 1; a <= N; ++a) line[static_cast<std::size_t>(a - 1)] = at(a, b, c);
+      fft1d(line);
+      for (Index a = 1; a <= N; ++a) at(a, b, c) = line[static_cast<std::size_t>(a - 1)];
+    }
+  // dim 2 (k) sweep
+  for (Index b = 1; b <= N; ++b)
+    for (Index a = 1; a <= N; ++a) {
+      for (Index c = 1; c <= N; ++c) line[static_cast<std::size_t>(c - 1)] = at(a, b, c);
+      fft1d(line);
+      for (Index c = 1; c <= N; ++c) at(a, b, c) = line[static_cast<std::size_t>(c - 1)];
+    }
+  return cube;
+}
+
+}  // namespace xdp::apps

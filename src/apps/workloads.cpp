@@ -1,0 +1,46 @@
+#include "xdp/apps/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xdp/support/rng.hpp"
+
+namespace xdp::apps {
+
+double cellValue(std::uint64_t seed, int sym, std::int64_t pos) {
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(sym) << 32) ^
+                static_cast<std::uint64_t>(pos) * 0x9e3779b97f4a7c15ULL);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+void fillOwned(rt::Proc& p, int sym, const sec::Section& s,
+               std::uint64_t seed) {
+  s.forEach([&](const sec::Point& pt) {
+    std::vector<sec::Triplet> dims;
+    for (int d = 0; d < pt.rank(); ++d) dims.emplace_back(pt[d]);
+    sec::Section cell(dims);
+    if (p.iown(sym, cell))
+      p.set<double>(sym, pt, cellValue(seed, sym, s.fortranPos(pt)));
+  });
+}
+
+std::vector<double> skewedCosts(int n, double cost0, double skew,
+                                std::uint64_t seed) {
+  std::vector<double> costs(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    costs[static_cast<std::size_t>(i)] =
+        cost0 * std::pow(skew, static_cast<double>(i));
+    total += costs[static_cast<std::size_t>(i)];
+  }
+  const double scale = (static_cast<double>(n) * cost0) / total;
+  for (auto& c : costs) c *= scale;
+  // Shuffle deterministically so heavy tasks are not all at one end.
+  Rng rng(seed);
+  for (int i = n - 1; i > 0; --i)
+    std::swap(costs[static_cast<std::size_t>(i)],
+              costs[rng.below(static_cast<std::uint64_t>(i + 1))]);
+  return costs;
+}
+
+}  // namespace xdp::apps

@@ -1,0 +1,48 @@
+// Segmentation of a processor's local partition (paper section 3.1 and
+// Figure 3): "the compiler can logically divide each processor's local
+// partition of an array into segments of a size and shape chosen by the
+// compiler. A processor can transfer the ownership of each segment
+// individually."
+//
+// A segment shape gives, per dimension, how many *owned elements* (not
+// index-space span) each segment covers. Under a CYCLIC distribution a
+// processor's owned elements in a dimension are strided; a segment of m
+// elements is then a strided triplet. This generalizes the paper's picture
+// (which shows dense blocks) to every HPF distribution uniformly.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "xdp/dist/distribution.hpp"
+
+namespace xdp::dist {
+
+/// Elements per segment, per dimension. Extent 0 means "whole dimension".
+struct SegmentShape {
+  std::array<Index, sec::kMaxRank> elems{};
+
+  static SegmentShape of(std::initializer_list<Index> e) {
+    SegmentShape s;
+    int d = 0;
+    for (Index v : e) s.elems[static_cast<unsigned>(d++)] = v;
+    return s;
+  }
+  /// One segment spanning the whole local partition piece.
+  static SegmentShape whole() { return SegmentShape{}; }
+};
+
+/// Split a triplet into consecutive chunks of `m` elements (last chunk may
+/// be smaller). m == 0 means a single chunk.
+std::vector<Triplet> chopTriplet(const Triplet& t, Index m);
+
+/// Tile one rectangular piece of a local partition into segments.
+std::vector<Section> tileSection(const Section& s, const SegmentShape& shape);
+
+/// All segments of processor `pid`'s local partition under `dist`,
+/// in deterministic order (partition pieces in localPart order, then
+/// Fortran order of tiles within a piece).
+std::vector<Section> segmentsOf(const Distribution& dist, int pid,
+                                const SegmentShape& shape);
+
+}  // namespace xdp::dist

@@ -1,0 +1,52 @@
+#include "xdp/dist/segmentation.hpp"
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::dist {
+
+std::vector<Triplet> chopTriplet(const Triplet& t, Index m) {
+  std::vector<Triplet> out;
+  if (t.empty()) return out;
+  if (m <= 0 || m >= t.count()) {
+    out.push_back(t);
+    return out;
+  }
+  for (Index k = 0; k < t.count(); k += m) {
+    Index last = std::min(t.count() - 1, k + m - 1);
+    out.emplace_back(t.at(k), t.at(last), t.stride());
+  }
+  return out;
+}
+
+std::vector<Section> tileSection(const Section& s, const SegmentShape& shape) {
+  std::vector<Section> product{Section(std::vector<Triplet>{})};
+  for (int d = 0; d < s.rank(); ++d) {
+    auto chunks = chopTriplet(s.dim(d), shape.elems[static_cast<unsigned>(d)]);
+    std::vector<Section> next;
+    // Fortran order: earlier dimensions vary fastest, so each new
+    // dimension's chunks become the outer loop of the product.
+    for (const Triplet& t : chunks) {
+      for (const Section& partial : product) {
+        std::vector<Triplet> dims;
+        for (int e = 0; e < partial.rank(); ++e) dims.push_back(partial.dim(e));
+        dims.push_back(t);
+        next.emplace_back(dims);
+      }
+    }
+    product = std::move(next);
+  }
+  return product;
+}
+
+std::vector<Section> segmentsOf(const Distribution& dist, int pid,
+                                const SegmentShape& shape) {
+  std::vector<Section> out;
+  const RegionList part = dist.localPart(pid);
+  for (const Section& piece : part.sections()) {
+    auto tiles = tileSection(piece, shape);
+    out.insert(out.end(), tiles.begin(), tiles.end());
+  }
+  return out;
+}
+
+}  // namespace xdp::dist

@@ -1,0 +1,221 @@
+#include "xdp/il/expr.hpp"
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::il {
+
+const char* binOpName(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Expr> node(ExprKind k) {
+  auto e = std::make_shared<Expr>();
+  e->kind = k;
+  return e;
+}
+}  // namespace
+
+ExprPtr intConst(Index v) {
+  auto e = node(ExprKind::IntConst);
+  e->intVal = v;
+  return e;
+}
+
+ExprPtr realConst(double v) {
+  auto e = node(ExprKind::RealConst);
+  e->realVal = v;
+  return e;
+}
+
+ExprPtr scalar(std::string name) {
+  auto e = node(ExprKind::ScalarRef);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr mypid() { return node(ExprKind::MyPid); }
+ExprPtr nprocs() { return node(ExprKind::NProcs); }
+
+ExprPtr bin(BinOp op, ExprPtr a, ExprPtr b) {
+  auto e = node(ExprKind::Bin);
+  e->op = op;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+ExprPtr add(ExprPtr a, ExprPtr b) { return bin(BinOp::Add, a, b); }
+ExprPtr sub(ExprPtr a, ExprPtr b) { return bin(BinOp::Sub, a, b); }
+ExprPtr mul(ExprPtr a, ExprPtr b) { return bin(BinOp::Mul, a, b); }
+
+ExprPtr neg(ExprPtr a) {
+  auto e = node(ExprKind::Neg);
+  e->lhs = std::move(a);
+  return e;
+}
+
+ExprPtr lnot(ExprPtr a) {
+  auto e = node(ExprKind::Not);
+  e->lhs = std::move(a);
+  return e;
+}
+
+ExprPtr land(ExprPtr a, ExprPtr b) { return bin(BinOp::And, a, b); }
+
+namespace {
+ExprPtr intrinsic(ExprKind k, int sym, SectionExprPtr s, int dim = 0) {
+  auto e = node(k);
+  e->sym = sym;
+  e->section = std::move(s);
+  e->dim = dim;
+  return e;
+}
+}  // namespace
+
+ExprPtr elem(int sym, SectionExprPtr point) {
+  return intrinsic(ExprKind::Elem, sym, std::move(point));
+}
+ExprPtr iown(int sym, SectionExprPtr s) {
+  return intrinsic(ExprKind::Iown, sym, std::move(s));
+}
+ExprPtr accessible(int sym, SectionExprPtr s) {
+  return intrinsic(ExprKind::Accessible, sym, std::move(s));
+}
+ExprPtr awaitOf(int sym, SectionExprPtr s) {
+  return intrinsic(ExprKind::Await, sym, std::move(s));
+}
+ExprPtr mylb(int sym, SectionExprPtr s, int dim) {
+  return intrinsic(ExprKind::MyLb, sym, std::move(s), dim);
+}
+ExprPtr myub(int sym, SectionExprPtr s, int dim) {
+  return intrinsic(ExprKind::MyUb, sym, std::move(s), dim);
+}
+ExprPtr secNonEmpty(int sym, SectionExprPtr s) {
+  return intrinsic(ExprKind::SecNonEmpty, sym, std::move(s));
+}
+
+bool sameExpr(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::IntConst:
+      return a->intVal == b->intVal;
+    case ExprKind::RealConst:
+      return a->realVal == b->realVal;
+    case ExprKind::ScalarRef:
+      return a->name == b->name;
+    case ExprKind::MyPid:
+    case ExprKind::NProcs:
+      return true;
+    case ExprKind::Bin:
+      return a->op == b->op && sameExpr(a->lhs, b->lhs) &&
+             sameExpr(a->rhs, b->rhs);
+    case ExprKind::Neg:
+    case ExprKind::Not:
+      return sameExpr(a->lhs, b->lhs);
+    case ExprKind::Elem:
+    case ExprKind::Iown:
+    case ExprKind::Accessible:
+    case ExprKind::Await:
+    case ExprKind::SecNonEmpty:
+      return a->sym == b->sym && sameSectionExpr(a->section, b->section);
+    case ExprKind::MyLb:
+    case ExprKind::MyUb:
+      return a->sym == b->sym && a->dim == b->dim &&
+             sameSectionExpr(a->section, b->section);
+  }
+  return false;
+}
+
+namespace {
+std::shared_ptr<SectionExpr> snode(SecExprKind k) {
+  auto s = std::make_shared<SectionExpr>();
+  s->kind = k;
+  return s;
+}
+}  // namespace
+
+SectionExprPtr secLit(std::vector<TripletExpr> dims) {
+  auto s = snode(SecExprKind::Literal);
+  s->dims = std::move(dims);
+  return s;
+}
+
+SectionExprPtr secPoint(std::vector<ExprPtr> subscripts) {
+  std::vector<TripletExpr> dims;
+  for (auto& e : subscripts) dims.push_back(TripletExpr{std::move(e), {}, {}});
+  return secLit(std::move(dims));
+}
+
+SectionExprPtr secRange1(ExprPtr lb, ExprPtr ub) {
+  return secLit({TripletExpr{std::move(lb), std::move(ub), {}}});
+}
+
+SectionExprPtr secLocalPart(int sym, std::optional<dist::Distribution> dist) {
+  auto s = snode(SecExprKind::LocalPart);
+  s->sym = sym;
+  s->distOverride = std::move(dist);
+  return s;
+}
+
+SectionExprPtr secOwnerPart(int sym, ExprPtr pid,
+                            std::optional<dist::Distribution> dist) {
+  auto s = snode(SecExprKind::OwnerPart);
+  s->sym = sym;
+  s->pid = std::move(pid);
+  s->distOverride = std::move(dist);
+  return s;
+}
+
+SectionExprPtr secIntersect(SectionExprPtr a, SectionExprPtr b) {
+  auto s = snode(SecExprKind::Intersect);
+  s->a = std::move(a);
+  s->b = std::move(b);
+  return s;
+}
+
+bool sameSectionExpr(const SectionExprPtr& a, const SectionExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case SecExprKind::Literal: {
+      if (a->dims.size() != b->dims.size()) return false;
+      for (std::size_t d = 0; d < a->dims.size(); ++d) {
+        if (!sameExpr(a->dims[d].lb, b->dims[d].lb)) return false;
+        if (!sameExpr(a->dims[d].ub, b->dims[d].ub)) return false;
+        if (!sameExpr(a->dims[d].stride, b->dims[d].stride)) return false;
+      }
+      return true;
+    }
+    case SecExprKind::LocalPart:
+      return a->sym == b->sym && a->distOverride == b->distOverride;
+    case SecExprKind::OwnerPart:
+      return a->sym == b->sym && sameExpr(a->pid, b->pid) &&
+             a->distOverride == b->distOverride;
+    case SecExprKind::Intersect:
+      return sameSectionExpr(a->a, b->a) && sameSectionExpr(a->b, b->b);
+  }
+  return false;
+}
+
+}  // namespace xdp::il

@@ -1,0 +1,145 @@
+// IL+XDP expressions.
+//
+// The paper extends "a high-level compiler intermediate language" with the
+// XDP constructs; this is our IL. Expressions cover integer/real
+// arithmetic over universal scalars (each processor has its own copy, per
+// section 2.1), array element references, and the XDP intrinsics of
+// Figure 1 (mypid, mylb, myub, iown, accessible, await) — all usable
+// inside compute rules.
+//
+// Expression trees are immutable (shared_ptr<const>): optimization passes
+// rewrite by rebuilding, so sharing subtrees across program versions is
+// safe — exactly what a pass pipeline wants.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xdp/dist/distribution.hpp"
+
+namespace xdp::il {
+
+using sec::Index;
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+struct SectionExpr;
+using SectionExprPtr = std::shared_ptr<const SectionExpr>;
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+  Min, Max,
+};
+
+const char* binOpName(BinOp op);
+
+enum class ExprKind {
+  IntConst,    ///< integer literal
+  RealConst,   ///< floating literal
+  ScalarRef,   ///< universal scalar (per-processor copy), by name
+  MyPid,       ///< intrinsic mypid
+  NProcs,      ///< number of processors (compile-time constant at run)
+  Bin,         ///< binary operation
+  Neg,         ///< arithmetic negation (uses lhs)
+  Not,         ///< logical negation (uses lhs)
+  Elem,        ///< array element reference A[e1,...,ek] (value use)
+  Iown,        ///< iown(X)
+  Accessible,  ///< accessible(X)
+  Await,       ///< await(X) — blocking; legal only in compute rules
+  MyLb,        ///< mylb(X,d)
+  MyUb,        ///< myub(X,d)
+  SecNonEmpty, ///< true iff the section expression denotes >= 1 element
+};
+
+/// One fat node per expression; the `kind` selects which fields are live.
+/// (A tagged struct keeps pattern-matching passes short and visible.)
+struct Expr {
+  ExprKind kind;
+
+  Index intVal = 0;       // IntConst
+  double realVal = 0.0;   // RealConst
+  std::string name;       // ScalarRef
+
+  BinOp op = BinOp::Add;  // Bin
+  ExprPtr lhs, rhs;       // Bin (Neg/Not use lhs only)
+
+  int sym = -1;               // Elem + intrinsics: symbol index
+  SectionExprPtr section;     // Elem (single point) + intrinsics (query)
+  int dim = 0;                // MyLb / MyUb
+};
+
+// --- factories -----------------------------------------------------------
+ExprPtr intConst(Index v);
+ExprPtr realConst(double v);
+ExprPtr scalar(std::string name);
+ExprPtr mypid();
+ExprPtr nprocs();
+ExprPtr bin(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr neg(ExprPtr a);
+ExprPtr lnot(ExprPtr a);
+ExprPtr land(ExprPtr a, ExprPtr b);
+ExprPtr elem(int sym, SectionExprPtr point);
+ExprPtr iown(int sym, SectionExprPtr s);
+ExprPtr accessible(int sym, SectionExprPtr s);
+ExprPtr awaitOf(int sym, SectionExprPtr s);
+ExprPtr mylb(int sym, SectionExprPtr s, int dim);
+ExprPtr myub(int sym, SectionExprPtr s, int dim);
+ExprPtr secNonEmpty(int sym, SectionExprPtr s);
+
+/// Structural equality (used by redundancy elimination and tests).
+bool sameExpr(const ExprPtr& a, const ExprPtr& b);
+
+// --- section expressions ---------------------------------------------------
+
+/// A triplet whose bounds are expressions. `ub == nullptr` means a single
+/// index (lb:lb); `stride == nullptr` means stride 1.
+struct TripletExpr {
+  ExprPtr lb;
+  ExprPtr ub;
+  ExprPtr stride;
+};
+
+enum class SecExprKind {
+  Literal,    ///< per-dimension triplet expressions
+  LocalPart,  ///< the executing processor's partition of `sym` under
+              ///< `distOverride` or the symbol's declared distribution
+  OwnerPart,  ///< processor `pid`'s partition, same distribution choice
+  Intersect,  ///< set intersection of two section expressions
+};
+
+struct SectionExpr {
+  SecExprKind kind;
+
+  std::vector<TripletExpr> dims;  // Literal
+
+  int sym = -1;                   // LocalPart / OwnerPart
+  ExprPtr pid;                    // OwnerPart
+  /// When set, LocalPart/OwnerPart use this distribution instead of the
+  /// symbol's declared one — how the compiler names "my part under the
+  /// *target* distribution" during redistribution (paper section 4).
+  std::optional<dist::Distribution> distOverride;
+
+  SectionExprPtr a, b;            // Intersect
+};
+
+SectionExprPtr secLit(std::vector<TripletExpr> dims);
+/// Single-point literal: A[i], A[i,j], ...
+SectionExprPtr secPoint(std::vector<ExprPtr> subscripts);
+/// lb:ub (stride 1) in one dimension.
+SectionExprPtr secRange1(ExprPtr lb, ExprPtr ub);
+SectionExprPtr secLocalPart(int sym,
+                            std::optional<dist::Distribution> dist = {});
+SectionExprPtr secOwnerPart(int sym, ExprPtr pid,
+                            std::optional<dist::Distribution> dist = {});
+SectionExprPtr secIntersect(SectionExprPtr a, SectionExprPtr b);
+
+bool sameSectionExpr(const SectionExprPtr& a, const SectionExprPtr& b);
+
+}  // namespace xdp::il

@@ -1,0 +1,49 @@
+// Text format for IL+XDP programs — the paper's surface syntax, parsed.
+//
+//   procs 4
+//   array A f64 [1:16] (BLOCK:4)
+//   array B f64 [1:16] (CYCLIC:4)
+//   array T f64 [0:3] (BLOCK:4)
+//
+//   do i = 1, 16
+//     iown(B[i]) : { B[i] -> }
+//     iown(A[i]) : {
+//       T[mypid] <- B[i]
+//       await(T[mypid])
+//       A[i] = A[i] + T[mypid]
+//     }
+//   enddo
+//
+// Grammar highlights:
+//   * declarations: `procs N` then `array NAME (f64|i64|c128) [lb:ub,...]
+//     (DIST,...) [seg (e,...)]` where DIST is `*`, `BLOCK:p`, `CYCLIC:p`
+//     or `CYCLIC(k):p` (`:p` may be omitted when only one dimension is
+//     distributed — it defaults to `procs`).
+//   * statements: do/enddo loops, `expr : { ... }` guards, element and
+//     scalar assignment, all six transfer statements (`->`, `-> {dests}`,
+//     `=>`, `-=>`, `<-`, `<=`, `<=-`), bare `await(X)`, `compute(e)`,
+//     and kernel calls `name(A[sec], ...)`.
+//   * sections: literal `[e]`, `[lb:ub]`, `[lb:ub:stride]` per dimension,
+//     `[mypart]`, `[part(e)]`, and intersections with `^`.
+//   * `// ...` comments are ignored.
+//
+// printProgram(prog, {.parseable = true}) emits exactly this dialect, so
+// parse/print round-trips are stable (modulo link ids and distribution
+// overrides, which belong to the pass-internal auxiliary structures).
+#pragma once
+
+#include <string>
+
+#include "xdp/il/program.hpp"
+
+namespace xdp::il {
+
+/// Parse a full program (declarations + body). Throws xdp::Error with a
+/// line/column diagnostic on malformed input.
+Program parseProgram(const std::string& text);
+
+/// Parse a statement block against existing declarations (appended to
+/// `prog.body` use-cases; `text` contains statements only).
+StmtPtr parseStmts(const Program& prog, const std::string& text);
+
+}  // namespace xdp::il

@@ -1,0 +1,38 @@
+// Pretty-printer producing the paper's surface syntax:
+//
+//   do i = 1, n
+//     iown(B[i]) : { B[i] -> }
+//     iown(A[i]) : {
+//       T[mypid] <- B[i]
+//       await(T[mypid])
+//       A[i] = A[i] + T[mypid]
+//     }
+//   enddo
+//
+// Used for program dumps, documentation, and structural comparison in
+// tests (two programs print identically iff they are structurally equal
+// up to link ids, which are printed only when `showLinks`).
+#pragma once
+
+#include <string>
+
+#include "xdp/il/program.hpp"
+
+namespace xdp::il {
+
+struct PrintOptions {
+  bool showLinks = false;  ///< annotate transfers with their link ids
+  /// Emit `procs`/`array` directives instead of declaration comments, so
+  /// the output round-trips through parseProgram (see parser.hpp). Bodies
+  /// are always printed in the parseable dialect; distribution overrides
+  /// (`@(...)`) have no textual form and still print as annotations.
+  bool parseable = false;
+};
+
+std::string printExpr(const Program& prog, const ExprPtr& e);
+std::string printSection(const Program& prog, const SectionExprPtr& s);
+std::string printStmt(const Program& prog, const StmtPtr& s,
+                      PrintOptions opts = {});
+std::string printProgram(const Program& prog, PrintOptions opts = {});
+
+}  // namespace xdp::il

@@ -1,0 +1,42 @@
+// An IL+XDP program: array declarations (with their HPF distributions and
+// compiler-chosen segmentations) plus a statement body executed SPMD-style
+// on every processor. Universal scalars need no declaration — each
+// processor materializes its own copy on first assignment (paper 2.1:
+// "If an element is universally owned, each processor has a copy").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xdp/il/stmt.hpp"
+#include "xdp/rt/symbol.hpp"
+
+namespace xdp::il {
+
+struct ArrayDecl {
+  std::string name;
+  rt::ElemType type = rt::ElemType::F64;
+  sec::Section global;
+  dist::Distribution dist;
+  dist::SegmentShape segShape{};
+};
+
+struct Program {
+  int nprocs = 1;
+  std::vector<ArrayDecl> arrays;
+  StmtPtr body;
+
+  const ArrayDecl& decl(int sym) const;
+  int findSymbol(const std::string& name) const;  ///< -1 if absent
+
+  /// Add a (possibly compiler-generated) array; returns its symbol index.
+  int addArray(ArrayDecl d);
+
+  /// Fresh link id for pairing a send with its receive.
+  int freshLink() { return nextLink_++; }
+
+ private:
+  int nextLink_ = 0;
+};
+
+}  // namespace xdp::il

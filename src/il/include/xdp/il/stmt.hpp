@@ -1,0 +1,117 @@
+// IL+XDP statements: the base IL (assignments, loops, blocks, kernel
+// calls) plus the XDP extensions — guarded statements (compute rules,
+// section 2.4) and the send/receive statements of Figure 1.
+//
+// Send/receive statements carry a `linkId`: the paper's "auxiliary data
+// structure ... that links the -=> and <=- statements", used for
+// communication binding at code-generation time. LowerOwnerComputes and
+// the example pipelines assign link ids; CommBinding consumes them.
+#pragma once
+
+#include "xdp/il/expr.hpp"
+
+namespace xdp::il {
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+enum class StmtKind {
+  Block,         ///< sequence
+  ScalarAssign,  ///< universal scalar = expr
+  ElemAssign,    ///< A[point] = expr (lhs must be owned)
+  For,           ///< do var = lb, ub [, step]
+  Guarded,       ///< computeRule : { body }   (rule false => skip)
+  SendData,      ///< E ->  /  E -> S
+  RecvData,      ///< E <- X
+  SendOwn,       ///< E =>  /  E -=>  (withValue selects)
+  RecvOwn,       ///< U <=  /  U <=-  (withValue selects)
+  Await,         ///< await(X) as a bare synchronization statement
+  LocalCopy,     ///< dst[S] = src[S] elementwise, no communication
+  Kernel,        ///< call a registered computational kernel
+  ComputeCost,   ///< advance the virtual clock by expr (modeled local work)
+};
+
+/// Destination annotation of a send. `None` is the paper's "unspecified
+/// processor" (routed via the rendezvous matcher at run time); `Pids` is
+/// the explicit "E -> S" form; `OwnerOf` is what the CommBinding pass
+/// writes: "the owner of section `section` of `sym` under `distOverride`
+/// (or its declared distribution)" — resolvable locally because
+/// distributions are compile-time known (section 3).
+struct DestSpec {
+  enum class Kind { None, Pids, OwnerOf };
+  Kind kind = Kind::None;
+  std::vector<ExprPtr> pids;               // Pids
+  int sym = -1;                            // OwnerOf
+  SectionExprPtr section;                  // OwnerOf
+  std::optional<dist::Distribution> distOverride;  // OwnerOf
+
+  static DestSpec none() { return {}; }
+  static DestSpec toPids(std::vector<ExprPtr> pids);
+  static DestSpec ownerOf(int sym, SectionExprPtr section,
+                          std::optional<dist::Distribution> dist = {});
+};
+
+struct Stmt {
+  StmtKind kind;
+
+  std::vector<StmtPtr> stmts;  // Block
+
+  std::string name;            // ScalarAssign: scalar / For: loop var /
+                               // Kernel: kernel name
+  ExprPtr value;               // ScalarAssign rhs / ComputeCost cost
+
+  int sym = -1;                // ElemAssign / transfers: primary symbol
+  SectionExprPtr lhs;          // ElemAssign target point / transfer section
+  ExprPtr rhs;                 // ElemAssign value
+
+  ExprPtr lb, ub, step;        // For bounds (step null => 1)
+  StmtPtr body;                // For / Guarded
+
+  ExprPtr rule;                // Guarded compute rule
+
+  // Transfers. SendData/SendOwn use (sym, lhs) as the sent section E.
+  // RecvData: destination (sym, lhs) <- name (sym2, sec2).
+  // RecvOwn uses (sym, lhs) as U. LocalCopy: (sym, lhs) = (sym2, sec2).
+  int sym2 = -1;
+  SectionExprPtr sec2;
+  bool withValue = false;      // SendOwn / RecvOwn
+  DestSpec dest;               // sends
+  int linkId = -1;             // send<->receive link (see header comment)
+  /// Part of the send<->receive auxiliary structure: the pid expression of
+  /// the processor that will post the matching receive, recorded by the
+  /// pass that *created* the transfer pair (which knows the pairing) and
+  /// consumed by CommBinding, which turns it into a bound destination.
+  /// Until CommBinding runs, the send still routes via the matcher.
+  ExprPtr bindHint;
+
+  std::vector<std::pair<int, SectionExprPtr>> args;  // Kernel arguments
+};
+
+// --- factories -----------------------------------------------------------
+StmtPtr block(std::vector<StmtPtr> stmts);
+StmtPtr scalarAssign(std::string name, ExprPtr value);
+StmtPtr elemAssign(int sym, SectionExprPtr point, ExprPtr rhs);
+StmtPtr forLoop(std::string var, ExprPtr lb, ExprPtr ub, StmtPtr body,
+                ExprPtr step = {});
+StmtPtr guarded(ExprPtr rule, StmtPtr body);
+StmtPtr sendData(int sym, SectionExprPtr e, DestSpec dest = {},
+                 int linkId = -1);
+StmtPtr recvData(int dstSym, SectionExprPtr dst, int srcSym,
+                 SectionExprPtr name, int linkId = -1);
+StmtPtr sendOwn(int sym, SectionExprPtr e, bool withValue,
+                DestSpec dest = {}, int linkId = -1);
+StmtPtr recvOwn(int sym, SectionExprPtr u, bool withValue, int linkId = -1);
+StmtPtr awaitStmt(int sym, SectionExprPtr s);
+StmtPtr localCopy(int dstSym, SectionExprPtr dst, int srcSym,
+                  SectionExprPtr src);
+StmtPtr kernel(std::string name,
+               std::vector<std::pair<int, SectionExprPtr>> args);
+StmtPtr computeCost(ExprPtr cost);
+
+/// Rebuild a statement with one field replaced (functional updates for
+/// passes). Each returns a fresh node sharing all other fields.
+StmtPtr withBody(const StmtPtr& s, StmtPtr newBody);
+StmtPtr withStmts(const StmtPtr& s, std::vector<StmtPtr> newStmts);
+StmtPtr withDest(const StmtPtr& s, DestSpec dest);
+
+}  // namespace xdp::il

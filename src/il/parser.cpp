@@ -1,0 +1,709 @@
+#include "xdp/il/parser.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::il {
+namespace {
+
+// --- lexer -------------------------------------------------------------
+
+enum class Tok {
+  End, Ident, Int, Real,
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Comma, Colon,
+  // operators, longest-match
+  ArrowOwnVal,   // -=>
+  RecvOwnVal,    // <=-
+  Arrow,         // ->
+  RecvData,      // <-
+  OwnSend,       // =>
+  RecvOwn,       // <=
+  Le, Ge, EqEq, Ne, AndAnd, OrOr,
+  Assign,        // =
+  Lt, Gt, Plus, Minus, Star, Slash, Percent, Bang, Caret, At,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  sec::Index intVal = 0;
+  double realVal = 0.0;
+  int line = 0, col = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { next(); }
+
+  const Token& peek() const { return cur_; }
+  Token take() {
+    Token t = cur_;
+    next();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "IL parse error at line " << cur_.line << ", col " << cur_.col
+       << ": " << msg << " (got '" << cur_.text << "')";
+    throw Error(os.str());
+  }
+
+ private:
+  void next() {
+    skipWsAndComments();
+    cur_ = Token{};
+    cur_.line = line_;
+    cur_.col = col_;
+    if (pos_ >= text_.size()) {
+      cur_.kind = Tok::End;
+      cur_.text = "<end>";
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '$'))
+        advance();
+      cur_.kind = Tok::Ident;
+      cur_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      bool isReal = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+        if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')
+          isReal = true;
+        advance();
+      }
+      cur_.text = text_.substr(start, pos_ - start);
+      if (isReal) {
+        cur_.kind = Tok::Real;
+        cur_.realVal = std::stod(cur_.text);
+      } else {
+        cur_.kind = Tok::Int;
+        cur_.intVal = std::stoll(cur_.text);
+      }
+      return;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && pos_ + 1 < text_.size() && text_[pos_ + 1] == b;
+    };
+    auto three = [&](const char* s) {
+      return pos_ + 2 < text_.size() && text_[pos_] == s[0] &&
+             text_[pos_ + 1] == s[1] && text_[pos_ + 2] == s[2];
+    };
+    if (three("-=>")) return emit(Tok::ArrowOwnVal, 3);
+    if (three("<=-")) return emit(Tok::RecvOwnVal, 3);
+    if (two('-', '>')) return emit(Tok::Arrow, 2);
+    if (two('<', '-')) return emit(Tok::RecvData, 2);
+    if (two('=', '>')) return emit(Tok::OwnSend, 2);
+    if (two('<', '=')) return emit(Tok::RecvOwn, 2);  // also "<=" compare
+    if (two('>', '=')) return emit(Tok::Ge, 2);
+    if (two('=', '=')) return emit(Tok::EqEq, 2);
+    if (two('!', '=')) return emit(Tok::Ne, 2);
+    if (two('&', '&')) return emit(Tok::AndAnd, 2);
+    if (two('|', '|')) return emit(Tok::OrOr, 2);
+    switch (c) {
+      case '(': return emit(Tok::LParen, 1);
+      case ')': return emit(Tok::RParen, 1);
+      case '[': return emit(Tok::LBracket, 1);
+      case ']': return emit(Tok::RBracket, 1);
+      case '{': return emit(Tok::LBrace, 1);
+      case '}': return emit(Tok::RBrace, 1);
+      case ',': return emit(Tok::Comma, 1);
+      case ':': return emit(Tok::Colon, 1);
+      case '=': return emit(Tok::Assign, 1);
+      case '<': return emit(Tok::Lt, 1);
+      case '>': return emit(Tok::Gt, 1);
+      case '+': return emit(Tok::Plus, 1);
+      case '-': return emit(Tok::Minus, 1);
+      case '*': return emit(Tok::Star, 1);
+      case '/': return emit(Tok::Slash, 1);
+      case '%': return emit(Tok::Percent, 1);
+      case '!': return emit(Tok::Bang, 1);
+      case '^': return emit(Tok::Caret, 1);
+      case '@': return emit(Tok::At, 1);
+    }
+    std::ostringstream os;
+    os << "IL parse error at line " << line_ << ", col " << col_
+       << ": unexpected character '" << c << "'";
+    throw Error(os.str());
+  }
+
+  void emit(Tok kind, int len) {
+    cur_.kind = kind;
+    cur_.text = text_.substr(pos_, static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) advance();
+  }
+
+  void skipWsAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1, col_ = 1;
+  Token cur_;
+};
+
+// --- parser --------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(Program& prog, Lexer& lex) : prog_(prog), lex_(lex) {}
+
+  /// Parse declarations (procs/array directives) until the body begins.
+  void parseDecls() {
+    while (lex_.peek().kind == Tok::Ident &&
+           (lex_.peek().text == "procs" || lex_.peek().text == "array")) {
+      if (lex_.peek().text == "procs") {
+        lex_.take();
+        prog_.nprocs = static_cast<int>(expectInt("processor count"));
+      } else {
+        parseArrayDecl();
+      }
+    }
+  }
+
+  StmtPtr parseBlockUntilEnd() {
+    std::vector<StmtPtr> stmts;
+    while (lex_.peek().kind != Tok::End) stmts.push_back(parseStmt());
+    return block(std::move(stmts));
+  }
+
+ private:
+  // --- declarations ---------------------------------------------------
+
+  void parseArrayDecl() {
+    expectIdent("array");
+    ArrayDecl d;
+    d.name = expectAnyIdent("array name");
+    std::string ty = expectAnyIdent("element type");
+    if (ty == "f64") d.type = rt::ElemType::F64;
+    else if (ty == "i64") d.type = rt::ElemType::I64;
+    else if (ty == "c128") d.type = rt::ElemType::C128;
+    else lex_.fail("element type must be f64, i64 or c128");
+    d.global = parseConstShape();
+    d.dist = parseDist(d.global);
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "seg") {
+      lex_.take();
+      d.segShape = parseSegShape(d.global.rank());
+    }
+    prog_.addArray(std::move(d));
+  }
+
+  sec::Section parseConstShape() {
+    expect(Tok::LBracket, "'['");
+    std::vector<sec::Triplet> dims;
+    while (true) {
+      sec::Index lb = expectInt("dimension lower bound");
+      expect(Tok::Colon, "':'");
+      sec::Index ub = expectInt("dimension upper bound");
+      dims.emplace_back(lb, ub);
+      if (lex_.peek().kind == Tok::Comma) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::RBracket, "']'");
+    return sec::Section(dims);
+  }
+
+  dist::Distribution parseDist(const sec::Section& global) {
+    expect(Tok::LParen, "'('");
+    std::vector<dist::DimSpec> specs;
+    int distributedDims = 0;
+    std::vector<int> explicitProcs;
+    while (true) {
+      if (lex_.peek().kind == Tok::Star) {
+        lex_.take();
+        specs.push_back(dist::DimSpec::collapsed());
+        explicitProcs.push_back(-1);
+      } else {
+        std::string kind = expectAnyIdent("distribution kind");
+        sec::Index blockSize = 0;
+        if (kind == "CYCLIC" && lex_.peek().kind == Tok::LParen) {
+          lex_.take();
+          blockSize = expectInt("cyclic block size");
+          expect(Tok::RParen, "')'");
+        }
+        int procs = -1;  // default: all of prog_.nprocs (single dist dim)
+        if (lex_.peek().kind == Tok::Colon) {
+          lex_.take();
+          procs = static_cast<int>(expectInt("processor count"));
+        }
+        if (kind == "BLOCK") {
+          specs.push_back(dist::DimSpec::block(1));
+          specs.back().kind = dist::DistKind::Block;
+        } else if (kind == "CYCLIC" && blockSize > 0) {
+          specs.push_back(dist::DimSpec::blockCyclic(1, blockSize));
+        } else if (kind == "CYCLIC") {
+          specs.push_back(dist::DimSpec::cyclic(1));
+        } else {
+          lex_.fail("distribution kind must be *, BLOCK or CYCLIC");
+        }
+        explicitProcs.push_back(procs);
+        ++distributedDims;
+      }
+      if (lex_.peek().kind == Tok::Comma) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::RParen, "')'");
+    // Resolve processor counts: explicit where given; a single distributed
+    // dimension defaults to the whole machine.
+    for (std::size_t d = 0; d < specs.size(); ++d) {
+      if (specs[d].kind == dist::DistKind::Collapsed) continue;
+      int procs = explicitProcs[d];
+      if (procs < 0) {
+        if (distributedDims != 1)
+          lex_.fail("multi-dimensional distributions need explicit ':p' "
+                    "processor counts");
+        procs = prog_.nprocs;
+      }
+      specs[d].procs = procs;
+    }
+    return dist::Distribution(global, specs);
+  }
+
+  dist::SegmentShape parseSegShape(int rank) {
+    expect(Tok::LParen, "'('");
+    dist::SegmentShape shape;
+    for (int d = 0; d < rank; ++d) {
+      if (d > 0) expect(Tok::Comma, "','");
+      if (lex_.peek().kind == Tok::Star) {
+        lex_.take();
+        shape.elems[static_cast<unsigned>(d)] = 0;
+      } else {
+        shape.elems[static_cast<unsigned>(d)] =
+            expectInt("segment extent");
+      }
+    }
+    expect(Tok::RParen, "')'");
+    return shape;
+  }
+
+  // --- statements -------------------------------------------------------
+
+  StmtPtr parseStmt() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::Ident) {
+      if (t.text == "do") return parseDo();
+      if (t.text == "compute") return parseCompute();
+      // NAME '[' => section-ref statement (assign or transfer);
+      // NAME '(' => guard / kernel / bare await;
+      // NAME '=' => scalar assign.
+      Token name = lex_.take();
+      if (lex_.peek().kind == Tok::LBracket) {
+        return parseRefStmt(name);
+      }
+      if (lex_.peek().kind == Tok::Assign) {
+        lex_.take();
+        return scalarAssign(name.text, parseExpr());
+      }
+      if (lex_.peek().kind == Tok::LParen) {
+        return parseCallOrGuard(name);
+      }
+      lex_.fail("expected '[', '(' or '=' after identifier");
+    }
+    if (t.kind == Tok::LParen || t.kind == Tok::Bang) {
+      ExprPtr rule = parseExpr();
+      return parseGuardTail(rule);
+    }
+    lex_.fail("expected a statement");
+  }
+
+  StmtPtr parseDo() {
+    expectIdent("do");
+    std::string var = expectAnyIdent("loop variable");
+    expect(Tok::Assign, "'='");
+    ExprPtr lb = parseExpr();
+    expect(Tok::Comma, "','");
+    ExprPtr ub = parseExpr();
+    ExprPtr step;
+    if (lex_.peek().kind == Tok::Comma) {
+      lex_.take();
+      step = parseExpr();
+    }
+    std::vector<StmtPtr> body;
+    while (!(lex_.peek().kind == Tok::Ident && lex_.peek().text == "enddo"))
+      body.push_back(parseStmt());
+    lex_.take();  // enddo
+    return forLoop(var, lb, ub, block(std::move(body)), step);
+  }
+
+  StmtPtr parseCompute() {
+    expectIdent("compute");
+    expect(Tok::LParen, "'('");
+    ExprPtr cost = parseExpr();
+    expect(Tok::RParen, "')'");
+    return computeCost(cost);
+  }
+
+  /// Statement starting with NAME[...]: assignment or transfer.
+  StmtPtr parseRefStmt(const Token& name) {
+    const int sym = symbolOf(name);
+    SectionExprPtr sec = parseSectionRef();
+    switch (lex_.peek().kind) {
+      case Tok::Assign: {
+        lex_.take();
+        // `A[sec] = B[sec2]` where both are plain refs is a local copy
+        // only via explicit IL construction; textual form is ElemAssign.
+        return elemAssign(sym, sec, parseExpr());
+      }
+      case Tok::Arrow: {
+        lex_.take();
+        return sendData(sym, sec, parseOptionalDests());
+      }
+      case Tok::ArrowOwnVal: {
+        lex_.take();
+        return sendOwn(sym, sec, /*withValue=*/true, parseOptionalDests());
+      }
+      case Tok::OwnSend: {
+        lex_.take();
+        return sendOwn(sym, sec, /*withValue=*/false, parseOptionalDests());
+      }
+      case Tok::RecvData: {
+        lex_.take();
+        Token src = lex_.take();
+        if (src.kind != Tok::Ident) lex_.fail("expected array name after <-");
+        const int srcSym = symbolOf(src);
+        return recvData(sym, sec, srcSym, parseSectionRef());
+      }
+      case Tok::RecvOwnVal: {
+        lex_.take();
+        return recvOwn(sym, sec, /*withValue=*/true);
+      }
+      case Tok::RecvOwn: {
+        lex_.take();
+        return recvOwn(sym, sec, /*withValue=*/false);
+      }
+      default:
+        lex_.fail("expected '=', '->', '-=>', '=>', '<-', '<=' or '<=-'");
+    }
+  }
+
+  DestSpec parseOptionalDests() {
+    if (lex_.peek().kind != Tok::LBrace) return DestSpec::none();
+    lex_.take();
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "owner") {
+      lex_.take();
+      expect(Tok::LParen, "'('");
+      Token name = lex_.take();
+      if (name.kind != Tok::Ident) lex_.fail("expected array in owner()");
+      const int sym = symbolOf(name);
+      SectionExprPtr sec = parseSectionRef();
+      expect(Tok::RParen, "')'");
+      expect(Tok::RBrace, "'}'");
+      return DestSpec::ownerOf(sym, sec);
+    }
+    std::vector<ExprPtr> pids;
+    while (true) {
+      pids.push_back(parseExpr());
+      if (lex_.peek().kind == Tok::Comma) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::RBrace, "'}'");
+    return DestSpec::toPids(std::move(pids));
+  }
+
+  /// NAME '(' ...: guard on an intrinsic, a bare await, or a kernel call.
+  StmtPtr parseCallOrGuard(const Token& name) {
+    static const char* intrinsics[] = {"iown", "accessible", "await",
+                                       "nonempty", "mylb", "myub"};
+    bool isIntrinsic = false;
+    for (const char* s : intrinsics)
+      if (name.text == s) isIntrinsic = true;
+    if (isIntrinsic) {
+      ExprPtr e = parseIntrinsic(name.text);
+      // `await(X)` with no ': {' is the bare synchronization statement.
+      if (name.text == "await" && lex_.peek().kind != Tok::Colon &&
+          lex_.peek().kind != Tok::AndAnd && lex_.peek().kind != Tok::OrOr)
+        return awaitStmt(e->sym, e->section);
+      e = parseExprContinuation(e);
+      return parseGuardTail(e);
+    }
+    // Kernel call: name(A[sec], B[sec], ...).
+    expect(Tok::LParen, "'('");
+    std::vector<std::pair<int, SectionExprPtr>> args;
+    if (lex_.peek().kind != Tok::RParen) {
+      while (true) {
+        Token arr = lex_.take();
+        if (arr.kind != Tok::Ident) lex_.fail("expected array argument");
+        const int sym = symbolOf(arr);
+        args.emplace_back(sym, parseSectionRef());
+        if (lex_.peek().kind == Tok::Comma) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+    }
+    expect(Tok::RParen, "')'");
+    return kernel(name.text, std::move(args));
+  }
+
+  StmtPtr parseGuardTail(ExprPtr rule) {
+    expect(Tok::Colon, "':' (guard)");
+    expect(Tok::LBrace, "'{'");
+    std::vector<StmtPtr> body;
+    while (lex_.peek().kind != Tok::RBrace) body.push_back(parseStmt());
+    lex_.take();  // }
+    return guarded(std::move(rule), block(std::move(body)));
+  }
+
+  // --- sections ----------------------------------------------------------
+
+  SectionExprPtr parseSectionRef() {
+    SectionExprPtr s = parseSectionPrimary();
+    while (lex_.peek().kind == Tok::Caret) {
+      lex_.take();
+      s = secIntersect(s, parseSectionPrimary());
+    }
+    return s;
+  }
+
+  SectionExprPtr parseSectionPrimary() {
+    expect(Tok::LBracket, "'['");
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "mypart") {
+      lex_.take();
+      expect(Tok::RBracket, "']'");
+      return secLocalPart(-1);
+    }
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "part") {
+      lex_.take();
+      expect(Tok::LParen, "'('");
+      ExprPtr pid = parseExpr();
+      expect(Tok::RParen, "')'");
+      expect(Tok::RBracket, "']'");
+      return secOwnerPart(-1, pid);
+    }
+    std::vector<TripletExpr> dims;
+    while (true) {
+      TripletExpr t;
+      t.lb = parseExpr();
+      if (lex_.peek().kind == Tok::Colon) {
+        lex_.take();
+        t.ub = parseExpr();
+        if (lex_.peek().kind == Tok::Colon) {
+          lex_.take();
+          t.stride = parseExpr();
+        }
+      }
+      dims.push_back(std::move(t));
+      if (lex_.peek().kind == Tok::Comma) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::RBracket, "']'");
+    return secLit(std::move(dims));
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  ExprPtr parseExpr() { return parseExprContinuation(parseUnary(), 0); }
+
+  ExprPtr parseExprContinuation(ExprPtr lhs, int minPrec = 0) {
+    while (true) {
+      int prec;
+      BinOp op;
+      if (!peekBinOp(op, prec) || prec < minPrec) return lhs;
+      lex_.take();
+      ExprPtr rhs = parseUnary();
+      // Left associative: bind tighter continuations into rhs first.
+      int nextPrec;
+      BinOp nextOp;
+      while (peekBinOp(nextOp, nextPrec) && nextPrec > prec)
+        rhs = parseExprContinuation(rhs, nextPrec);
+      lhs = bin(op, std::move(lhs), rhs);
+    }
+  }
+
+  bool peekBinOp(BinOp& op, int& prec) {
+    switch (lex_.peek().kind) {
+      case Tok::OrOr: op = BinOp::Or; prec = 1; return true;
+      case Tok::AndAnd: op = BinOp::And; prec = 2; return true;
+      case Tok::EqEq: op = BinOp::Eq; prec = 3; return true;
+      case Tok::Ne: op = BinOp::Ne; prec = 3; return true;
+      case Tok::Lt: op = BinOp::Lt; prec = 4; return true;
+      case Tok::Gt: op = BinOp::Gt; prec = 4; return true;
+      case Tok::Le: op = BinOp::Le; prec = 4; return true;
+      case Tok::Ge: op = BinOp::Ge; prec = 4; return true;
+      // NOTE: in expression position "<=" lexes as RecvOwn; accept it as
+      // the comparison operator (statements consume their "<=" before
+      // expression parsing ever sees one).
+      case Tok::RecvOwn: op = BinOp::Le; prec = 4; return true;
+      case Tok::Plus: op = BinOp::Add; prec = 5; return true;
+      case Tok::Minus: op = BinOp::Sub; prec = 5; return true;
+      case Tok::Star: op = BinOp::Mul; prec = 6; return true;
+      case Tok::Slash: op = BinOp::Div; prec = 6; return true;
+      case Tok::Percent: op = BinOp::Mod; prec = 6; return true;
+      default: return false;
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (lex_.peek().kind == Tok::Minus) {
+      lex_.take();
+      return neg(parseUnary());
+    }
+    if (lex_.peek().kind == Tok::Bang) {
+      lex_.take();
+      return lnot(parseUnary());
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case Tok::Int:
+        return intConst(t.intVal);
+      case Tok::Real:
+        return realConst(t.realVal);
+      case Tok::LParen: {
+        ExprPtr e = parseExpr();
+        expect(Tok::RParen, "')'");
+        return e;
+      }
+      case Tok::Ident: {
+        if (t.text == "mypid") return mypid();
+        if (t.text == "nprocs") return nprocs();
+        if (t.text == "min" || t.text == "max") {
+          expect(Tok::LParen, "'('");
+          ExprPtr a = parseExpr();
+          expect(Tok::Comma, "','");
+          ExprPtr b = parseExpr();
+          expect(Tok::RParen, "')'");
+          return bin(t.text == "min" ? BinOp::Min : BinOp::Max, a, b);
+        }
+        if (t.text == "iown" || t.text == "accessible" ||
+            t.text == "await" || t.text == "nonempty" || t.text == "mylb" ||
+            t.text == "myub")
+          return parseIntrinsic(t.text);
+        // Array element or scalar?
+        if (lex_.peek().kind == Tok::LBracket) {
+          const int sym = symbolOfName(t);
+          return elem(sym, parseSectionRef());
+        }
+        return scalar(t.text);
+      }
+      default:
+        lex_.fail("expected an expression");
+    }
+  }
+
+  /// `name` already consumed; parse `(A[sec][,dim])`.
+  ExprPtr parseIntrinsic(const std::string& name) {
+    expect(Tok::LParen, "'('");
+    Token arr = lex_.take();
+    if (arr.kind != Tok::Ident) lex_.fail("expected array name");
+    const int sym = symbolOf(arr);
+    SectionExprPtr sec = parseSectionRef();
+    int dim = 0;
+    if (name == "mylb" || name == "myub") {
+      expect(Tok::Comma, "','");
+      dim = static_cast<int>(expectInt("dimension"));
+    }
+    expect(Tok::RParen, "')'");
+    if (name == "iown") return iown(sym, sec);
+    if (name == "accessible") return accessible(sym, sec);
+    if (name == "await") return awaitOf(sym, sec);
+    if (name == "nonempty") return secNonEmpty(sym, sec);
+    if (name == "mylb") return mylb(sym, sec, dim);
+    return myub(sym, sec, dim);
+  }
+
+  // --- helpers -----------------------------------------------------------
+
+  int symbolOf(const Token& name) {
+    int sym = prog_.findSymbol(name.text);
+    if (sym < 0) lex_.fail("unknown array '" + name.text + "'");
+    return sym;
+  }
+  int symbolOfName(const Token& name) { return symbolOf(name); }
+
+  void expect(Tok kind, const char* what) {
+    if (lex_.peek().kind != kind) lex_.fail(std::string("expected ") + what);
+    lex_.take();
+  }
+
+  void expectIdent(const std::string& word) {
+    if (lex_.peek().kind != Tok::Ident || lex_.peek().text != word)
+      lex_.fail("expected '" + word + "'");
+    lex_.take();
+  }
+
+  std::string expectAnyIdent(const char* what) {
+    if (lex_.peek().kind != Tok::Ident)
+      lex_.fail(std::string("expected ") + what);
+    return lex_.take().text;
+  }
+
+  sec::Index expectInt(const char* what) {
+    if (lex_.peek().kind != Tok::Int)
+      lex_.fail(std::string("expected ") + what);
+    return lex_.take().intVal;
+  }
+
+  Program& prog_;
+  Lexer& lex_;
+};
+
+}  // namespace
+
+Program parseProgram(const std::string& text) {
+  Program prog;
+  Lexer lex(text);
+  Parser parser(prog, lex);
+  parser.parseDecls();
+  prog.body = parser.parseBlockUntilEnd();
+  return prog;
+}
+
+StmtPtr parseStmts(const Program& prog, const std::string& text) {
+  Program scratch = prog;  // symbol lookup against existing declarations
+  Lexer lex(text);
+  Parser parser(scratch, lex);
+  return parser.parseBlockUntilEnd();
+}
+
+}  // namespace xdp::il

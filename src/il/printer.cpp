@@ -1,0 +1,288 @@
+#include "xdp/il/printer.hpp"
+
+#include <sstream>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::il {
+namespace {
+
+class Printer {
+ public:
+  Printer(const Program& prog, PrintOptions opts) : prog_(prog), opts_(opts) {}
+
+  std::string expr(const ExprPtr& e) {
+    XDP_CHECK(e != nullptr, "printing null expression");
+    switch (e->kind) {
+      case ExprKind::IntConst: {
+        std::ostringstream os;
+        os << e->intVal;
+        return os.str();
+      }
+      case ExprKind::RealConst: {
+        std::ostringstream os;
+        os << e->realVal;
+        return os.str();
+      }
+      case ExprKind::ScalarRef:
+        return e->name;
+      case ExprKind::MyPid:
+        return "mypid";
+      case ExprKind::NProcs:
+        return "nprocs";
+      case ExprKind::Bin:
+        if (e->op == BinOp::Min || e->op == BinOp::Max)
+          return std::string(binOpName(e->op)) + "(" + expr(e->lhs) + ", " +
+                 expr(e->rhs) + ")";
+        return "(" + expr(e->lhs) + " " + binOpName(e->op) + " " +
+               expr(e->rhs) + ")";
+      case ExprKind::Neg:
+        return "(-" + expr(e->lhs) + ")";
+      case ExprKind::Not:
+        return "!(" + expr(e->lhs) + ")";
+      case ExprKind::Elem:
+        return ref(e->sym, e->section);
+      case ExprKind::Iown:
+        return "iown(" + ref(e->sym, e->section) + ")";
+      case ExprKind::Accessible:
+        return "accessible(" + ref(e->sym, e->section) + ")";
+      case ExprKind::Await:
+        return "await(" + ref(e->sym, e->section) + ")";
+      case ExprKind::MyLb:
+        return "mylb(" + ref(e->sym, e->section) + "," +
+               std::to_string(e->dim) + ")";
+      case ExprKind::MyUb:
+        return "myub(" + ref(e->sym, e->section) + "," +
+               std::to_string(e->dim) + ")";
+      case ExprKind::SecNonEmpty:
+        return "nonempty(" + ref(e->sym, e->section) + ")";
+    }
+    return "?";
+  }
+
+  std::string section(const SectionExprPtr& s) {
+    XDP_CHECK(s != nullptr, "printing null section expression");
+    switch (s->kind) {
+      case SecExprKind::Literal: {
+        std::string out = "[";
+        for (std::size_t d = 0; d < s->dims.size(); ++d) {
+          if (d) out += ",";
+          const TripletExpr& t = s->dims[d];
+          out += expr(t.lb);
+          if (t.ub) out += ":" + expr(t.ub);
+          if (t.stride) out += ":" + expr(t.stride);
+        }
+        return out + "]";
+      }
+      case SecExprKind::LocalPart:
+        return std::string("[mypart") +
+               (s->distOverride ? "@" + s->distOverride->str() : "") + "]";
+      case SecExprKind::OwnerPart:
+        return "[part(" + expr(s->pid) + ")" +
+               (s->distOverride ? "@" + s->distOverride->str() : "") + "]";
+      case SecExprKind::Intersect:
+        return section(s->a) + "^" + section(s->b);
+    }
+    return "?";
+  }
+
+  std::string ref(int sym, const SectionExprPtr& s) {
+    std::string name =
+        sym >= 0 && sym < static_cast<int>(prog_.arrays.size())
+            ? prog_.decl(sym).name
+            : "sym#" + std::to_string(sym);
+    // OwnerPart/LocalPart of another symbol's dist prints inside section().
+    if (s && s->kind == SecExprKind::Literal) {
+      // A[i] style: drop the brackets' outer [] duplication.
+      std::string inner = section(s);
+      // section() returns "[...]"; reuse directly.
+      return name + inner;
+    }
+    return name + (s ? section(s) : std::string("[?]"));
+  }
+
+  std::string link(const StmtPtr& s) {
+    if (!opts_.showLinks || s->linkId < 0) return "";
+    return "  //link " + std::to_string(s->linkId);
+  }
+
+  void stmt(const StmtPtr& s, int indent, std::ostringstream& os) {
+    XDP_CHECK(s != nullptr, "printing null statement");
+    std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const auto& c : s->stmts) stmt(c, indent, os);
+        return;
+      case StmtKind::ScalarAssign:
+        os << pad << s->name << " = " << expr(s->value) << "\n";
+        return;
+      case StmtKind::ElemAssign:
+        os << pad << ref(s->sym, s->lhs) << " = " << expr(s->rhs) << "\n";
+        return;
+      case StmtKind::For:
+        os << pad << "do " << s->name << " = " << expr(s->lb) << ", "
+           << expr(s->ub);
+        if (s->step) os << ", " << expr(s->step);
+        os << "\n";
+        stmt(s->body, indent + 1, os);
+        os << pad << "enddo\n";
+        return;
+      case StmtKind::Guarded:
+        os << pad << expr(s->rule) << " : {\n";
+        stmt(s->body, indent + 1, os);
+        os << pad << "}\n";
+        return;
+      case StmtKind::SendData:
+        os << pad << ref(s->sym, s->lhs) << " ->" << destStr(s->dest)
+           << link(s) << "\n";
+        return;
+      case StmtKind::RecvData:
+        os << pad << ref(s->sym, s->lhs) << " <- " << ref(s->sym2, s->sec2)
+           << link(s) << "\n";
+        return;
+      case StmtKind::SendOwn:
+        os << pad << ref(s->sym, s->lhs) << (s->withValue ? " -=>" : " =>")
+           << destStr(s->dest) << link(s) << "\n";
+        return;
+      case StmtKind::RecvOwn:
+        os << pad << ref(s->sym, s->lhs) << (s->withValue ? " <=-" : " <=")
+           << link(s) << "\n";
+        return;
+      case StmtKind::Await:
+        os << pad << "await(" << ref(s->sym, s->lhs) << ")\n";
+        return;
+      case StmtKind::LocalCopy:
+        os << pad << ref(s->sym, s->lhs) << " = " << ref(s->sym2, s->sec2)
+           << "  // local copy\n";
+        return;
+      case StmtKind::Kernel: {
+        os << pad << s->name << "(";
+        for (std::size_t i = 0; i < s->args.size(); ++i) {
+          if (i) os << ", ";
+          os << ref(s->args[i].first, s->args[i].second);
+        }
+        os << ")\n";
+        return;
+      }
+      case StmtKind::ComputeCost:
+        os << pad << "compute(" << expr(s->value) << ")\n";
+        return;
+    }
+  }
+
+  std::string destStr(const DestSpec& d) {
+    switch (d.kind) {
+      case DestSpec::Kind::None:
+        return "";
+      case DestSpec::Kind::Pids: {
+        std::string out = " {";
+        for (std::size_t i = 0; i < d.pids.size(); ++i) {
+          if (i) out += ",";
+          out += expr(d.pids[i]);
+        }
+        return out + "}";
+      }
+      case DestSpec::Kind::OwnerOf:
+        return " {owner(" + ref(d.sym, d.section) +
+               (d.distOverride ? "@" + d.distOverride->str() : "") + ")}";
+    }
+    return "";
+  }
+
+ private:
+  const Program& prog_;
+  PrintOptions opts_;
+};
+
+}  // namespace
+
+std::string printExpr(const Program& prog, const ExprPtr& e) {
+  return Printer(prog, {}).expr(e);
+}
+
+std::string printSection(const Program& prog, const SectionExprPtr& s) {
+  return Printer(prog, {}).section(s);
+}
+
+std::string printStmt(const Program& prog, const StmtPtr& s,
+                      PrintOptions opts) {
+  std::ostringstream os;
+  Printer(prog, opts).stmt(s, 0, os);
+  return os.str();
+}
+
+namespace {
+
+const char* typeName(rt::ElemType t) {
+  switch (t) {
+    case rt::ElemType::F64: return "f64";
+    case rt::ElemType::I64: return "i64";
+    case rt::ElemType::C128: return "c128";
+  }
+  return "f64";
+}
+
+void printDeclDirective(std::ostringstream& os, const ArrayDecl& d) {
+  os << "array " << d.name << " " << typeName(d.type) << " [";
+  for (int dd = 0; dd < d.global.rank(); ++dd) {
+    if (dd) os << ",";
+    os << d.global.dim(dd).lb() << ":" << d.global.dim(dd).ub();
+  }
+  os << "] (";
+  for (int dd = 0; dd < d.dist.rank(); ++dd) {
+    if (dd) os << ",";
+    const dist::DimSpec& s = d.dist.specs()[static_cast<unsigned>(dd)];
+    switch (s.kind) {
+      case dist::DistKind::Collapsed:
+        os << "*";
+        break;
+      case dist::DistKind::Block:
+        os << "BLOCK:" << s.procs;
+        break;
+      case dist::DistKind::Cyclic:
+        os << "CYCLIC:" << s.procs;
+        break;
+      case dist::DistKind::BlockCyclic:
+        os << "CYCLIC(" << s.blockSize << "):" << s.procs;
+        break;
+    }
+  }
+  os << ")";
+  bool hasSeg = false;
+  for (int dd = 0; dd < d.global.rank(); ++dd)
+    if (d.segShape.elems[static_cast<unsigned>(dd)] != 0) hasSeg = true;
+  if (hasSeg) {
+    os << " seg (";
+    for (int dd = 0; dd < d.global.rank(); ++dd) {
+      if (dd) os << ",";
+      const Index e = d.segShape.elems[static_cast<unsigned>(dd)];
+      if (e == 0)
+        os << "*";
+      else
+        os << e;
+    }
+    os << ")";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string printProgram(const Program& prog, PrintOptions opts) {
+  std::ostringstream os;
+  if (opts.parseable) {
+    os << "procs " << prog.nprocs << "\n";
+    for (const ArrayDecl& d : prog.arrays) printDeclDirective(os, d);
+    os << "\n";
+  } else {
+    for (std::size_t i = 0; i < prog.arrays.size(); ++i) {
+      const ArrayDecl& d = prog.arrays[i];
+      os << "// " << d.name << d.global.str() << " distributed "
+         << d.dist.str() << "\n";
+    }
+  }
+  Printer(prog, opts).stmt(prog.body, 0, os);
+  return os.str();
+}
+
+}  // namespace xdp::il

@@ -1,0 +1,25 @@
+#include "xdp/il/program.hpp"
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::il {
+
+const ArrayDecl& Program::decl(int sym) const {
+  XDP_CHECK(sym >= 0 && sym < static_cast<int>(arrays.size()),
+            "bad symbol index");
+  return arrays[static_cast<std::size_t>(sym)];
+}
+
+int Program::findSymbol(const std::string& name) const {
+  for (std::size_t i = 0; i < arrays.size(); ++i)
+    if (arrays[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+int Program::addArray(ArrayDecl d) {
+  XDP_CHECK(findSymbol(d.name) < 0, "duplicate array name: " + d.name);
+  arrays.push_back(std::move(d));
+  return static_cast<int>(arrays.size()) - 1;
+}
+
+}  // namespace xdp::il

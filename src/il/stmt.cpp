@@ -1,0 +1,165 @@
+#include "xdp/il/stmt.hpp"
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::il {
+
+DestSpec DestSpec::toPids(std::vector<ExprPtr> pids) {
+  DestSpec d;
+  d.kind = Kind::Pids;
+  d.pids = std::move(pids);
+  return d;
+}
+
+DestSpec DestSpec::ownerOf(int sym, SectionExprPtr section,
+                           std::optional<dist::Distribution> dist) {
+  DestSpec d;
+  d.kind = Kind::OwnerOf;
+  d.sym = sym;
+  d.section = std::move(section);
+  d.distOverride = std::move(dist);
+  return d;
+}
+
+namespace {
+std::shared_ptr<Stmt> node(StmtKind k) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = k;
+  return s;
+}
+}  // namespace
+
+StmtPtr block(std::vector<StmtPtr> stmts) {
+  auto s = node(StmtKind::Block);
+  s->stmts = std::move(stmts);
+  return s;
+}
+
+StmtPtr scalarAssign(std::string name, ExprPtr value) {
+  auto s = node(StmtKind::ScalarAssign);
+  s->name = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr elemAssign(int sym, SectionExprPtr point, ExprPtr rhs) {
+  auto s = node(StmtKind::ElemAssign);
+  s->sym = sym;
+  s->lhs = std::move(point);
+  s->rhs = std::move(rhs);
+  return s;
+}
+
+StmtPtr forLoop(std::string var, ExprPtr lb, ExprPtr ub, StmtPtr body,
+                ExprPtr step) {
+  auto s = node(StmtKind::For);
+  s->name = std::move(var);
+  s->lb = std::move(lb);
+  s->ub = std::move(ub);
+  s->step = std::move(step);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr guarded(ExprPtr rule, StmtPtr body) {
+  auto s = node(StmtKind::Guarded);
+  s->rule = std::move(rule);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr sendData(int sym, SectionExprPtr e, DestSpec dest, int linkId) {
+  auto s = node(StmtKind::SendData);
+  s->sym = sym;
+  s->lhs = std::move(e);
+  s->dest = std::move(dest);
+  s->linkId = linkId;
+  return s;
+}
+
+StmtPtr recvData(int dstSym, SectionExprPtr dst, int srcSym,
+                 SectionExprPtr name, int linkId) {
+  auto s = node(StmtKind::RecvData);
+  s->sym = dstSym;
+  s->lhs = std::move(dst);
+  s->sym2 = srcSym;
+  s->sec2 = std::move(name);
+  s->linkId = linkId;
+  return s;
+}
+
+StmtPtr sendOwn(int sym, SectionExprPtr e, bool withValue, DestSpec dest,
+                int linkId) {
+  auto s = node(StmtKind::SendOwn);
+  s->sym = sym;
+  s->lhs = std::move(e);
+  s->withValue = withValue;
+  s->dest = std::move(dest);
+  s->linkId = linkId;
+  return s;
+}
+
+StmtPtr recvOwn(int sym, SectionExprPtr u, bool withValue, int linkId) {
+  auto s = node(StmtKind::RecvOwn);
+  s->sym = sym;
+  s->lhs = std::move(u);
+  s->withValue = withValue;
+  s->linkId = linkId;
+  return s;
+}
+
+StmtPtr awaitStmt(int sym, SectionExprPtr s) {
+  auto n = node(StmtKind::Await);
+  n->sym = sym;
+  n->lhs = std::move(s);
+  return n;
+}
+
+StmtPtr localCopy(int dstSym, SectionExprPtr dst, int srcSym,
+                  SectionExprPtr src) {
+  auto s = node(StmtKind::LocalCopy);
+  s->sym = dstSym;
+  s->lhs = std::move(dst);
+  s->sym2 = srcSym;
+  s->sec2 = std::move(src);
+  return s;
+}
+
+StmtPtr kernel(std::string name,
+               std::vector<std::pair<int, SectionExprPtr>> args) {
+  auto s = node(StmtKind::Kernel);
+  s->name = std::move(name);
+  s->args = std::move(args);
+  return s;
+}
+
+StmtPtr computeCost(ExprPtr cost) {
+  auto s = node(StmtKind::ComputeCost);
+  s->value = std::move(cost);
+  return s;
+}
+
+StmtPtr withBody(const StmtPtr& s, StmtPtr newBody) {
+  XDP_CHECK(s->kind == StmtKind::For || s->kind == StmtKind::Guarded,
+            "withBody applies to For/Guarded");
+  auto n = std::make_shared<Stmt>(*s);
+  n->body = std::move(newBody);
+  return n;
+}
+
+StmtPtr withStmts(const StmtPtr& s, std::vector<StmtPtr> newStmts) {
+  XDP_CHECK(s->kind == StmtKind::Block, "withStmts applies to Block");
+  auto n = std::make_shared<Stmt>(*s);
+  n->stmts = std::move(newStmts);
+  return n;
+}
+
+StmtPtr withDest(const StmtPtr& s, DestSpec dest) {
+  XDP_CHECK(s->kind == StmtKind::SendData || s->kind == StmtKind::SendOwn,
+            "withDest applies to sends");
+  auto n = std::make_shared<Stmt>(*s);
+  n->dest = std::move(dest);
+  return n;
+}
+
+}  // namespace xdp::il

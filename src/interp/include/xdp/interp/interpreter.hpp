@@ -1,0 +1,69 @@
+// The IL+XDP interpreter: executes a program as the SPMD node program of
+// every simulated processor, mapping IL transfer statements onto the
+// xdp::rt runtime (our "code generation" stage — on a real machine the
+// back end would emit communication-library calls here instead; see paper
+// section 3.2 on delayed binding).
+//
+// Compute-rule semantics (paper section 2.4): a rule evaluates to false if
+// it references the *value* of any section the processor does not own;
+// intrinsic arguments are names, not values, and never trigger this.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xdp/il/program.hpp"
+#include "xdp/rt/proc.hpp"
+
+namespace xdp::interp {
+
+using sec::Index;
+using sec::Section;
+
+/// Per-processor execution counters. `rulesEvaluated - rulesTrue` is the
+/// wasted guard work that ComputeRuleElimination removes (paper 2.4).
+struct InterpStats {
+  std::uint64_t rulesEvaluated = 0;
+  std::uint64_t rulesTrue = 0;
+  std::uint64_t stmtsExecuted = 0;
+  std::uint64_t loopIterations = 0;
+  std::uint64_t elemAssigns = 0;
+  std::uint64_t kernelCalls = 0;
+
+  InterpStats& operator+=(const InterpStats& o);
+};
+
+/// A computational kernel callable from IL (e.g. fft1D). Receives the
+/// executing processor and the resolved (symbol, section) arguments.
+using KernelFn =
+    std::function<void(rt::Proc&, const std::vector<std::pair<int, Section>>&)>;
+
+class Interpreter {
+ public:
+  explicit Interpreter(il::Program prog, rt::RuntimeOptions opts = {});
+
+  const il::Program& program() const { return prog_; }
+  rt::Runtime& runtime() { return rt_; }
+
+  /// Register a kernel by name before run().
+  void registerKernel(std::string name, KernelFn fn);
+
+  /// Execute the program body on every processor; joins before returning.
+  void run();
+
+  InterpStats stats(int pid) const;
+  InterpStats totalStats() const;
+  void resetStats();
+
+ private:
+  friend class Exec;
+  il::Program prog_;
+  rt::Runtime rt_;
+  std::map<std::string, KernelFn> kernels_;
+  std::vector<InterpStats> stats_;
+};
+
+}  // namespace xdp::interp

@@ -1,0 +1,261 @@
+#include "xdp/net/fabric.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::net {
+
+const char* transferKindName(TransferKind k) {
+  switch (k) {
+    case TransferKind::Data:
+      return "data";
+    case TransferKind::Ownership:
+      return "ownership";
+    case TransferKind::OwnershipAndValue:
+      return "ownership+value";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Name& n) {
+  return os << "sym#" << n.symbol << n.section;
+}
+
+NetStats& NetStats::operator+=(const NetStats& o) {
+  messagesSent += o.messagesSent;
+  bytesSent += o.bytesSent;
+  messagesReceived += o.messagesReceived;
+  bytesReceived += o.bytesReceived;
+  rendezvousSends += o.rendezvousSends;
+  directSends += o.directSends;
+  ownershipTransfers += o.ownershipTransfers;
+  unexpectedMessages += o.unexpectedMessages;
+  return *this;
+}
+
+Fabric::Fabric(int nprocs, CostModel model)
+    : nprocs_(nprocs), model_(model), eps_(static_cast<std::size_t>(nprocs)) {
+  XDP_CHECK(nprocs >= 1, "fabric needs at least one endpoint");
+}
+
+double Fabric::clock(int pid) const {
+  std::lock_guard lk(mu_);
+  return eps_[static_cast<std::size_t>(pid)].clock;
+}
+
+void Fabric::advance(int pid, double dt) {
+  std::lock_guard lk(mu_);
+  eps_[static_cast<std::size_t>(pid)].clock += dt;
+}
+
+void Fabric::syncClock(int pid, double t) {
+  std::lock_guard lk(mu_);
+  auto& c = eps_[static_cast<std::size_t>(pid)].clock;
+  c = std::max(c, t);
+}
+
+double Fabric::makespan() const {
+  std::lock_guard lk(mu_);
+  double m = 0.0;
+  for (const auto& ep : eps_) m = std::max(m, ep.clock);
+  return m;
+}
+
+void Fabric::resetClocks() {
+  std::lock_guard lk(mu_);
+  for (auto& ep : eps_) ep.clock = 0.0;
+}
+
+bool Fabric::matches(const Name& a, TransferKind ka, const Name& b,
+                     TransferKind kb) {
+  return ka == kb && a == b;
+}
+
+void Fabric::completeLocked(Endpoint& ep, const PendingReceive& pr,
+                            Message msg) {
+  ep.stats.messagesReceived += 1;
+  ep.stats.bytesReceived += msg.payload.size();
+  // Unexpected-message criterion in *virtual* time: the message landed
+  // before the receive was posted, so the transport buffered it and the
+  // completion pays an extra copy — receiver CPU time, so it accumulates
+  // on the receiver's clock, and the data only becomes usable once the
+  // copy is done. Judged on deterministic clocks, not on real thread
+  // interleaving.
+  if (msg.arrival < pr.postClock) {
+    ep.stats.unexpectedMessages += 1;
+    const double copy = model_.unexpectedCost(msg.payload.size());
+    ep.clock += copy;
+    msg.arrival = pr.postClock + copy;
+  }
+  pr.fn(msg);
+}
+
+void Fabric::deliverLocked(int dst, Message msg) {
+  auto& ep = eps_[static_cast<std::size_t>(dst)];
+  for (auto it = ep.pending.begin(); it != ep.pending.end(); ++it) {
+    if (!matches(it->name, it->kind, msg.name, msg.kind)) continue;
+    PendingReceive pr = std::move(*it);
+    ep.pending.erase(it);
+    // Drop the matcher interest registered for this receive, if any.
+    for (auto mit = matcherRecvs_.begin(); mit != matcherRecvs_.end(); ++mit) {
+      if (mit->id == pr.id) {
+        matcherRecvs_.erase(mit);
+        break;
+      }
+    }
+    completeLocked(ep, pr, std::move(msg));
+    return;
+  }
+  ep.unexpected.push_back(std::move(msg));
+}
+
+void Fabric::send(int src, const Name& name, TransferKind kind,
+                  std::vector<std::byte> payload, std::optional<int> dest) {
+  std::lock_guard lk(mu_);
+  XDP_CHECK(src >= 0 && src < nprocs_, "send: bad source pid");
+  auto& sep = eps_[static_cast<std::size_t>(src)];
+  const std::size_t bytes = payload.size();
+  sep.clock += model_.sendCost(bytes);
+  sep.stats.messagesSent += 1;
+  sep.stats.bytesSent += bytes;
+  if (kind != TransferKind::Data) sep.stats.ownershipTransfers += 1;
+
+  Message msg;
+  msg.name = name;
+  msg.kind = kind;
+  msg.src = src;
+  msg.payload = std::move(payload);
+  msg.arrival = sep.clock + model_.latency;
+
+  if (dest.has_value()) {
+    XDP_CHECK(*dest >= 0 && *dest < nprocs_, "send: bad destination pid");
+    sep.stats.directSends += 1;
+    deliverLocked(*dest, std::move(msg));
+    return;
+  }
+  sep.stats.rendezvousSends += 1;
+  msg.arrival += model_.matchHop;  // extra control hop via the matchmaker
+  // FCFS: hand to the first registered receive interest with this name.
+  for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end(); ++it) {
+    if (matches(it->name, it->kind, msg.name, msg.kind)) {
+      int pid = it->pid;
+      // deliverLocked erases the interest entry (by id) and the pending
+      // receive; erase the interest here first to keep iterators simple.
+      deliverLocked(pid, std::move(msg));
+      return;
+    }
+  }
+  matcherMsgs_.push_back(std::move(msg));
+}
+
+void Fabric::sendToSet(int src, const Name& name, TransferKind kind,
+                       const std::vector<std::byte>& payload,
+                       const std::vector<int>& dests) {
+  XDP_CHECK(!dests.empty(), "sendToSet: empty destination set");
+  for (int d : dests) send(src, name, kind, payload, d);
+}
+
+ReceiveId Fabric::postReceive(int pid, const Name& name, TransferKind kind,
+                              CompletionFn fn) {
+  std::lock_guard lk(mu_);
+  XDP_CHECK(pid >= 0 && pid < nprocs_, "postReceive: bad pid");
+  auto& ep = eps_[static_cast<std::size_t>(pid)];
+  const ReceiveId id = nextId_++;
+  PendingReceive pr{id, name, kind, std::move(fn), ep.clock};
+
+  // A directly-addressed message may already have arrived (physically);
+  // whether it counts as "unexpected" is decided on virtual clocks inside
+  // completeLocked.
+  for (auto it = ep.unexpected.begin(); it != ep.unexpected.end(); ++it) {
+    if (matches(name, kind, it->name, it->kind)) {
+      Message msg = std::move(*it);
+      ep.unexpected.erase(it);
+      completeLocked(ep, pr, std::move(msg));
+      return id;
+    }
+  }
+  // An unspecified send may be parked at the matchmaker.
+  for (auto it = matcherMsgs_.begin(); it != matcherMsgs_.end(); ++it) {
+    if (matches(name, kind, it->name, it->kind)) {
+      Message msg = std::move(*it);
+      matcherMsgs_.erase(it);
+      completeLocked(ep, pr, std::move(msg));
+      return id;
+    }
+  }
+  // Nothing yet: post locally and register interest with the matchmaker.
+  ep.pending.push_back(std::move(pr));
+  matcherRecvs_.push_back(MatcherEntry{id, pid, name, kind});
+  return id;
+}
+
+void Fabric::barrier(int pid) {
+  double myClock;
+  {
+    std::lock_guard lk(mu_);
+    myClock = eps_[static_cast<std::size_t>(pid)].clock;
+  }
+  std::unique_lock lk(barrierMu_);
+  barrierMax_ = std::max(barrierMax_, myClock);
+  std::uint64_t gen = barrierGen_;
+  if (++barrierCount_ == nprocs_) {
+    barrierCount_ = 0;
+    double release = barrierMax_ + model_.barrierCost;
+    barrierMax_ = 0.0;
+    {
+      // Lock order barrierMu_ -> mu_ is taken only here; barrier entrants
+      // never hold mu_ when acquiring barrierMu_, so this cannot deadlock.
+      std::lock_guard g(mu_);
+      for (auto& ep : eps_) ep.clock = std::max(ep.clock, release);
+    }
+    ++barrierGen_;
+    barrierCv_.notify_all();
+    return;
+  }
+  barrierCv_.wait(lk, [&] { return barrierGen_ != gen; });
+}
+
+NetStats Fabric::stats(int pid) const {
+  std::lock_guard lk(mu_);
+  return eps_[static_cast<std::size_t>(pid)].stats;
+}
+
+NetStats Fabric::totalStats() const {
+  std::lock_guard lk(mu_);
+  NetStats total;
+  for (const auto& ep : eps_) total += ep.stats;
+  return total;
+}
+
+void Fabric::resetStats() {
+  std::lock_guard lk(mu_);
+  for (auto& ep : eps_) ep.stats = NetStats{};
+}
+
+std::size_t Fabric::undeliveredCount() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = matcherMsgs_.size();
+  for (const auto& ep : eps_) n += ep.unexpected.size();
+  return n;
+}
+
+std::size_t Fabric::pendingReceiveCount() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& ep : eps_) n += ep.pending.size();
+  return n;
+}
+
+void Fabric::clearMatchState() {
+  std::lock_guard lk(mu_);
+  matcherMsgs_.clear();
+  matcherRecvs_.clear();
+  for (auto& ep : eps_) {
+    ep.unexpected.clear();
+    ep.pending.clear();
+  }
+}
+
+}  // namespace xdp::net

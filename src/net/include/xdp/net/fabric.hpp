@@ -1,0 +1,173 @@
+// The simulated message-passing machine.
+//
+// A Fabric has P endpoints (one per simulated processor). All operations
+// are non-blocking: XDP's blocking semantics (await, blocked owner-sends)
+// live in the runtime layer, which waits on its symbol table's condition
+// variable; the fabric merely matches messages to posted receives and runs
+// a completion callback when a match happens.
+//
+// Two delivery routes exist, reflecting the paper's delayed communication
+// binding (section 3.2):
+//
+//   * direct    — the send named its destination set ("E -> S", or the
+//                 CommBinding pass annotated the receiver). One hop.
+//   * rendezvous— "send to an unspecified processor" ("E ->", "E -=>").
+//                 Sender and receiver meet at a matchmaker, FCFS per name;
+//                 the message pays an extra control hop (CostModel::
+//                 matchHop). This is also what makes the paper's
+//                 section 2.7 pattern work: several processors may have
+//                 receives outstanding for the *same* name, and each
+//                 matching send is handed to the first waiter in line.
+//
+// Locking: one fabric-wide mutex guards all matching state. Completion
+// callbacks run while it is held and may take the destination symbol
+// table's lock (lock order: fabric -> symtab). Callers must never invoke
+// fabric operations while holding a symbol table lock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "xdp/net/cost_model.hpp"
+#include "xdp/net/message.hpp"
+
+namespace xdp::net {
+
+/// Traffic counters, kept per endpoint. `read()` is only meaningful once
+/// the SPMD region has joined (or from the endpoint's own thread).
+struct NetStats {
+  std::uint64_t messagesSent = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t messagesReceived = 0;
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t rendezvousSends = 0;   ///< sends routed via the matcher
+  std::uint64_t directSends = 0;       ///< sends with a bound destination
+  std::uint64_t ownershipTransfers = 0;///< ownership(+value) messages sent
+  std::uint64_t unexpectedMessages = 0;///< arrived before a receive posted
+
+  NetStats& operator+=(const NetStats& o);
+};
+
+/// Invoked (under the fabric lock) when a posted receive is matched.
+/// The callback must copy the payload out and update runtime state.
+using CompletionFn = std::function<void(const Message&)>;
+
+/// Identifies a posted receive, for cancellation of rendezvous interest.
+using ReceiveId = std::uint64_t;
+
+class Fabric {
+ public:
+  Fabric(int nprocs, CostModel model = {});
+
+  int nprocs() const { return nprocs_; }
+  const CostModel& model() const { return model_; }
+
+  /// --- virtual time ---------------------------------------------------
+  double clock(int pid) const;
+  void advance(int pid, double dt);
+  /// clock(pid) = max(clock(pid), t) — used when a processor synchronizes
+  /// on a message that arrived at virtual time t.
+  void syncClock(int pid, double t);
+  /// Max clock over all endpoints (the modeled makespan).
+  double makespan() const;
+  void resetClocks();
+
+  /// --- point-to-point -------------------------------------------------
+
+  /// Send `payload` under `name`. If `dest` is set, route directly;
+  /// otherwise go through the rendezvous matcher. Advances the sender's
+  /// clock by the send overhead. Non-blocking.
+  void send(int src, const Name& name, TransferKind kind,
+            std::vector<std::byte> payload, std::optional<int> dest);
+
+  /// Broadcast/multicast form "E -> S": one message per destination.
+  void sendToSet(int src, const Name& name, TransferKind kind,
+                 const std::vector<std::byte>& payload,
+                 const std::vector<int>& dests);
+
+  /// Post a receive for `name` at `pid`. If a matching message is already
+  /// queued (directly addressed or waiting at the matcher), `fn` runs
+  /// before this returns. Otherwise `fn` runs later, on the delivering
+  /// thread. Returns an id usable only for diagnostics.
+  ReceiveId postReceive(int pid, const Name& name, TransferKind kind,
+                        CompletionFn fn);
+
+  /// --- collectives ----------------------------------------------------
+
+  /// Rendezvous of all endpoints; clocks advance to max + barrierCost.
+  void barrier(int pid);
+
+  /// --- accounting -----------------------------------------------------
+  NetStats stats(int pid) const;
+  NetStats totalStats() const;
+  void resetStats();
+
+  /// Number of messages parked at the matcher / in unexpected queues
+  /// (diagnostic; nonzero after a run usually means a send had no
+  /// matching receive — an XDP usage error).
+  std::size_t undeliveredCount() const;
+
+  /// Number of posted receives not yet matched (diagnostic, as above).
+  std::size_t pendingReceiveCount() const;
+
+  /// Drop all unmatched messages and posted receives (used at SPMD region
+  /// boundaries so a leaked receive can never fire into a later region).
+  void clearMatchState();
+
+ private:
+  struct PendingReceive {
+    ReceiveId id;
+    Name name;
+    TransferKind kind;
+    CompletionFn fn;
+    double postClock = 0.0;  ///< receiver's virtual clock at post time
+  };
+  struct Endpoint {
+    std::deque<Message> unexpected;      // arrived before a receive posted
+    std::deque<PendingReceive> pending;  // posted, not yet matched
+    NetStats stats;
+    double clock = 0.0;
+  };
+  struct MatcherEntry {  // receive interest registered for unspecified sends
+    ReceiveId id;
+    int pid;
+    Name name;
+    TransferKind kind;
+  };
+
+  /// Deliver msg at dst: complete a pending receive or park as unexpected.
+  /// Caller holds mu_.
+  void deliverLocked(int dst, Message msg);
+
+  /// Complete `pr` with `msg`, applying the unexpected-message penalty
+  /// when the message's (virtual) arrival precedes the receive's (virtual)
+  /// post time — a deterministic criterion independent of real thread
+  /// scheduling. Caller holds mu_.
+  void completeLocked(Endpoint& ep, const PendingReceive& pr, Message msg);
+
+  static bool matches(const Name& a, TransferKind ka, const Name& b,
+                      TransferKind kb);
+
+  const int nprocs_;
+  const CostModel model_;
+
+  mutable std::mutex mu_;
+  std::vector<Endpoint> eps_;
+  std::deque<Message> matcherMsgs_;        // unspecified sends, unmatched
+  std::deque<MatcherEntry> matcherRecvs_;  // receive interest, FCFS
+  ReceiveId nextId_ = 1;
+
+  // Reusable barrier.
+  std::mutex barrierMu_;
+  std::condition_variable barrierCv_;
+  int barrierCount_ = 0;
+  std::uint64_t barrierGen_ = 0;
+  double barrierMax_ = 0.0;
+};
+
+}  // namespace xdp::net

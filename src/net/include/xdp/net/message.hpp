@@ -1,0 +1,54 @@
+// Messages and names.
+//
+// "The name is used as a tag to associate a send with a corresponding
+// receive" (paper section 2.6, footnote 2). A Name is a symbol id plus the
+// canonical section; sends and receives match on exact name equality, and
+// it is the compiler's responsibility that the sections of matched
+// operations are identical — mismatches are unpredictable in XDP, and our
+// debug-checks mode turns them into hard errors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "xdp/sections/section.hpp"
+
+namespace xdp::net {
+
+/// What a transfer moves (paper Figure 1):
+///   Data              ->  / <-     value only
+///   Ownership         =>  / <=     ownership only, no value
+///   OwnershipAndValue -=> / <=-    both
+enum class TransferKind : std::uint8_t { Data, Ownership, OwnershipAndValue };
+
+const char* transferKindName(TransferKind k);
+
+/// The tag associating a send with its receive. A name is normally one
+/// section; the aggregated-transfer extension (paper section 3.2: "allow
+/// ... the left-hand side of XDP send and receive statements to be a set
+/// of sections") adds further sections in `rest`, all packed into one
+/// message in order.
+struct Name {
+  int symbol = -1;                ///< run-time symbol table index
+  sec::Section section;           ///< canonical (first) section
+  std::vector<sec::Section> rest; ///< additional sections, in payload order
+
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.symbol == b.symbol && a.section == b.section &&
+           a.rest == b.rest;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Name& n);
+
+struct Message {
+  Name name;
+  TransferKind kind = TransferKind::Data;
+  int src = -1;
+  std::vector<std::byte> payload;  ///< element values in Fortran order
+  double arrival = 0.0;            ///< virtual time the message lands
+};
+
+}  // namespace xdp::net

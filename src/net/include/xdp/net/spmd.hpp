@@ -1,0 +1,16 @@
+// SPMD execution: "the program will be loaded onto every processor of the
+// target machine that is assigned to the program" (paper section 1).
+// runSpmd launches the node program once per simulated processor, joins,
+// and rethrows the first failure.
+#pragma once
+
+#include <functional>
+
+namespace xdp::net {
+
+/// Run `node(pid)` on `nprocs` threads. If any node throws, every thread is
+/// still joined and the first exception (by pid) is rethrown. Deterministic
+/// memory visibility is guaranteed at the join.
+void runSpmd(int nprocs, const std::function<void(int pid)>& node);
+
+}  // namespace xdp::net

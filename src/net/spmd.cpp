@@ -1,0 +1,30 @@
+#include "xdp/net/spmd.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::net {
+
+void runSpmd(int nprocs, const std::function<void(int pid)>& node) {
+  XDP_CHECK(nprocs >= 1, "runSpmd needs at least one processor");
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    threads.emplace_back([&, p] {
+      try {
+        node(p);
+      } catch (...) {
+        errors[static_cast<std::size_t>(p)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace xdp::net

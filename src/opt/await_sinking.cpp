@@ -1,0 +1,90 @@
+// Await sinking (paper section 4, second transformation): "moving the
+// await statement *into* Loop 4. Although this might incur a greater
+// run-time overhead, it can allow the FFT operations to proceed while
+// other data is still being transferred."
+//
+// Pattern:   await(A[S]) : { do i = lb, ub { body(i) } }
+// becomes:   do i = lb, ub { await(A[S']) : { body(i) } }
+// where S' narrows one dimension of S to [i] — the dimension in which the
+// body references A with the loop variable as a single-point subscript.
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::SecExprKind;
+using il::SectionExpr;
+using il::SectionExprPtr;
+using il::StmtKind;
+using il::StmtPtr;
+using il::TripletExpr;
+
+/// Dimension in which the loop body references `sym` with [var] as a
+/// single-point subscript (first such reference wins); -1 if none.
+int bodyVarDim(const StmtPtr& body, int sym, const std::string& var) {
+  int found = -1;
+  auto consider = [&](int s, const SectionExprPtr& se) {
+    if (found >= 0 || s != sym || !se ||
+        se->kind != SecExprKind::Literal)
+      return;
+    for (std::size_t d = 0; d < se->dims.size(); ++d) {
+      const TripletExpr& t = se->dims[d];
+      if (t.lb && t.lb->kind == ExprKind::ScalarRef && t.lb->name == var &&
+          !t.ub && !t.stride) {
+        found = static_cast<int>(d);
+        return;
+      }
+    }
+  };
+  visitStmts(body, [&](const StmtPtr& s) {
+    consider(s->sym, s->lhs);
+    consider(s->sym2, s->sec2);
+    for (const auto& [as, se] : s->args) consider(as, se);
+  });
+  return found;
+}
+
+bool isFullRange(const TripletExpr& t) {
+  // A range (lb:ub) triplet — loop-invariant bounds assumed; the narrowed
+  // dimension replaces it entirely, so only the shape matters.
+  return t.lb && t.ub;
+}
+
+}  // namespace
+
+Program awaitSinking(const Program& prog) {
+  Program out = prog;
+  out.body = rewriteStmts(
+      prog.body, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        if (s->kind != StmtKind::Guarded ||
+            s->rule->kind != ExprKind::Await)
+          return std::nullopt;
+        const SectionExprPtr& S = s->rule->section;
+        if (!S || S->kind != SecExprKind::Literal) return std::nullopt;
+        StmtPtr loop = s->body;
+        if (loop && loop->kind == StmtKind::Block &&
+            loop->stmts.size() == 1)
+          loop = loop->stmts[0];
+        if (!loop || loop->kind != StmtKind::For) return std::nullopt;
+        const int sym = s->rule->sym;
+        const int d = bodyVarDim(loop->body, sym, loop->name);
+        if (d < 0 || d >= static_cast<int>(S->dims.size()))
+          return std::nullopt;
+        if (!isFullRange(S->dims[static_cast<unsigned>(d)]))
+          return std::nullopt;
+        auto narrowed = std::make_shared<SectionExpr>(*S);
+        narrowed->dims[static_cast<unsigned>(d)] =
+            TripletExpr{il::scalar(loop->name), {}, {}};
+        StmtPtr inner = il::guarded(
+            il::awaitOf(sym, SectionExprPtr(narrowed)), loop->body);
+        return il::forLoop(loop->name, loop->lb, loop->ub,
+                           il::block({inner}), loop->step);
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

@@ -1,0 +1,77 @@
+// Delayed communication binding (paper section 3.2): "it may be useful for
+// optimizations (and essential for code generation) to annotate an XDP
+// send statement with the id of the receiving processor".
+//
+// Until this pass runs, unspecified sends route through the run-time
+// matchmaker (an extra control hop). Binding uses two sources, both parts
+// of the auxiliary send<->receive link structure:
+//
+//   1. A bindHint recorded by the pass that created the transfer pair
+//      (e.g. message vectorization knows peer q posts the receive).
+//   2. The linked receive's enclosing iown(A, lsec) guard: the processor
+//      that executes the receive is exactly the owner of lsec, and
+//      distributions are compile-time known, so the sender can evaluate
+//      owner(A[lsec]) locally. This is the owner-computes case of the
+//      lowered form.
+#include <map>
+
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::DestSpec;
+using il::ExprKind;
+using il::Program;
+using il::SectionExprPtr;
+using il::Stmt;
+using il::StmtKind;
+using il::StmtPtr;
+
+struct RecvGuard {
+  int sym = -1;
+  SectionExprPtr section;
+};
+
+}  // namespace
+
+Program commBinding(const Program& prog) {
+  // Map link id -> the iown() guard enclosing the linked receive.
+  std::map<int, RecvGuard> guards;
+  std::function<void(const StmtPtr&, const StmtPtr&)> scan =
+      [&](const StmtPtr& s, const StmtPtr& guard) {
+        if (!s) return;
+        const StmtPtr& g = (s->kind == StmtKind::Guarded &&
+                            s->rule->kind == ExprKind::Iown)
+                               ? s
+                               : guard;
+        for (const auto& c : s->stmts) scan(c, g);
+        if (s->body) scan(s->body, g);
+        if ((s->kind == StmtKind::RecvData || s->kind == StmtKind::RecvOwn) &&
+            s->linkId >= 0 && g)
+          guards[s->linkId] = RecvGuard{g->rule->sym, g->rule->section};
+      };
+  scan(prog.body, nullptr);
+
+  Program out = prog;
+  out.body = rewriteStmts(
+      prog.body, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        if (s->kind != StmtKind::SendData && s->kind != StmtKind::SendOwn)
+          return std::nullopt;
+        if (s->dest.kind != DestSpec::Kind::None) return std::nullopt;
+        if (s->bindHint) {
+          return il::withDest(s, DestSpec::toPids({s->bindHint}));
+        }
+        if (s->linkId >= 0) {
+          auto it = guards.find(s->linkId);
+          if (it != guards.end())
+            return il::withDest(
+                s, DestSpec::ownerOf(it->second.sym, it->second.section));
+        }
+        return std::nullopt;
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

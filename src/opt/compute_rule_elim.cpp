@@ -1,0 +1,142 @@
+// Compute rule elimination by loop-bounds localization (paper sections 2.4
+// and 4): "adjusting the outer loop bounds so that each processor only
+// does those iterations for which it owns the data", after which the guard
+// always evaluates to true and is removed.
+//
+// Recognized shape:   do i = lb, ub        (step 1)
+//                       iown(A[..., i, ...]) : { body }
+//                     enddo
+// where the guard section has the loop variable as a single-point
+// subscript in exactly one dimension d, every other dimension of A is
+// collapsed (so dimension-d ownership is the whole story), and A's
+// distribution in d is BLOCK or CYCLIC.
+//
+// The new bounds are *static* arithmetic over mypid, derived from the
+// compile-time-known distribution (paper section 3: "a fixed, known
+// processor grid"):
+//
+//   BLOCK :  do i = max(lb, g0 + mypid*bs), min(ub, g0 + mypid*bs + bs-1)
+//   CYCLIC:  do i = lb + ((mypid - (lb - g0)) mod P), ub, P
+//
+// (g0 = the global lower bound of dimension d, bs = the block size.)
+// Static bounds — rather than run-time mylb()/myub() queries — matter
+// beyond speed: they describe the loop's *initial* ownership and keep
+// meaning that even if a later-fused loop body migrates ownership while
+// iterating, exactly the caveat of paper section 3.1 about querying an
+// array "undergoing incremental ownership transfer".
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::SecExprKind;
+using il::SectionExpr;
+using il::SectionExprPtr;
+using il::StmtKind;
+using il::StmtPtr;
+using il::TripletExpr;
+
+bool isScalarRef(const ExprPtr& e, const std::string& name) {
+  return e && e->kind == ExprKind::ScalarRef && e->name == name;
+}
+
+bool mentionsScalar(const ExprPtr& e, const std::string& name) {
+  if (!e) return false;
+  bool found = false;
+  rewriteExpr(e, [&](const ExprPtr& x) -> std::optional<ExprPtr> {
+    if (isScalarRef(x, name)) found = true;
+    return std::nullopt;
+  });
+  return found;
+}
+
+/// Dimension of `sec` whose subscript is exactly the single point [var],
+/// with no other dimension mentioning var. -1 if the shape doesn't match.
+int loopVarDim(const SectionExprPtr& sec, const std::string& var) {
+  if (!sec || sec->kind != SecExprKind::Literal) return -1;
+  int dim = -1;
+  for (std::size_t d = 0; d < sec->dims.size(); ++d) {
+    const TripletExpr& t = sec->dims[d];
+    const bool isVarPoint = isScalarRef(t.lb, var) && !t.ub && !t.stride;
+    if (isVarPoint) {
+      if (dim >= 0) return -1;  // var appears in two dimensions
+      dim = static_cast<int>(d);
+      continue;
+    }
+    if (mentionsScalar(t.lb, var) || mentionsScalar(t.ub, var) ||
+        mentionsScalar(t.stride, var))
+      return -1;  // var used in a non-point position
+  }
+  return dim;
+}
+
+}  // namespace
+
+Program computeRuleElimination(const Program& prog) {
+  Program out = prog;
+  out.body = rewriteStmts(
+      prog.body, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        if (s->kind != StmtKind::For || s->step) return std::nullopt;
+        // Body must be exactly one iown-guarded statement.
+        StmtPtr g = s->body;
+        if (g && g->kind == StmtKind::Block && g->stmts.size() == 1)
+          g = g->stmts[0];
+        if (!g || g->kind != StmtKind::Guarded ||
+            g->rule->kind != ExprKind::Iown)
+          return std::nullopt;
+        const int sym = g->rule->sym;
+        const SectionExprPtr& sec = g->rule->section;
+        const int d = loopVarDim(sec, s->name);
+        if (d < 0) return std::nullopt;
+        const dist::Distribution& dist = prog.decl(sym).dist;
+        if (d >= dist.rank()) return std::nullopt;
+        const dist::DimSpec& spec = dist.specs()[static_cast<unsigned>(d)];
+        if (spec.kind != dist::DistKind::Block &&
+            spec.kind != dist::DistKind::Cyclic)
+          return std::nullopt;
+        // The body may not use the guard beyond this dimension's locality:
+        // other dimensions must be loop-invariant; ownership of them is
+        // exactly what iown() checked. They stay local iff they are
+        // collapsed (always owned by everyone who owns dimension d).
+        for (int e = 0; e < dist.rank(); ++e) {
+          if (e == d) continue;
+          if (dist.specs()[static_cast<unsigned>(e)].kind !=
+              dist::DistKind::Collapsed)
+            return std::nullopt;
+        }
+
+        const sec::Index g0 = dist.global().dim(d).lb();
+        ExprPtr newLb, newUb, newStep;
+        if (spec.kind == dist::DistKind::Block) {
+          const sec::Index bs = dist.blockSizeOf(d);
+          // first = g0 + mypid*bs ; last = first + bs - 1
+          ExprPtr first = il::add(il::intConst(g0),
+                                  il::mul(il::mypid(), il::intConst(bs)));
+          ExprPtr last = il::add(first, il::intConst(bs - 1));
+          newLb = il::bin(il::BinOp::Max, s->lb, first);
+          newUb = il::bin(il::BinOp::Min, s->ub, last);
+        } else {  // Cyclic: first owned index >= lb, stride = P_d
+          const int P = spec.procs;
+          // offset = (mypid - (lb - g0)) mod P, made non-negative.
+          ExprPtr raw = il::sub(il::mypid(),
+                                il::sub(s->lb, il::intConst(g0)));
+          ExprPtr offset = il::bin(
+              il::BinOp::Mod,
+              il::add(il::bin(il::BinOp::Mod, raw, il::intConst(P)),
+                      il::intConst(P)),
+              il::intConst(P));
+          newLb = il::add(s->lb, offset);
+          newUb = s->ub;
+          newStep = il::intConst(P);
+        }
+        return il::forLoop(s->name, newLb, newUb, g->body, newStep);
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

@@ -1,0 +1,149 @@
+// Constant folding and guard simplification — the "existing optimizations"
+// side of the paper's key idea 2: because XDP transfers and guards live in
+// an ordinary IL, ordinary scalar optimizations apply to them unchanged.
+// Folding also cleans up the arithmetic residue other passes leave behind
+// (compute-rule elimination's `max(1, 1 + mypid*2)` bounds, vectorization's
+// `q != mypid && nonempty(...)` guards with constant q, ...).
+//
+//   * integer/real/boolean operators over constant operands fold;
+//   * `true && x` => x, `false && x` => false, `x || true` => true, ...;
+//   * `!true` => false; double negation drops;
+//   * a Guarded whose rule folds to true is replaced by its body, and one
+//     whose rule folds to false is deleted (compute rules have no side
+//     effects — paper section 2.4 — so this is always sound);
+//   * a For whose constant bounds are empty (lb > ub) is deleted.
+#include <cmath>
+
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::BinOp;
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::StmtKind;
+using il::StmtPtr;
+
+bool isIntK(const ExprPtr& e) { return e && e->kind == ExprKind::IntConst; }
+bool isRealK(const ExprPtr& e) { return e && e->kind == ExprKind::RealConst; }
+bool isConst(const ExprPtr& e) { return isIntK(e) || isRealK(e); }
+double asReal(const ExprPtr& e) {
+  return isIntK(e) ? static_cast<double>(e->intVal) : e->realVal;
+}
+bool truthOf(const ExprPtr& e) {
+  return isIntK(e) ? e->intVal != 0 : e->realVal != 0.0;
+}
+ExprPtr boolConst(bool b) { return il::intConst(b ? 1 : 0); }
+
+/// Known constant truth value of e, if it has one.
+std::optional<bool> knownTruth(const ExprPtr& e) {
+  if (!isConst(e)) return std::nullopt;
+  return truthOf(e);
+}
+
+std::optional<ExprPtr> foldBin(const ExprPtr& e) {
+  const ExprPtr& a = e->lhs;
+  const ExprPtr& b = e->rhs;
+  // Logical identities work with one constant side.
+  if (e->op == BinOp::And) {
+    if (auto t = knownTruth(a)) return *t ? b : boolConst(false);
+    if (auto t = knownTruth(b)) return *t ? a : boolConst(false);
+    return std::nullopt;
+  }
+  if (e->op == BinOp::Or) {
+    if (auto t = knownTruth(a)) return *t ? boolConst(true) : b;
+    if (auto t = knownTruth(b)) return *t ? boolConst(true) : a;
+    return std::nullopt;
+  }
+  if (!isConst(a) || !isConst(b)) return std::nullopt;
+  const bool bothInt = isIntK(a) && isIntK(b);
+  auto intOut = [&](sec::Index v) { return il::intConst(v); };
+  auto realOut = [&](double v) { return il::realConst(v); };
+  switch (e->op) {
+    case BinOp::Add:
+      return bothInt ? intOut(a->intVal + b->intVal)
+                     : realOut(asReal(a) + asReal(b));
+    case BinOp::Sub:
+      return bothInt ? intOut(a->intVal - b->intVal)
+                     : realOut(asReal(a) - asReal(b));
+    case BinOp::Mul:
+      return bothInt ? intOut(a->intVal * b->intVal)
+                     : realOut(asReal(a) * asReal(b));
+    case BinOp::Div:
+      if (bothInt) {
+        if (b->intVal == 0) return std::nullopt;  // leave for runtime error
+        return intOut(a->intVal / b->intVal);
+      }
+      if (asReal(b) == 0.0) return std::nullopt;
+      return realOut(asReal(a) / asReal(b));
+    case BinOp::Mod:
+      if (!bothInt || b->intVal == 0) return std::nullopt;
+      return intOut(a->intVal % b->intVal);
+    case BinOp::Lt:
+      return boolConst(asReal(a) < asReal(b));
+    case BinOp::Le:
+      return boolConst(asReal(a) <= asReal(b));
+    case BinOp::Gt:
+      return boolConst(asReal(a) > asReal(b));
+    case BinOp::Ge:
+      return boolConst(asReal(a) >= asReal(b));
+    case BinOp::Eq:
+      return boolConst(asReal(a) == asReal(b));
+    case BinOp::Ne:
+      return boolConst(asReal(a) != asReal(b));
+    case BinOp::Min:
+      return bothInt ? intOut(std::min(a->intVal, b->intVal))
+                     : realOut(std::min(asReal(a), asReal(b)));
+    case BinOp::Max:
+      return bothInt ? intOut(std::max(a->intVal, b->intVal))
+                     : realOut(std::max(asReal(a), asReal(b)));
+    case BinOp::And:
+    case BinOp::Or:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<ExprPtr> foldExpr(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::Bin:
+      return foldBin(e);
+    case ExprKind::Neg:
+      if (isIntK(e->lhs)) return il::intConst(-e->lhs->intVal);
+      if (isRealK(e->lhs)) return il::realConst(-e->lhs->realVal);
+      if (e->lhs->kind == ExprKind::Neg) return e->lhs->lhs;  // --x => x
+      return std::nullopt;
+    case ExprKind::Not:
+      if (auto t = knownTruth(e->lhs)) return boolConst(!*t);
+      if (e->lhs->kind == ExprKind::Not) return e->lhs->lhs;  // !!x => x
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Program constantFolding(const Program& prog) {
+  Program out = prog;
+  StmtPtr folded = rewriteExprsInStmts(prog.body, foldExpr);
+  // Guard and loop cleanup on the folded tree.
+  out.body = rewriteStmts(
+      folded, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        if (s->kind == StmtKind::Guarded) {
+          if (auto t = knownTruth(s->rule))
+            return *t ? s->body : StmtPtr(nullptr);
+          return std::nullopt;
+        }
+        if (s->kind == StmtKind::For && !s->step && isIntK(s->lb) &&
+            isIntK(s->ub) && s->lb->intVal > s->ub->intVal)
+          return StmtPtr(nullptr);  // statically empty loop
+        return std::nullopt;
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

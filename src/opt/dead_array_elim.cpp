@@ -1,0 +1,146 @@
+// Dead array elimination: redundant-transfer elimination rewires uses of
+// the per-processor temporaries back to the original operands, leaving the
+// temporary declarations unreferenced; this pass deletes them and
+// renumbers the surviving symbols (every statement and expression carries
+// symbol indices, so the remap must walk everything).
+#include <vector>
+
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::Expr;
+using il::ExprPtr;
+using il::Program;
+using il::SectionExpr;
+using il::SectionExprPtr;
+using il::Stmt;
+using il::StmtPtr;
+
+void markExpr(const ExprPtr& e, std::vector<bool>& used);
+
+void markSection(const SectionExprPtr& s, std::vector<bool>& used) {
+  if (!s) return;
+  if (s->sym >= 0) used[static_cast<std::size_t>(s->sym)] = true;
+  for (const auto& t : s->dims) {
+    markExpr(t.lb, used);
+    markExpr(t.ub, used);
+    markExpr(t.stride, used);
+  }
+  markExpr(s->pid, used);
+  markSection(s->a, used);
+  markSection(s->b, used);
+}
+
+void markExpr(const ExprPtr& e, std::vector<bool>& used) {
+  if (!e) return;
+  if (e->sym >= 0) used[static_cast<std::size_t>(e->sym)] = true;
+  markExpr(e->lhs, used);
+  markExpr(e->rhs, used);
+  markSection(e->section, used);
+}
+
+void markStmt(const StmtPtr& s, std::vector<bool>& used) {
+  if (!s) return;
+  if (s->sym >= 0) used[static_cast<std::size_t>(s->sym)] = true;
+  if (s->sym2 >= 0) used[static_cast<std::size_t>(s->sym2)] = true;
+  if (s->dest.sym >= 0) used[static_cast<std::size_t>(s->dest.sym)] = true;
+  markExpr(s->value, used);
+  markExpr(s->rhs, used);
+  markExpr(s->lb, used);
+  markExpr(s->ub, used);
+  markExpr(s->step, used);
+  markExpr(s->rule, used);
+  markExpr(s->bindHint, used);
+  markSection(s->lhs, used);
+  markSection(s->sec2, used);
+  markSection(s->dest.section, used);
+  for (const auto& [sym, se] : s->args) {
+    if (sym >= 0) used[static_cast<std::size_t>(sym)] = true;
+    markSection(se, used);
+  }
+  for (const auto& c : s->stmts) markStmt(c, used);
+  markStmt(s->body, used);
+}
+
+ExprPtr remapExpr(const ExprPtr& e, const std::vector<int>& map);
+
+SectionExprPtr remapSection(const SectionExprPtr& s,
+                            const std::vector<int>& map) {
+  if (!s) return s;
+  auto n = std::make_shared<SectionExpr>(*s);
+  if (s->sym >= 0) n->sym = map[static_cast<std::size_t>(s->sym)];
+  for (auto& t : n->dims) {
+    t.lb = remapExpr(t.lb, map);
+    t.ub = remapExpr(t.ub, map);
+    t.stride = remapExpr(t.stride, map);
+  }
+  n->pid = remapExpr(s->pid, map);
+  n->a = remapSection(s->a, map);
+  n->b = remapSection(s->b, map);
+  return n;
+}
+
+ExprPtr remapExpr(const ExprPtr& e, const std::vector<int>& map) {
+  if (!e) return e;
+  auto n = std::make_shared<Expr>(*e);
+  if (e->sym >= 0) n->sym = map[static_cast<std::size_t>(e->sym)];
+  n->lhs = remapExpr(e->lhs, map);
+  n->rhs = remapExpr(e->rhs, map);
+  n->section = remapSection(e->section, map);
+  return n;
+}
+
+StmtPtr remapStmt(const StmtPtr& s, const std::vector<int>& map) {
+  if (!s) return s;
+  auto n = std::make_shared<Stmt>(*s);
+  if (s->sym >= 0) n->sym = map[static_cast<std::size_t>(s->sym)];
+  if (s->sym2 >= 0) n->sym2 = map[static_cast<std::size_t>(s->sym2)];
+  if (s->dest.sym >= 0)
+    n->dest.sym = map[static_cast<std::size_t>(s->dest.sym)];
+  n->value = remapExpr(s->value, map);
+  n->rhs = remapExpr(s->rhs, map);
+  n->lb = remapExpr(s->lb, map);
+  n->ub = remapExpr(s->ub, map);
+  n->step = remapExpr(s->step, map);
+  n->rule = remapExpr(s->rule, map);
+  n->bindHint = remapExpr(s->bindHint, map);
+  n->lhs = remapSection(s->lhs, map);
+  n->sec2 = remapSection(s->sec2, map);
+  n->dest.section = remapSection(s->dest.section, map);
+  for (auto& p : n->dest.pids) p = remapExpr(p, map);
+  for (auto& [sym, se] : n->args) {
+    if (sym >= 0) sym = map[static_cast<std::size_t>(sym)];
+    se = remapSection(se, map);
+  }
+  std::vector<StmtPtr> kids;
+  for (const auto& c : s->stmts) kids.push_back(remapStmt(c, map));
+  n->stmts = std::move(kids);
+  n->body = remapStmt(s->body, map);
+  return n;
+}
+
+}  // namespace
+
+Program deadArrayElimination(const Program& prog) {
+  std::vector<bool> used(prog.arrays.size(), false);
+  markStmt(prog.body, used);
+  bool anyDead = false;
+  for (bool u : used) anyDead |= !u;
+  if (!anyDead) return prog;
+
+  std::vector<int> map(prog.arrays.size(), -1);
+  Program out;
+  out.nprocs = prog.nprocs;
+  for (std::size_t i = 0; i < prog.arrays.size(); ++i) {
+    if (!used[i]) continue;
+    map[i] = out.addArray(prog.arrays[i]);
+  }
+  out.body = remapStmt(prog.body, map);
+  return out;
+}
+
+}  // namespace xdp::opt

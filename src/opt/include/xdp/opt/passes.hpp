@@ -1,0 +1,117 @@
+// The XDP optimization passes (paper sections 2.2, 2.4, 3.2 and 4).
+//
+// Every pass is a pure Program -> Program function; the PassManager chains
+// them and can print intermediate programs. The passes are deliberately
+// pattern-directed: each implements the specific legality conditions the
+// paper states for its transformation, and leaves code it cannot prove
+// safe untouched (full dependence analysis belongs to the host compiler,
+// not the XDP methodology).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xdp/il/program.hpp"
+
+namespace xdp::opt {
+
+/// Owner-computes lowering (paper section 2.2, first listing): turn
+/// unguarded element assignments over distributed arrays into guarded
+/// IL+XDP — the owner of each rhs operand sends it, the owner of the lhs
+/// receives into a per-processor temporary, awaits it, and computes.
+/// Creates the temporaries and the send<->receive link structure.
+il::Program lowerOwnerComputes(const il::Program& prog);
+
+/// Remove transfers whose sender and receiver are provably the same
+/// processor: the send and its linked receive sit under iown() guards of
+/// sections with identical subscripts and identical distributions
+/// (alignment), so the value is already local. Rewrites uses of the
+/// temporary back to the original operand (paper 2.2: "if the same
+/// processor that exclusively owns A[i] also owns B[i], then the data
+/// transfer statements can be eliminated").
+il::Program redundantTransferElimination(const il::Program& prog);
+
+/// Message vectorization (paper 2.2: "move them out of the computation
+/// loop and combine or vectorize the messages"): per-element transfers in
+/// a 1-D loop become one section transfer per peer processor, plus a local
+/// copy for the aligned part. Requires both arrays to have
+/// single-rectangle local parts (BLOCK/CYCLIC/collapsed dims).
+il::Program messageVectorization(const il::Program& prog);
+
+/// Compute rule elimination by loop-bounds localization (paper 2.4/4):
+/// for loops whose body is a single iown(A[..i..])-guarded statement,
+/// shrink the loop bounds to the locally-owned range via mylb/myub (and
+/// stride P for CYCLIC), then drop the guard.
+il::Program computeRuleElimination(const il::Program& prog);
+
+/// Replace single-iteration-per-processor loops by mypid substitution
+/// (paper section 4: "these single iteration outer loops can also be
+/// removed"). Applies when the guard's subscripted dimension is
+/// distributed BLOCK with block size 1 over the loop's full range.
+il::Program singleIterationElimination(const il::Program& prog);
+
+/// Fuse adjacent loops with identical headers when every section either
+/// belongs to a symbol mentioned by only one of the bodies, or is a
+/// literal section whose loop-dependent subscript makes per-iteration
+/// footprints disjoint (the paper's legality condition for fusing the FFT
+/// compute loop with the redistribution send loop in section 4).
+il::Program loopFusion(const il::Program& prog);
+
+/// Move an await guarding a whole loop into the loop, narrowing the
+/// awaited section to the iteration's footprint (paper section 4, second
+/// transformation: per-line await lets FFTs start while other lines are
+/// still in flight).
+il::Program awaitSinking(const il::Program& prog);
+
+/// Constant folding + guard simplification: ordinary scalar optimization
+/// applied to IL+XDP (the point of the paper's key idea 2 — transfers and
+/// compute rules live in a normal IL, so normal optimizations apply).
+/// Rules folding to true/false inline/delete their guarded statements
+/// (sound because compute rules are side-effect-free, section 2.4).
+il::Program constantFolding(const il::Program& prog);
+
+/// Receive hoisting (paper 3.2: "move the XDP receive statements as early
+/// in the program as possible"): within each block, receive initiations
+/// bubble leftward past statements they do not depend on, so receives are
+/// posted before their messages arrive (avoiding the transport's
+/// unexpected-message copy) and communication overlaps computation.
+il::Program recvHoisting(const il::Program& prog);
+
+/// Remove arrays no statement references (the temporaries orphaned by
+/// redundantTransferElimination) and renumber the survivors.
+il::Program deadArrayElimination(const il::Program& prog);
+
+/// Delayed communication binding (paper 3.2): annotate sends with their
+/// receiver where the auxiliary link structure or the receiver's iown()
+/// guard determines it, so code generation can route directly instead of
+/// through the run-time matchmaker.
+il::Program commBinding(const il::Program& prog);
+
+// --- pass manager ----------------------------------------------------------
+
+using PassFn = std::function<il::Program(const il::Program&)>;
+
+struct Pass {
+  std::string name;
+  PassFn fn;
+};
+
+/// The standard pipeline for lowered scalar programs, in the order the
+/// paper applies them in section 2.2.
+std::vector<Pass> standardPipeline();
+
+class PassManager {
+ public:
+  PassManager& add(std::string name, PassFn fn);
+  PassManager& add(const Pass& pass);
+
+  /// Apply all passes in order. If `trace` is non-null, the program is
+  /// pretty-printed into it before the first pass and after each pass.
+  il::Program run(const il::Program& prog, std::string* trace = nullptr) const;
+
+ private:
+  std::vector<Pass> passes_;
+};
+
+}  // namespace xdp::opt

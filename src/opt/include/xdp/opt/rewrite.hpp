@@ -1,0 +1,54 @@
+// Tree-walking utilities shared by the optimization passes. Statements and
+// expressions are immutable, so rewriting rebuilds the spine and shares
+// untouched subtrees.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "xdp/il/program.hpp"
+
+namespace xdp::opt {
+
+using il::ExprPtr;
+using il::SectionExprPtr;
+using il::StmtPtr;
+
+/// Preorder visit of every statement (including Block/For/Guarded bodies).
+void visitStmts(const StmtPtr& root,
+                const std::function<void(const StmtPtr&)>& fn);
+
+/// Bottom-up rewrite: children are rewritten first, then `fn` is offered
+/// the (rebuilt) node; returning nullopt keeps it, returning a statement
+/// replaces it. Returning a Block from `fn` splices its children when the
+/// parent is a Block (so one statement can expand to many).
+StmtPtr rewriteStmts(
+    const StmtPtr& root,
+    const std::function<std::optional<StmtPtr>(const StmtPtr&)>& fn);
+
+/// Bottom-up expression rewrite over one expression tree.
+ExprPtr rewriteExpr(
+    const ExprPtr& root,
+    const std::function<std::optional<ExprPtr>(const ExprPtr&)>& fn);
+
+/// Rewrite every expression embedded in a statement tree (rules, bounds,
+/// subscripts, rhs, destinations) with `fn`.
+StmtPtr rewriteExprsInStmts(
+    const StmtPtr& root,
+    const std::function<std::optional<ExprPtr>(const ExprPtr&)>& fn);
+
+/// Substitute scalar `name` by `replacement` everywhere in a statement.
+StmtPtr substituteScalar(const StmtPtr& root, const std::string& name,
+                         const ExprPtr& replacement);
+
+/// True iff some expression in the statement satisfies `pred`.
+bool anyExpr(const StmtPtr& root,
+             const std::function<bool(const ExprPtr&)>& pred);
+
+/// Rewrite the section expressions of one expression tree.
+ExprPtr rewriteSectionsInExpr(
+    const ExprPtr& root,
+    const std::function<std::optional<SectionExprPtr>(const SectionExprPtr&)>&
+        fn);
+
+}  // namespace xdp::opt

@@ -1,0 +1,208 @@
+// Loop fusion (paper section 4): fusing the FFT compute loop with the
+// redistribution send loop pipelines the ownership transfer — each line's
+// "-=>"" is initiated as soon as that line's fft1D finishes, overlapping
+// transfer latency with the remaining computation.
+//
+// We fuse adjacent For statements with structurally identical headers
+// (lb/ub/step). The paper's legality condition — "between any -=> and its
+// corresponding <=- operation, no ownership queries are performed on the
+// associated data, and these data are not accessed by computation in the
+// interim" — is discharged syntactically: for every symbol referenced by
+// both bodies, every reference must be a literal section carrying the loop
+// variable as a single-point subscript in one common dimension, which
+// makes the per-iteration footprints of distinct iterations disjoint. Then
+// reordering across iterations touches disjoint data, and within one fused
+// iteration the original statement order is preserved.
+#include <map>
+#include <set>
+
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::SecExprKind;
+using il::SectionExprPtr;
+using il::StmtKind;
+using il::StmtPtr;
+
+bool sameHeader(const StmtPtr& a, const StmtPtr& b) {
+  if (a->kind != StmtKind::For || b->kind != StmtKind::For) return false;
+  if (!il::sameExpr(a->lb, b->lb) || !il::sameExpr(a->ub, b->ub)) return false;
+  if (!a->step != !b->step) return false;
+  if (a->step && !il::sameExpr(a->step, b->step)) return false;
+  return true;
+}
+
+bool exprMentionsVar(const ExprPtr& e, const std::string& var) {
+  if (!e) return false;
+  bool found = false;
+  rewriteExpr(e, [&](const ExprPtr& x) -> std::optional<ExprPtr> {
+    if (x->kind == ExprKind::ScalarRef && x->name == var) found = true;
+    return std::nullopt;
+  });
+  return found;
+}
+
+// Footprint lattice value for one section reference w.r.t. the loop var:
+//   kVarFree (-2): the section does not depend on the loop variable.
+//   d >= 0       : footprint confined to the single-point plane `var` in
+//                  dimension d — distinct iterations touch disjoint data.
+//   kBad (-1)    : var used in a way we cannot bound.
+constexpr int kBad = -1;
+constexpr int kVarFree = -2;
+
+int varDimOfSection(const SectionExprPtr& s, const std::string& var) {
+  if (!s) return kVarFree;
+  switch (s->kind) {
+    case SecExprKind::Literal: {
+      int dim = kVarFree;
+      for (std::size_t d = 0; d < s->dims.size(); ++d) {
+        const auto& t = s->dims[d];
+        const bool isVarPoint = t.lb && t.lb->kind == ExprKind::ScalarRef &&
+                                t.lb->name == var && !t.ub && !t.stride;
+        if (isVarPoint) {
+          if (dim >= 0) return kBad;  // var points in two dimensions
+          dim = static_cast<int>(d);
+          continue;
+        }
+        if (exprMentionsVar(t.lb, var) || exprMentionsVar(t.ub, var) ||
+            exprMentionsVar(t.stride, var))
+          return kBad;  // var in a non-point position
+      }
+      return dim;
+    }
+    case SecExprKind::LocalPart:
+      return kVarFree;
+    case SecExprKind::OwnerPart:
+      return exprMentionsVar(s->pid, var) ? kBad : kVarFree;
+    case SecExprKind::Intersect: {
+      // The intersection's footprint is within each side's footprint, so
+      // one var-point side bounds it even if the other is var-free.
+      int da = varDimOfSection(s->a, var);
+      int db = varDimOfSection(s->b, var);
+      if (da == kBad || db == kBad) return kBad;
+      if (da == kVarFree) return db;
+      if (db == kVarFree) return da;
+      return da == db ? da : kBad;
+    }
+  }
+  return kBad;
+}
+
+/// Merge footprint values of all references to one symbol.
+int mergeDim(int x, int y) {
+  if (x == kVarFree) return y;
+  if (y == kVarFree) return x;
+  return x == y ? x : kBad;
+}
+
+void collectVarDims(const StmtPtr& body, const std::string& var,
+                    std::map<int, int>& dims) {
+  auto consider = [&](int sym, const SectionExprPtr& s) {
+    if (sym < 0 || !s) return;
+    int dim = varDimOfSection(s, var);
+    auto it = dims.find(sym);
+    if (it == dims.end())
+      dims[sym] = dim;
+    else
+      it->second = mergeDim(it->second, dim);
+  };
+  visitStmts(body, [&](const StmtPtr& s) {
+    consider(s->sym, s->lhs);
+    consider(s->sym2, s->sec2);
+    for (const auto& [sym, se] : s->args) consider(sym, se);
+  });
+  // Expression-embedded references (guards, rhs).
+  rewriteExprsInStmts(body, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+    if (e->section) consider(e->sym, e->section);
+    return std::nullopt;
+  });
+}
+
+std::set<int> ownershipSyms(const StmtPtr& body) {
+  std::set<int> syms;
+  visitStmts(body, [&](const StmtPtr& s) {
+    if (s->kind == StmtKind::SendOwn || s->kind == StmtKind::RecvOwn)
+      syms.insert(s->sym);
+  });
+  return syms;
+}
+
+std::set<int> awaitSyms(const StmtPtr& body) {
+  std::set<int> syms;
+  visitStmts(body, [&](const StmtPtr& s) {
+    if (s->kind == StmtKind::Await) syms.insert(s->sym);
+  });
+  rewriteExprsInStmts(body, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+    if (e->kind == ExprKind::Await) syms.insert(e->sym);
+    return std::nullopt;
+  });
+  return syms;
+}
+
+bool canFuse(const StmtPtr& a, const StmtPtr& b) {
+  // Never pull a consumer's synchronization into the producer loop: if one
+  // body awaits a symbol whose ownership the other body transfers, fusing
+  // would make each iteration block on every peer's progress, serializing
+  // the very pipeline fusion is meant to create (the paper fuses the FFT
+  // compute loop with the send loop but leaves Loop 4's awaits outside).
+  const std::set<int> ownA = ownershipSyms(a->body);
+  const std::set<int> ownB = ownershipSyms(b->body);
+  for (int s : awaitSyms(b->body))
+    if (ownA.count(s)) return false;
+  for (int s : awaitSyms(a->body))
+    if (ownB.count(s)) return false;
+
+  std::map<int, int> dimsA, dimsB;
+  collectVarDims(a->body, a->name, dimsA);
+  collectVarDims(b->body, b->name, dimsB);
+  for (const auto& [sym, dA] : dimsA) {
+    auto it = dimsB.find(sym);
+    if (it == dimsB.end()) continue;  // symbol private to loop a
+    // Shared symbol: both loops must confine each iteration's footprint to
+    // the same var-indexed plane, so reordering across iterations touches
+    // disjoint data. (Var-free shared references could alias across
+    // iterations; rejected conservatively.)
+    if (dA < 0 || it->second != dA) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Program loopFusion(const Program& prog) {
+  Program out = prog;
+  out.body = rewriteStmts(
+      prog.body, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        if (s->kind != StmtKind::Block) return std::nullopt;
+        std::vector<StmtPtr> result;
+        bool changed = false;
+        for (const auto& stmt : s->stmts) {
+          if (!result.empty() && sameHeader(result.back(), stmt) &&
+              canFuse(result.back(), stmt)) {
+            const StmtPtr& prev = result.back();
+            // Rename the second loop's variable to the first's.
+            StmtPtr body2 =
+                substituteScalar(stmt->body, stmt->name,
+                                 il::scalar(prev->name));
+            StmtPtr fusedBody =
+                il::block({prev->body, body2});
+            result.back() = il::forLoop(prev->name, prev->lb, prev->ub,
+                                        fusedBody, prev->step);
+            changed = true;
+            continue;
+          }
+          result.push_back(stmt);
+        }
+        if (!changed) return std::nullopt;
+        return il::withStmts(s, std::move(result));
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

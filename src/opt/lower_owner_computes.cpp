@@ -1,0 +1,150 @@
+// Owner-computes lowering — the translation shown in the paper's
+// section 2.2:
+//
+//   do i = 1, n                      do i = 1, n
+//     A[i] = A[i] + B[i]     ==>       iown(B[i]) : { B[i] -> }
+//   enddo                              iown(A[i]) : {
+//                                        T[mypid] <- B[i]
+//                                        await(T[mypid])
+//                                        A[i] = A[i] + T[mypid]
+//                                      }
+//                                    enddo
+//
+// Every remote-able rhs operand gets a per-processor temporary T (a
+// [0:P-1] array block-distributed so T[mypid] is local everywhere), a
+// send guarded by the operand's owner, and a linked receive in the lhs
+// owner's guard. Operands that are syntactically the lhs itself stay
+// local — their locality is the definition of owner-computes.
+#include <vector>
+
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::SectionExprPtr;
+using il::Stmt;
+using il::StmtKind;
+using il::StmtPtr;
+
+struct RemoteRef {
+  int sym;
+  SectionExprPtr section;
+  int tempSym;
+  int link;
+};
+
+class Lowerer {
+ public:
+  explicit Lowerer(Program& prog) : prog_(prog) {}
+
+  StmtPtr lower(const StmtPtr& s, bool inGuard) {
+    if (!s) return s;
+    switch (s->kind) {
+      case StmtKind::Block: {
+        std::vector<StmtPtr> out;
+        for (const auto& c : s->stmts) {
+          StmtPtr r = lower(c, inGuard);
+          if (r->kind == StmtKind::Block && c->kind != StmtKind::Block) {
+            // Splice an assignment's expansion into the enclosing block so
+            // downstream passes see the canonical flat shape.
+            out.insert(out.end(), r->stmts.begin(), r->stmts.end());
+          } else {
+            out.push_back(std::move(r));
+          }
+        }
+        return il::block(std::move(out));
+      }
+      case StmtKind::For:
+        return il::withBody(s, lower(s->body, inGuard));
+      case StmtKind::Guarded:
+        return il::withBody(s, lower(s->body, /*inGuard=*/true));
+      case StmtKind::ElemAssign:
+        return inGuard ? s : lowerAssign(s);
+      default:
+        return s;
+    }
+  }
+
+ private:
+  StmtPtr lowerAssign(const StmtPtr& s) {
+    // Collect distinct remote-able rhs element references.
+    std::vector<RemoteRef> refs;
+    rewriteExpr(s->rhs, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+      if (e->kind != ExprKind::Elem) return std::nullopt;
+      if (e->sym == s->sym && il::sameSectionExpr(e->section, s->lhs))
+        return std::nullopt;  // the lhs itself: local by owner-computes
+      for (const auto& r : refs)
+        if (r.sym == e->sym && il::sameSectionExpr(r.section, e->section))
+          return std::nullopt;  // deduplicate
+      RemoteRef r;
+      r.sym = e->sym;
+      r.section = e->section;
+      r.tempSym = makeTemp();
+      r.link = prog_.freshLink();
+      refs.push_back(std::move(r));
+      return std::nullopt;
+    });
+
+    if (refs.empty())
+      return il::guarded(il::iown(s->sym, s->lhs), il::block({s}));
+
+    std::vector<StmtPtr> result;
+    std::vector<StmtPtr> ownerBody;
+    SectionExprPtr tmypid = il::secPoint({il::mypid()});
+    ExprPtr rhs = s->rhs;
+    for (const auto& r : refs) {
+      // iown(B[i]) : { B[i] -> }
+      result.push_back(il::guarded(
+          il::iown(r.sym, r.section),
+          il::block({il::sendData(r.sym, r.section, il::DestSpec::none(),
+                                  r.link)})));
+      // T[mypid] <- B[i] ; await(T[mypid])
+      ownerBody.push_back(
+          il::recvData(r.tempSym, tmypid, r.sym, r.section, r.link));
+      ownerBody.push_back(il::awaitStmt(r.tempSym, tmypid));
+      // rhs: B[i] -> T[mypid]
+      rhs = rewriteExpr(rhs, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+        if (e->kind == ExprKind::Elem && e->sym == r.sym &&
+            il::sameSectionExpr(e->section, r.section))
+          return il::elem(r.tempSym, tmypid);
+        return std::nullopt;
+      });
+    }
+    ownerBody.push_back(il::elemAssign(s->sym, s->lhs, rhs));
+    result.push_back(
+        il::guarded(il::iown(s->sym, s->lhs), il::block(std::move(ownerBody))));
+    return il::block(std::move(result));
+  }
+
+  int makeTemp() {
+    while (prog_.findSymbol("T" + std::to_string(tempCount_)) >= 0)
+      ++tempCount_;
+    il::ArrayDecl d;
+    d.name = "T" + std::to_string(tempCount_++);
+    d.type = rt::ElemType::F64;
+    d.global = sec::Section{sec::Triplet(0, prog_.nprocs - 1)};
+    d.dist = dist::Distribution(d.global,
+                                {dist::DimSpec::block(prog_.nprocs)});
+    return prog_.addArray(std::move(d));
+  }
+
+  Program& prog_;
+  int tempCount_ = 0;
+};
+
+}  // namespace
+
+Program lowerOwnerComputes(const Program& prog) {
+  Program out = prog;
+  Lowerer lw(out);
+  out.body = lw.lower(prog.body, /*inGuard=*/false);
+  return out;
+}
+
+}  // namespace xdp::opt

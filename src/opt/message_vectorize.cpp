@@ -1,0 +1,228 @@
+// Message vectorization (paper section 2.2: "the compiler may be able to
+// move them out of the computation loop and combine or vectorize [8] the
+// messages").
+//
+// Recognized shape — the canonical lowered form over a 1-D loop:
+//
+//   do i = lb, ub
+//     iown(B[i]) : { B[i] -> }                        (link L)
+//     iown(A[i]) : { T[mypid] <- B[i]                 (link L)
+//                    await(T[mypid])
+//                    A[i] = f(..., T[mypid], ...) }
+//   enddo
+//
+// becomes a peer-wise section exchange plus a local copy for the aligned
+// part, then a pure compute loop:
+//
+//   do q = 0, P-1                                     // send phase
+//     (q != mypid && nonempty(Sq)) : { B[Sq] -> }     Sq = myPart(B) ∩
+//   enddo                                             partq(A) ∩ [lb:ub]
+//   nonempty(Lq) : { TB[Lq] = B[Lq] }                 // aligned part
+//   do q = 0, P-1                                     // receive phase
+//     (q != mypid && nonempty(Rq)) : { TB[Rq] <- B[Rq] }
+//   enddo
+//   await(TB[myPart(A) ∩ [lb:ub]])
+//   do i = lb, ub
+//     iown(A[i]) : { A[i] = f(..., TB[i], ...) }
+//   enddo
+//
+// TB is a fresh array with B's global shape and A's distribution, so every
+// processor owns exactly the values it will read. Sends stay unspecified —
+// routing them directly is CommBinding's job (the pass records the peer in
+// the send's bindHint, the auxiliary structure of paper section 3.2).
+//
+// Applicability: both arrays rank 1 with equal global boxes, both local
+// parts single rectangles (BLOCK, CYCLIC, or collapsed dims), loop step 1,
+// subscripts exactly [i].
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::SecExprKind;
+using il::SectionExprPtr;
+using il::StmtKind;
+using il::StmtPtr;
+
+bool isVarPoint(const SectionExprPtr& s, const std::string& var) {
+  return s && s->kind == SecExprKind::Literal && s->dims.size() == 1 &&
+         s->dims[0].lb && s->dims[0].lb->kind == ExprKind::ScalarRef &&
+         s->dims[0].lb->name == var && !s->dims[0].ub && !s->dims[0].stride;
+}
+
+bool singleRectangleParts(const dist::Distribution& d) {
+  for (const auto& spec : d.specs())
+    if (spec.kind == dist::DistKind::BlockCyclic) return false;
+  return true;
+}
+
+struct MatchedLoop {
+  int symB = -1, symA = -1, symT = -1;
+  ExprPtr lb, ub;
+  std::string var;
+  StmtPtr assign;  // the guarded computation's ElemAssign
+};
+
+/// Match the canonical lowered loop; nullopt if the shape differs.
+std::optional<MatchedLoop> match(const Program& prog, const StmtPtr& s) {
+  if (s->kind != StmtKind::For || s->step) return std::nullopt;
+  const StmtPtr& body = s->body;
+  if (!body || body->kind != StmtKind::Block || body->stmts.size() != 2)
+    return std::nullopt;
+  const StmtPtr& sendG = body->stmts[0];
+  const StmtPtr& compG = body->stmts[1];
+  if (sendG->kind != StmtKind::Guarded || compG->kind != StmtKind::Guarded)
+    return std::nullopt;
+  if (sendG->rule->kind != ExprKind::Iown ||
+      compG->rule->kind != ExprKind::Iown)
+    return std::nullopt;
+  // Send side: iown(B[i]) : { B[i] -> } with unspecified destination.
+  const StmtPtr& sb = sendG->body;
+  if (sb->kind != StmtKind::Block || sb->stmts.size() != 1)
+    return std::nullopt;
+  const StmtPtr& send = sb->stmts[0];
+  if (send->kind != StmtKind::SendData ||
+      send->dest.kind != il::DestSpec::Kind::None)
+    return std::nullopt;
+  if (!isVarPoint(send->lhs, s->name) ||
+      !il::sameSectionExpr(send->lhs, sendG->rule->section) ||
+      send->sym != sendG->rule->sym)
+    return std::nullopt;
+  // Compute side: iown(A[i]) : { T[mypid] <- B[i]; await; assign }.
+  const StmtPtr& cb = compG->body;
+  if (cb->kind != StmtKind::Block || cb->stmts.size() != 3)
+    return std::nullopt;
+  const StmtPtr& recv = cb->stmts[0];
+  const StmtPtr& aw = cb->stmts[1];
+  const StmtPtr& assign = cb->stmts[2];
+  if (recv->kind != StmtKind::RecvData || aw->kind != StmtKind::Await ||
+      assign->kind != StmtKind::ElemAssign)
+    return std::nullopt;
+  if (recv->linkId < 0 || recv->linkId != send->linkId) return std::nullopt;
+  if (recv->sym2 != send->sym || !il::sameSectionExpr(recv->sec2, send->lhs))
+    return std::nullopt;
+  if (aw->sym != recv->sym) return std::nullopt;
+  if (!isVarPoint(compG->rule->section, s->name) ||
+      assign->sym != compG->rule->sym ||
+      !il::sameSectionExpr(assign->lhs, compG->rule->section))
+    return std::nullopt;
+
+  MatchedLoop m;
+  m.symB = send->sym;
+  m.symA = assign->sym;
+  m.symT = recv->sym;
+  m.lb = s->lb;
+  m.ub = s->ub;
+  m.var = s->name;
+  m.assign = assign;
+
+  // Distribution applicability.
+  const auto& dA = prog.decl(m.symA);
+  const auto& dB = prog.decl(m.symB);
+  if (dA.global.rank() != 1 || dB.global.rank() != 1) return std::nullopt;
+  if (!(dA.global == dB.global)) return std::nullopt;
+  if (!singleRectangleParts(dA.dist) || !singleRectangleParts(dB.dist))
+    return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+Program messageVectorization(const Program& prog) {
+  Program out = prog;
+  int tbCount = 0;
+  out.body = rewriteStmts(
+      prog.body, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        auto m = match(out, s);
+        if (!m.has_value()) return std::nullopt;
+
+        // Copies, not references: addArray below may reallocate the
+        // declaration vector.
+        const il::ArrayDecl declA = out.decl(m->symA);
+        const il::ArrayDecl declB = out.decl(m->symB);
+
+        // TB: B's values homed where A lives.
+        while (out.findSymbol("TB" + std::to_string(tbCount)) >= 0) ++tbCount;
+        il::ArrayDecl tb;
+        tb.name = "TB" + std::to_string(tbCount++);
+        tb.type = declB.type;
+        tb.global = declB.global;
+        tb.dist = declA.dist;
+        const int TB = out.addArray(std::move(tb));
+
+        SectionExprPtr range = il::secRange1(m->lb, m->ub);
+        ExprPtr q = il::scalar("q$v");
+        // Sq = myPart(B) ∩ part_q under A's dist ∩ [lb:ub]
+        SectionExprPtr Sq = il::secIntersect(
+            il::secIntersect(il::secLocalPart(m->symB),
+                             il::secOwnerPart(m->symB, q, declA.dist)),
+            range);
+        // Rq = part_q under B's dist ∩ myPart under A's dist ∩ [lb:ub]
+        SectionExprPtr Rq = il::secIntersect(
+            il::secIntersect(il::secOwnerPart(m->symB, q),
+                             il::secLocalPart(m->symB, declA.dist)),
+            range);
+        // Lq = myPart(B) ∩ myPart under A's dist ∩ [lb:ub]
+        SectionExprPtr Lq = il::secIntersect(
+            il::secIntersect(il::secLocalPart(m->symB),
+                             il::secLocalPart(m->symB, declA.dist)),
+            range);
+
+        ExprPtr qNotMe =
+            il::bin(il::BinOp::Ne, q, il::mypid());
+        auto sendStmt = il::sendData(m->symB, Sq, il::DestSpec::none(),
+                                     out.freshLink());
+        {
+          auto n = std::make_shared<il::Stmt>(*sendStmt);
+          n->bindHint = q;  // the matching receiver is processor q
+          sendStmt = n;
+        }
+        StmtPtr sendPhase = il::forLoop(
+            "q$v", il::intConst(0), il::intConst(out.nprocs - 1),
+            il::block({il::guarded(
+                il::land(qNotMe, il::secNonEmpty(m->symB, Sq)),
+                il::block({sendStmt}))}));
+        StmtPtr localPhase =
+            il::guarded(il::secNonEmpty(m->symB, Lq),
+                        il::block({il::localCopy(TB, Lq, m->symB, Lq)}));
+        StmtPtr recvPhase = il::forLoop(
+            "q$v", il::intConst(0), il::intConst(out.nprocs - 1),
+            il::block({il::guarded(
+                il::land(qNotMe, il::secNonEmpty(m->symB, Rq)),
+                il::block({il::recvData(TB, Rq, m->symB, Rq)}))}));
+        // await(TB[myPart(A) ∩ range]) — one bulk synchronization.
+        SectionExprPtr myTb = il::secIntersect(
+            il::secLocalPart(m->symB, declA.dist), range);
+        StmtPtr awaitAll = il::awaitStmt(TB, myTb);
+
+        // Compute loop: T[mypid] -> TB[i] in the assignment.
+        SectionExprPtr ipt = il::secPoint({il::scalar(m->var)});
+        ExprPtr newRhs = rewriteExpr(
+            m->assign->rhs, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+              if (e->kind == ExprKind::Elem && e->sym == m->symT)
+                return il::elem(TB, ipt);
+              return std::nullopt;
+            });
+        StmtPtr computeLoop = il::forLoop(
+            m->var, m->lb, m->ub,
+            il::block({il::guarded(
+                il::iown(m->symA, ipt),
+                il::block({il::elemAssign(m->symA, m->assign->lhs,
+                                          newRhs)}))}));
+
+        // The aligned local copy runs first (it writes TB, which must not
+        // yet be transitional); then receives are posted *before* the
+        // sends (paper 3.2: non-blocking receives should move as early as
+        // possible), so arriving sections meet a posted receive instead of
+        // the transport's unexpected-buffer path.
+        return il::block(
+            {localPhase, recvPhase, sendPhase, awaitAll, computeLoop});
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

@@ -1,0 +1,48 @@
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::opt {
+
+PassManager& PassManager::add(std::string name, PassFn fn) {
+  passes_.push_back(Pass{std::move(name), std::move(fn)});
+  return *this;
+}
+
+PassManager& PassManager::add(const Pass& pass) {
+  passes_.push_back(pass);
+  return *this;
+}
+
+il::Program PassManager::run(const il::Program& prog,
+                             std::string* trace) const {
+  il::Program cur = prog;
+  if (trace) {
+    *trace += "=== input ===\n";
+    *trace += il::printProgram(cur);
+  }
+  for (const Pass& p : passes_) {
+    cur = p.fn(cur);
+    XDP_CHECK(cur.body != nullptr, "pass '" + p.name + "' dropped the body");
+    if (trace) {
+      *trace += "=== after " + p.name + " ===\n";
+      *trace += il::printProgram(cur);
+    }
+  }
+  return cur;
+}
+
+std::vector<Pass> standardPipeline() {
+  return {
+      {"lower-owner-computes", lowerOwnerComputes},
+      {"redundant-transfer-elim", redundantTransferElimination},
+      {"dead-array-elim", deadArrayElimination},
+      {"message-vectorize", messageVectorization},
+      {"compute-rule-elim", computeRuleElimination},
+      {"const-fold", constantFolding},
+      {"recv-hoisting", recvHoisting},
+      {"comm-binding", commBinding},
+  };
+}
+
+}  // namespace xdp::opt

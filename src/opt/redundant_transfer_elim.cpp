@@ -1,0 +1,109 @@
+// Redundant transfer elimination (paper section 2.2): "if the same
+// processor that exclusively owns A[i] also owns B[i], then the data
+// transfer statements can be eliminated".
+//
+// Alignment proof used: the send's operand section and the receive guard's
+// lhs section have structurally identical subscripts AND the two arrays
+// have identical distributions (same global box, same per-dimension
+// specs). Then owner(B[sec]) == owner(A[sec]) for every instantiation, so
+// the linked send/receive pair moves data from a processor to itself.
+// The pair is deleted and uses of the temporary revert to the operand.
+#include <map>
+#include <set>
+
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::SectionExprPtr;
+using il::Stmt;
+using il::StmtKind;
+using il::StmtPtr;
+
+struct SendInfo {
+  int sym = -1;
+  SectionExprPtr section;
+};
+
+/// Collect link -> send operand for sends of the canonical lowered shape:
+/// Guarded(iown(B,sec), Block[ SendData(B,sec,link) ]).
+std::map<int, SendInfo> collectSends(const StmtPtr& root) {
+  std::map<int, SendInfo> sends;
+  visitStmts(root, [&](const StmtPtr& s) {
+    if (s->kind != StmtKind::SendData || s->linkId < 0) return;
+    sends[s->linkId] = SendInfo{s->sym, s->lhs};
+  });
+  return sends;
+}
+
+}  // namespace
+
+Program redundantTransferElimination(const Program& prog) {
+  Program out = prog;
+  const auto sends = collectSends(prog.body);
+
+  // Decide which links are redundant by examining each linked receive in
+  // the context of its enclosing iown() guard.
+  std::set<int> redundant;               // link ids to delete
+  std::map<int, SendInfo> replacement;   // temp sym -> original operand
+  std::function<void(const StmtPtr&, const StmtPtr&)> scan =
+      [&](const StmtPtr& s, const StmtPtr& guard) {
+        if (!s) return;
+        const StmtPtr& g =
+            (s->kind == StmtKind::Guarded &&
+             s->rule->kind == ExprKind::Iown)
+                ? s
+                : guard;
+        for (const auto& c : s->stmts) scan(c, g);
+        if (s->body) scan(s->body, g);
+        if (s->kind != StmtKind::RecvData || s->linkId < 0 || !g) return;
+        auto it = sends.find(s->linkId);
+        if (it == sends.end()) return;
+        const SendInfo& send = it->second;
+        // Receive (sym2, sec2) names the send operand by construction;
+        // alignment: guard is iown(A, lsec) with lsec == send.section and
+        // dist(A) == dist(B).
+        const ExprPtr& rule = g->rule;
+        if (!il::sameSectionExpr(rule->section, send.section)) return;
+        if (!(prog.decl(rule->sym).dist == prog.decl(send.sym).dist)) return;
+        redundant.insert(s->linkId);
+        replacement[s->sym] = send;  // temp array -> operand
+      };
+  scan(prog.body, nullptr);
+  if (redundant.empty()) return out;
+
+  // Pass 1: delete the linked sends/receives and the awaits on their
+  // temporaries; drop send guards left empty.
+  std::set<int> deadTemps;
+  for (const auto& [t, info] : replacement) deadTemps.insert(t);
+  out.body = rewriteStmts(
+      prog.body, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        if ((s->kind == StmtKind::SendData || s->kind == StmtKind::RecvData) &&
+            redundant.count(s->linkId))
+          return StmtPtr(nullptr);
+        if (s->kind == StmtKind::Await && deadTemps.count(s->sym))
+          return StmtPtr(nullptr);
+        if (s->kind == StmtKind::Guarded &&
+            (!s->body || (s->body->kind == StmtKind::Block &&
+                          s->body->stmts.empty())))
+          return StmtPtr(nullptr);
+        return std::nullopt;
+      });
+
+  // Pass 2: substitute temp uses by the original operands.
+  out.body = rewriteExprsInStmts(
+      out.body, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+        if (e->kind != ExprKind::Elem) return std::nullopt;
+        auto it = replacement.find(e->sym);
+        if (it == replacement.end()) return std::nullopt;
+        return il::elem(it->second.sym, it->second.section);
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

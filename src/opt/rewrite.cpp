@@ -1,0 +1,204 @@
+#include "xdp/opt/rewrite.hpp"
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::opt {
+
+using il::Expr;
+using il::ExprKind;
+using il::SecExprKind;
+using il::SectionExpr;
+using il::Stmt;
+using il::StmtKind;
+using il::TripletExpr;
+
+void visitStmts(const StmtPtr& root,
+                const std::function<void(const StmtPtr&)>& fn) {
+  if (!root) return;
+  fn(root);
+  for (const auto& c : root->stmts) visitStmts(c, fn);
+  if (root->body) visitStmts(root->body, fn);
+}
+
+StmtPtr rewriteStmts(
+    const StmtPtr& root,
+    const std::function<std::optional<StmtPtr>(const StmtPtr&)>& fn) {
+  if (!root) return root;
+  StmtPtr rebuilt = root;
+  if (root->kind == StmtKind::Block) {
+    std::vector<StmtPtr> out;
+    bool changed = false;
+    for (const auto& c : root->stmts) {
+      StmtPtr r = rewriteStmts(c, fn);
+      if (r != c) changed = true;
+      if (r == nullptr) continue;  // allow deletion
+      if (r->kind == StmtKind::Block && c->kind != StmtKind::Block) {
+        // Splice an expansion produced by fn for a non-block child.
+        out.insert(out.end(), r->stmts.begin(), r->stmts.end());
+        changed = true;
+      } else {
+        out.push_back(std::move(r));
+      }
+    }
+    if (changed) rebuilt = il::withStmts(root, std::move(out));
+  } else if (root->body) {
+    StmtPtr b = rewriteStmts(root->body, fn);
+    if (b != root->body) {
+      auto n = std::make_shared<Stmt>(*root);
+      n->body = b ? b : il::block({});
+      rebuilt = n;
+    }
+  }
+  auto replaced = fn(rebuilt);
+  return replaced.has_value() ? *replaced : rebuilt;
+}
+
+ExprPtr rewriteExpr(
+    const ExprPtr& root,
+    const std::function<std::optional<ExprPtr>(const ExprPtr&)>& fn) {
+  if (!root) return root;
+  auto n = std::make_shared<Expr>(*root);
+  bool changed = false;
+  auto sub = [&](const ExprPtr& e) {
+    ExprPtr r = rewriteExpr(e, fn);
+    if (r != e) changed = true;
+    return r;
+  };
+  n->lhs = sub(root->lhs);
+  n->rhs = sub(root->rhs);
+  if (root->section) {
+    auto rewriteSec = [&](auto&& self, const SectionExprPtr& s)
+        -> SectionExprPtr {
+      if (!s) return s;
+      auto sn = std::make_shared<SectionExpr>(*s);
+      bool secChanged = false;
+      for (auto& t : sn->dims) {
+        ExprPtr lb = rewriteExpr(t.lb, fn);
+        ExprPtr ub = rewriteExpr(t.ub, fn);
+        ExprPtr st = rewriteExpr(t.stride, fn);
+        if (lb != t.lb || ub != t.ub || st != t.stride) secChanged = true;
+        t.lb = lb;
+        t.ub = ub;
+        t.stride = st;
+      }
+      if (s->pid) {
+        ExprPtr p = rewriteExpr(s->pid, fn);
+        if (p != s->pid) secChanged = true;
+        sn->pid = p;
+      }
+      SectionExprPtr a = self(self, s->a);
+      SectionExprPtr b = self(self, s->b);
+      if (a != s->a || b != s->b) secChanged = true;
+      sn->a = a;
+      sn->b = b;
+      return secChanged ? SectionExprPtr(sn) : s;
+    };
+    SectionExprPtr s = rewriteSec(rewriteSec, root->section);
+    if (s != root->section) changed = true;
+    n->section = s;
+  }
+  ExprPtr rebuilt = changed ? ExprPtr(n) : root;
+  auto replaced = fn(rebuilt);
+  return replaced.has_value() ? *replaced : rebuilt;
+}
+
+namespace {
+
+SectionExprPtr rewriteSectionExprs(
+    const SectionExprPtr& s,
+    const std::function<std::optional<ExprPtr>(const ExprPtr&)>& fn) {
+  if (!s) return s;
+  auto sn = std::make_shared<SectionExpr>(*s);
+  bool changed = false;
+  for (auto& t : sn->dims) {
+    ExprPtr lb = rewriteExpr(t.lb, fn);
+    ExprPtr ub = rewriteExpr(t.ub, fn);
+    ExprPtr st = rewriteExpr(t.stride, fn);
+    if (lb != t.lb || ub != t.ub || st != t.stride) changed = true;
+    t.lb = lb;
+    t.ub = ub;
+    t.stride = st;
+  }
+  if (s->pid) {
+    ExprPtr p = rewriteExpr(s->pid, fn);
+    if (p != s->pid) changed = true;
+    sn->pid = p;
+  }
+  SectionExprPtr a = rewriteSectionExprs(s->a, fn);
+  SectionExprPtr b = rewriteSectionExprs(s->b, fn);
+  if (a != s->a || b != s->b) changed = true;
+  sn->a = a;
+  sn->b = b;
+  return changed ? SectionExprPtr(sn) : s;
+}
+
+}  // namespace
+
+StmtPtr rewriteExprsInStmts(
+    const StmtPtr& root,
+    const std::function<std::optional<ExprPtr>(const ExprPtr&)>& fn) {
+  return rewriteStmts(root, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+    auto n = std::make_shared<Stmt>(*s);
+    bool changed = false;
+    auto doE = [&](ExprPtr& e) {
+      ExprPtr r = rewriteExpr(e, fn);
+      if (r != e) changed = true;
+      e = r;
+    };
+    auto doS = [&](SectionExprPtr& se) {
+      SectionExprPtr r = rewriteSectionExprs(se, fn);
+      if (r != se) changed = true;
+      se = r;
+    };
+    doE(n->value);
+    doE(n->rhs);
+    doE(n->lb);
+    doE(n->ub);
+    doE(n->step);
+    doE(n->rule);
+    doE(n->bindHint);
+    doS(n->lhs);
+    doS(n->sec2);
+    for (auto& p : n->dest.pids) doE(p);
+    doS(n->dest.section);
+    for (auto& [sym, se] : n->args) doS(se);
+    if (!changed) return std::nullopt;
+    return StmtPtr(n);
+  });
+}
+
+StmtPtr substituteScalar(const StmtPtr& root, const std::string& name,
+                         const ExprPtr& replacement) {
+  return rewriteExprsInStmts(
+      root, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+        if (e->kind == ExprKind::ScalarRef && e->name == name)
+          return replacement;
+        return std::nullopt;
+      });
+}
+
+bool anyExpr(const StmtPtr& root,
+             const std::function<bool(const ExprPtr&)>& pred) {
+  bool found = false;
+  rewriteExprsInStmts(root, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+    if (pred(e)) found = true;
+    return std::nullopt;
+  });
+  return found;
+}
+
+ExprPtr rewriteSectionsInExpr(
+    const ExprPtr& root,
+    const std::function<std::optional<SectionExprPtr>(const SectionExprPtr&)>&
+        fn) {
+  return rewriteExpr(root, [&](const ExprPtr& e) -> std::optional<ExprPtr> {
+    if (!e->section) return std::nullopt;
+    auto r = fn(e->section);
+    if (!r.has_value()) return std::nullopt;
+    auto n = std::make_shared<Expr>(*e);
+    n->section = *r;
+    return ExprPtr(n);
+  });
+}
+
+}  // namespace xdp::opt

@@ -1,0 +1,99 @@
+// Single-iteration loop elimination (paper section 4): when each processor
+// owns exactly one iteration of a guarded loop, drop the loop and the
+// guard, "replacing all references to the loop's induction variable in the
+// body of the loop by mypid".
+//
+// Two guard shapes are recognized:
+//
+//   1. iown(A[..., p, ...]) with the subscripted dimension BLOCK-
+//      distributed with block size 1 over the loop's full range — the
+//      paper's FFT case where the array extent equals the processor count.
+//
+//   2. iown(OwnerPart(A, p)) — "processor p's partition of A" — over
+//      p = 0..P-1. Under the declared (initial) distribution each
+//      processor owns exactly its own partition, so iteration p runs only
+//      on processor p. This is the general-N form of the same idiom.
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::Program;
+using il::SecExprKind;
+using il::SectionExprPtr;
+using il::StmtKind;
+using il::StmtPtr;
+using il::TripletExpr;
+
+bool isIntConst(const ExprPtr& e, sec::Index v) {
+  return e && e->kind == ExprKind::IntConst && e->intVal == v;
+}
+
+/// The dimension subscripted by the loop variable as a single point (and
+/// nowhere else); -1 if the shape differs.
+int pointDim(const SectionExprPtr& sec, const std::string& var) {
+  if (!sec || sec->kind != SecExprKind::Literal) return -1;
+  int dim = -1;
+  for (std::size_t d = 0; d < sec->dims.size(); ++d) {
+    const TripletExpr& t = sec->dims[d];
+    if (t.lb && t.lb->kind == ExprKind::ScalarRef && t.lb->name == var &&
+        !t.ub && !t.stride) {
+      if (dim >= 0) return -1;
+      dim = static_cast<int>(d);
+    }
+  }
+  return dim;
+}
+
+}  // namespace
+
+Program singleIterationElimination(const Program& prog) {
+  Program out = prog;
+  out.body = rewriteStmts(
+      prog.body, [&](const StmtPtr& s) -> std::optional<StmtPtr> {
+        if (s->kind != StmtKind::For || s->step) return std::nullopt;
+        StmtPtr g = s->body;
+        if (g && g->kind == StmtKind::Block && g->stmts.size() == 1)
+          g = g->stmts[0];
+        if (!g || g->kind != StmtKind::Guarded ||
+            g->rule->kind != ExprKind::Iown)
+          return std::nullopt;
+        const int sym = g->rule->sym;
+        const SectionExprPtr& sec = g->rule->section;
+        const dist::Distribution& dist = prog.decl(sym).dist;
+
+        // Shape 2: iown(OwnerPart(A, p)) over p = 0..P-1.
+        if (sec && sec->kind == SecExprKind::OwnerPart &&
+            !sec->distOverride && sec->pid &&
+            sec->pid->kind == ExprKind::ScalarRef &&
+            sec->pid->name == s->name && isIntConst(s->lb, 0) &&
+            isIntConst(s->ub, dist.nprocs() - 1)) {
+          return substituteScalar(g->body, s->name, il::mypid());
+        }
+
+        // Shape 1: iown(A[..., p, ...]) with blockSize-1 BLOCK dimension.
+        const int d = pointDim(sec, s->name);
+        if (d < 0 || d >= dist.rank()) return std::nullopt;
+        const dist::DimSpec& spec = dist.specs()[static_cast<unsigned>(d)];
+        if (spec.kind != dist::DistKind::Block || dist.blockSizeOf(d) != 1)
+          return std::nullopt;
+        for (int e = 0; e < dist.rank(); ++e) {
+          if (e != d && dist.specs()[static_cast<unsigned>(e)].kind !=
+                            dist::DistKind::Collapsed)
+            return std::nullopt;  // mypid must be the dimension-d coordinate
+        }
+        const sec::Triplet& gdim = prog.decl(sym).global.dim(d);
+        if (!isIntConst(s->lb, gdim.lb()) || !isIntConst(s->ub, gdim.ub()))
+          return std::nullopt;
+        return substituteScalar(
+            g->body, s->name,
+            gdim.lb() == 0 ? il::mypid()
+                           : il::add(il::mypid(), il::intConst(gdim.lb())));
+      });
+  return out;
+}
+
+}  // namespace xdp::opt

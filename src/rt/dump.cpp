@@ -1,0 +1,87 @@
+#include "xdp/rt/dump.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::rt {
+
+std::string dumpSymbolTable(const ProcTable& table) {
+  std::ostringstream os;
+  os << "XDP run-time symbol table, processor p" << table.pid() << "\n";
+  os << std::left << std::setw(6) << "index" << std::setw(8) << "name"
+     << std::setw(6) << "rank" << std::setw(16) << "global" << std::setw(20)
+     << "partitioning" << std::setw(12) << "segshape" << std::setw(6)
+     << "#segs" << "\n";
+  for (int i = 0; i < table.numSymbols(); ++i) {
+    const SymbolDecl& d = table.decl(i);
+    auto segs = table.segments(i);
+    std::ostringstream shape;
+    shape << "(";
+    for (int dd = 0; dd < d.rank(); ++dd) {
+      if (dd) shape << ",";
+      Index e = d.segShape.elems[static_cast<unsigned>(dd)];
+      if (e == 0)
+        shape << "*";
+      else
+        shape << e;
+    }
+    shape << ")";
+    os << std::left << std::setw(6) << i << std::setw(8) << d.name
+       << std::setw(6) << d.rank() << std::setw(16) << d.global.str()
+       << std::setw(20) << d.dist.str() << std::setw(12) << shape.str()
+       << std::setw(6) << segs.size() << "\n";
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      os << "    segdesc[" << s << "] " << std::setw(13)
+         << segStateName(segs[s].status) << " bounds " << segs[s].bounds.str()
+         << " @elem " << segs[s].elemOffset << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string dumpOwnerGrid(const SymbolDecl& decl) {
+  XDP_CHECK(decl.rank() == 2, "owner grid rendering needs a rank-2 array");
+  std::ostringstream os;
+  os << decl.name << decl.global.str() << " distributed " << decl.dist.str()
+     << " — owner of each element:\n";
+  const auto& rows = decl.global.dim(0);
+  const auto& cols = decl.global.dim(1);
+  for (Index i = rows.lb(); i <= rows.ub(); ++i) {
+    os << "  ";
+    for (Index j = cols.lb(); j <= cols.ub(); ++j) {
+      os << "P" << decl.dist.ownerOf(Point{i, j}) << " ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string dumpSegmentGrid(const SymbolDecl& decl, int pid) {
+  XDP_CHECK(decl.rank() == 2, "segment grid rendering needs a rank-2 array");
+  auto segs = dist::segmentsOf(decl.dist, pid, decl.segShape);
+  std::ostringstream os;
+  os << decl.name << decl.global.str() << " " << decl.dist.str()
+     << ", processor P" << pid << " local segmentation (" << segs.size()
+     << " segments):\n";
+  const auto& rows = decl.global.dim(0);
+  const auto& cols = decl.global.dim(1);
+  for (Index i = rows.lb(); i <= rows.ub(); ++i) {
+    os << "  ";
+    for (Index j = cols.lb(); j <= cols.ub(); ++j) {
+      char c = '.';
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        if (segs[s].contains(Point{i, j})) {
+          c = static_cast<char>('a' + static_cast<int>(s % 26));
+          break;
+        }
+      }
+      os << c << ' ';
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xdp::rt

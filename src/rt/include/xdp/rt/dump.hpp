@@ -1,0 +1,26 @@
+// Human-readable renderings of the runtime structures, mirroring the
+// paper's figures: dumpSymbolTable produces the Figure-2 table for one
+// processor; dumpOwnerGrid / dumpSegmentGrid produce the Figure-3 pictures
+// (element-by-element owner map and one processor's local segmentation)
+// for rank-2 arrays.
+#pragma once
+
+#include <string>
+
+#include "xdp/rt/proc_table.hpp"
+
+namespace xdp::rt {
+
+/// Figure 2: one row per symbol — index, name, rank, global shape,
+/// partitioning, segment shape, #segments — plus the run-time segment
+/// descriptor array (status + bounds per segment).
+std::string dumpSymbolTable(const ProcTable& table);
+
+/// Figure 3 (left): for a rank-2 declaration, a grid of owner pids.
+std::string dumpOwnerGrid(const SymbolDecl& decl);
+
+/// Figure 3 (right): the segments of `pid`'s local partition, one letter
+/// per segment, '.' for elements owned by other processors.
+std::string dumpSegmentGrid(const SymbolDecl& decl, int pid);
+
+}  // namespace xdp::rt

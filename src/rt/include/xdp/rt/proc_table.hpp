@@ -1,0 +1,135 @@
+// The per-processor run-time XDP symbol table (paper section 3.1).
+//
+// "Each processor must maintain and update its own local copy of the XDP
+// symbol table structure at run-time, unless all uses of the table have
+// been optimized away. In contrast to a regular symbol table, the run-time
+// XDP symbol table only contains information about exclusive sections."
+//
+// The table holds, per symbol, a dynamic array of segment descriptors and
+// a storage pool. Ownership transfer removes/creates descriptors (the
+// paper's "shaded" run-time fields); a section is *unowned* exactly when
+// some element of it is covered by no descriptor. Segments are split when
+// ownership of a sub-section leaves, so transfers work at any granularity
+// the compiler chooses (the language permits single elements; segments are
+// the efficiency mechanism).
+//
+// Thread-safety: all public methods lock the table. Fabric completion
+// callbacks call back into beginReceive/completeReceive; the lock order is
+// always fabric -> table (see Fabric docs).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "xdp/rt/symbol.hpp"
+
+namespace xdp::rt {
+
+/// Storage accounting, for the paper's "storage it had occupied can be
+/// reused for a newly acquired section" claim (section 2.6).
+struct StorageStats {
+  std::size_t currentElems = 0;
+  std::size_t peakElems = 0;
+  std::size_t poolElems = 0;  ///< backing pool size (high-water allocation)
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+};
+
+class ProcTable {
+ public:
+  ProcTable(int pid, const std::vector<SymbolDecl>& decls, bool debugChecks);
+
+  int pid() const { return pid_; }
+  const SymbolDecl& decl(int sym) const;
+  int numSymbols() const { return static_cast<int>(decls_.size()); }
+
+  // --- intrinsics (paper Figure 1) ------------------------------------
+  bool iown(int sym, const Section& s) const;
+  bool accessible(int sym, const Section& s) const;
+  /// Returns false immediately if `s` is unowned; otherwise blocks until
+  /// accessible and returns true. If `arrival` is non-null it receives the
+  /// max virtual arrival time over the segments covering `s`.
+  bool await(int sym, const Section& s, double* arrival = nullptr);
+  Index mylb(int sym, const Section& s, int d) const;
+  Index myub(int sym, const Section& s, int d) const;
+
+  // --- element access --------------------------------------------------
+  /// Gather the owned elements of `s` into `out` (count()*elemSize bytes),
+  /// in `s`'s Fortran order. Unowned positions are left untouched. In
+  /// debug-checks mode, reading an incompletely-owned or non-accessible
+  /// section is a usage error.
+  void readElems(int sym, const Section& s, std::byte* out) const;
+  /// Scatter `in` (Fortran order of `s`) into the owned elements of `s`.
+  void writeElems(int sym, const Section& s, const std::byte* in);
+
+  // --- transfer-engine hooks (used by Proc, not by node programs) ------
+  /// Receive initiation: put every segment intersecting `s` in state
+  /// transitional (paper section 2.7). `s` must be owned.
+  void beginReceive(int sym, const Section& s);
+  /// Receive completion: optionally scatter `payload` (Fortran order of
+  /// `s`), restore segments to accessible, record `arrivalTime`, wake
+  /// awaiters.
+  void completeReceive(int sym, const Section& s, const std::byte* payload,
+                       double arrivalTime);
+  /// Ownership-send bookkeeping: remove `s` from the owned set, splitting
+  /// boundary segments; returns the serialized values of `s` when
+  /// `withValue` (empty vector otherwise). Caller must have awaited
+  /// accessibility of `s` first.
+  std::vector<std::byte> takeOwnershipOut(int sym, const Section& s,
+                                          bool withValue);
+  /// Ownership-receive initiation: `s` must be entirely unowned; creates a
+  /// transitional segment (zero-initialized storage) covering `s`.
+  void beginOwnershipReceive(int sym, const Section& s);
+
+  // --- introspection ----------------------------------------------------
+  std::vector<SegmentDesc> segments(int sym) const;
+  StorageStats storageStats(int sym) const;
+  /// Sum of currently owned elements over all symbols (storage footprint).
+  std::size_t totalOwnedElems() const;
+
+ private:
+  struct Pool {
+    std::vector<std::byte> bytes;
+    std::vector<std::pair<std::size_t, std::size_t>> freeList;  // offset,elems
+    std::size_t elemSz = 1;
+    StorageStats stats;
+
+    std::size_t allocate(std::size_t elems);
+    void release(std::size_t offset, std::size_t elems);
+  };
+  struct Entry {
+    std::vector<SegmentDesc> segs;
+    /// Outstanding (initiated, uncompleted) receive sections. A section of
+    /// the symbol is transitional iff it intersects one of these — exact
+    /// per-section state, so disjoint concurrent receives do not shadow
+    /// each other the way coarse per-segment flags would.
+    std::vector<Section> pendingRecvs;
+    Pool pool;
+  };
+
+  const Entry& entry(int sym) const;
+  Entry& entry(int sym);
+
+  /// Coverage of `s` by this table's segments: -1 if some element unowned,
+  /// 0 if owned but an uncompleted receive overlaps `s` (transitional),
+  /// 1 if accessible. Caller holds mu_.
+  int stateOfLocked(int sym, const Section& s, double* arrival) const;
+
+  /// True iff an outstanding receive overlaps `s`. Caller holds mu_.
+  static bool pendingOverlapsLocked(const Entry& e, const Section& s);
+
+  void readElemsLocked(const Entry& e, int sym, const Section& s,
+                       std::byte* out) const;
+
+  const int pid_;
+  const bool debugChecks_;
+  std::vector<SymbolDecl> decls_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace xdp::rt

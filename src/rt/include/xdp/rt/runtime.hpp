@@ -1,0 +1,82 @@
+// The XDP runtime: compile-time symbol declarations + the simulated
+// machine + per-processor run-time tables, tied together by an SPMD
+// launcher.
+//
+// Typical use:
+//
+//   xdp::rt::Runtime rt(4);                       // 4 processors
+//   int A = rt.declareArray<double>("A", global, distBlock, segShape);
+//   rt.run([&](xdp::rt::Proc& p) {                // the node program
+//     if (p.iown(A, sec)) { ... }
+//   });
+//
+// Each run() materializes fresh per-processor symbol tables from the
+// declarations (initial ownership = the declared distribution, all
+// segments accessible, zero-initialized), runs the node program on every
+// processor, and joins. Fabric statistics and virtual clocks persist
+// across runs so callers control when to reset them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "xdp/net/fabric.hpp"
+#include "xdp/rt/proc_table.hpp"
+
+namespace xdp::rt {
+
+struct RuntimeOptions {
+  /// Validate the XDP usage rules at run time (reads of transitional
+  /// sections, mismatched transfers, double ownership). The paper's
+  /// position is that the *compiler* guarantees these; debug mode is the
+  /// belt-and-braces configuration used by our tests.
+  bool debugChecks = false;
+  net::CostModel costModel{};
+};
+
+class Proc;
+
+class Runtime {
+ public:
+  explicit Runtime(int nprocs, RuntimeOptions opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int nprocs() const { return nprocs_; }
+  net::Fabric& fabric() { return fabric_; }
+  const RuntimeOptions& options() const { return opts_; }
+
+  /// Declare an exclusively-owned distributed array. Must be called before
+  /// run(). Returns the symtab index.
+  int declareArray(std::string name, ElemType type, Section global,
+                   Distribution dist, SegmentShape segShape = {});
+
+  template <typename T>
+  int declareArray(std::string name, Section global, Distribution dist,
+                   SegmentShape segShape = {}) {
+    return declareArray(std::move(name), elemTypeOf<T>(), std::move(global),
+                        std::move(dist), segShape);
+  }
+
+  const std::vector<SymbolDecl>& decls() const { return decls_; }
+
+  /// Run the node program on every simulated processor; joins before
+  /// returning and rethrows the first node failure.
+  void run(const std::function<void(Proc&)>& node);
+
+  /// The per-processor table of the most recent/current run (valid during
+  /// run() and, for inspection, after it returns).
+  ProcTable& table(int pid);
+
+ private:
+  const int nprocs_;
+  const RuntimeOptions opts_;
+  net::Fabric fabric_;
+  std::vector<SymbolDecl> decls_;
+  std::vector<std::unique_ptr<ProcTable>> tables_;
+};
+
+}  // namespace xdp::rt

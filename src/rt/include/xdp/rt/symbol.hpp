@@ -1,0 +1,57 @@
+// Compile-time and run-time symbol table entries (paper Figure 2).
+//
+// The *compile-time* part — symtab index, symbol name, rank, global shape,
+// partitioning, segment shape — is shared by all processors and fixed
+// before the SPMD region starts. The *run-time* part (the shaded fields of
+// Figure 2: the segment count and the segment descriptor array) is
+// per-processor and mutates as receives are initiated/completed and as
+// ownership migrates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xdp/dist/distribution.hpp"
+#include "xdp/dist/segmentation.hpp"
+#include "xdp/rt/types.hpp"
+
+namespace xdp::rt {
+
+using dist::Distribution;
+using dist::SegmentShape;
+using sec::Index;
+using sec::Point;
+using sec::Section;
+
+/// Compile-time symbol table entry.
+struct SymbolDecl {
+  int index = -1;          ///< symtab index
+  std::string name;        ///< symbol name
+  ElemType type = ElemType::F64;
+  Section global;          ///< global shape (rank derives from it)
+  Distribution dist;       ///< partitioning (over the machine's processors)
+  SegmentShape segShape;   ///< compiler-chosen segmentation (Fig. 3)
+
+  int rank() const { return global.rank(); }
+};
+
+/// Run-time segment descriptor — the paper's `struct SegmentDesc`
+/// (section 3.1): status, per-dimension lbound/ubound/stride (our Section
+/// holds exactly that), and the pointer to local storage (our offset into
+/// the per-symbol pool).
+///
+/// Transitional state is tracked per outstanding-receive *section* in the
+/// table (the paper's states are properties of sections; segments are its
+/// efficiency mechanism), so `status` here is a snapshot derived when the
+/// descriptor array is read out: Transitional iff some uncompleted receive
+/// overlaps the segment.
+struct SegmentDesc {
+  SegState status = SegState::Unowned;
+  Section bounds;               ///< global indices contained in the segment
+  std::size_t elemOffset = 0;   ///< first element slot in the local pool
+  double arrival = 0.0;         ///< virtual time last receive completed
+
+  Index count() const { return bounds.count(); }
+};
+
+}  // namespace xdp::rt

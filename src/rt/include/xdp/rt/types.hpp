@@ -1,0 +1,55 @@
+// Element types and section states of the XDP runtime.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace xdp::rt {
+
+/// Element types storable in exclusive sections. The runtime stores raw
+/// bytes tagged with one of these; typed access is checked at the API edge.
+enum class ElemType : std::uint8_t { F64, I64, C128 };
+
+constexpr std::size_t elemSize(ElemType t) {
+  switch (t) {
+    case ElemType::F64:
+      return sizeof(double);
+    case ElemType::I64:
+      return sizeof(std::int64_t);
+    case ElemType::C128:
+      return sizeof(std::complex<double>);
+  }
+  return 0;
+}
+
+const char* elemTypeName(ElemType t);
+
+template <typename T>
+constexpr ElemType elemTypeOf();
+template <>
+constexpr ElemType elemTypeOf<double>() {
+  return ElemType::F64;
+}
+template <>
+constexpr ElemType elemTypeOf<std::int64_t>() {
+  return ElemType::I64;
+}
+template <>
+constexpr ElemType elemTypeOf<std::complex<double>>() {
+  return ElemType::C128;
+}
+
+/// States of a section with respect to a processor (paper Figure 1).
+/// A *segment* is always in exactly one of these; a *section*'s state is
+/// derived from the segments covering it.
+enum class SegState : std::uint8_t { Unowned, Transitional, Accessible };
+
+const char* segStateName(SegState s);
+
+/// mylb/myub sentinel values (paper: "MAXINT, the largest representable
+/// integer, is returned").
+inline constexpr std::int64_t kMaxInt = INT64_MAX;
+inline constexpr std::int64_t kMinInt = INT64_MIN;
+
+}  // namespace xdp::rt

@@ -1,0 +1,258 @@
+#include "xdp/rt/proc.hpp"
+
+#include <sstream>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::rt {
+
+Proc::Proc(Runtime& rt, int pid) : rt_(rt), pid_(pid) {}
+
+ProcTable& Proc::table() const { return rt_.table(pid_); }
+
+Section Proc::pointSection(const Point& p) {
+  std::vector<sec::Triplet> dims;
+  for (int d = 0; d < p.rank(); ++d) dims.emplace_back(p[d]);
+  return Section(dims);
+}
+
+net::Name Proc::nameOf(int sym, const Section& s) const {
+  return net::Name{sym, s};
+}
+
+bool Proc::iown(int sym, const Section& s) const {
+  return table().iown(sym, s);
+}
+
+bool Proc::accessible(int sym, const Section& s) const {
+  return table().accessible(sym, s);
+}
+
+bool Proc::await(int sym, const Section& s) {
+  double arrival = 0.0;
+  if (!table().await(sym, s, &arrival)) return false;
+  // Synchronizing with received data: pull this processor's virtual clock
+  // to the data's arrival time (overlap already performed locally is kept)
+  // and charge the receive-side overhead once.
+  if (arrival > 0.0) {
+    rt_.fabric().syncClock(pid_, arrival);
+    rt_.fabric().advance(pid_, rt_.fabric().model().alpha);
+  }
+  return true;
+}
+
+Index Proc::mylb(int sym, const Section& s, int d) const {
+  return table().mylb(sym, s, d);
+}
+
+Index Proc::myub(int sym, const Section& s, int d) const {
+  return table().myub(sym, s, d);
+}
+
+void Proc::send(int sym, const Section& e,
+                std::optional<std::vector<int>> dests) {
+  ProcTable& t = table();
+  const std::size_t sz = elemSize(t.decl(sym).type);
+  std::vector<std::byte> payload(static_cast<std::size_t>(e.count()) * sz);
+  t.readElems(sym, e, payload.data());
+  const net::Name name = nameOf(sym, e);
+  if (!dests.has_value()) {
+    rt_.fabric().send(pid_, name, net::TransferKind::Data,
+                      std::move(payload), std::nullopt);
+    return;
+  }
+  rt_.fabric().sendToSet(pid_, name, net::TransferKind::Data, payload,
+                         *dests);
+}
+
+void Proc::sendOwnership(int sym, const Section& e, bool withValue,
+                         std::optional<std::vector<int>> dests) {
+  ProcTable& t = table();
+  // "Owner send operations block until the section is accessible."
+  double arrival = 0.0;
+  if (!t.await(sym, e, &arrival)) {
+    if (rt_.options().debugChecks) {
+      std::ostringstream os;
+      os << "ownership send of unowned section " << e.str() << " on p"
+         << pid_;
+      XDP_USAGE_FAIL(os.str());
+    }
+    return;  // undefined behaviour in XDP; we make it a silent no-op
+  }
+  std::vector<std::byte> payload = t.takeOwnershipOut(sym, e, withValue);
+  const auto kind = withValue ? net::TransferKind::OwnershipAndValue
+                              : net::TransferKind::Ownership;
+  const net::Name name = nameOf(sym, e);
+  if (!dests.has_value()) {
+    rt_.fabric().send(pid_, name, kind, std::move(payload), std::nullopt);
+    return;
+  }
+  XDP_CHECK(dests->size() == 1,
+            "ownership can be sent to exactly one processor");
+  rt_.fabric().send(pid_, name, kind, std::move(payload), (*dests)[0]);
+}
+
+void Proc::recv(int dstSym, const Section& e, int srcSym, const Section& x) {
+  ProcTable& t = table();
+  XDP_CHECK(e.count() == x.count(),
+            "receive: destination and name sections differ in size");
+  XDP_CHECK(t.decl(dstSym).type == t.decl(srcSym).type,
+            "receive: element type mismatch");
+  // "E <- X blocks until E is accessible, then initiates the receive."
+  if (!t.await(dstSym, e, nullptr)) {
+    if (rt_.options().debugChecks) {
+      std::ostringstream os;
+      os << "receive into unowned section " << e.str() << " on p" << pid_;
+      XDP_USAGE_FAIL(os.str());
+    }
+    return;
+  }
+  t.beginReceive(dstSym, e);
+  ProcTable* tp = &t;
+  const bool debug = rt_.options().debugChecks;
+  const std::size_t expect =
+      static_cast<std::size_t>(e.count()) * elemSize(t.decl(dstSym).type);
+  rt_.fabric().postReceive(
+      pid_, nameOf(srcSym, x), net::TransferKind::Data,
+      [tp, dstSym, e, expect, debug](const net::Message& msg) {
+        if (debug && msg.payload.size() != expect) {
+          XDP_USAGE_FAIL("matched send/receive transfer different sizes");
+        }
+        tp->completeReceive(dstSym, e, msg.payload.data(), msg.arrival);
+      });
+}
+
+void Proc::recvOwnership(int sym, const Section& u, bool withValue) {
+  ProcTable& t = table();
+  t.beginOwnershipReceive(sym, u);
+  ProcTable* tp = &t;
+  const auto kind = withValue ? net::TransferKind::OwnershipAndValue
+                              : net::TransferKind::Ownership;
+  rt_.fabric().postReceive(
+      pid_, nameOf(sym, u), kind,
+      [tp, sym, u, withValue](const net::Message& msg) {
+        tp->completeReceive(sym, u,
+                            withValue ? msg.payload.data() : nullptr,
+                            msg.arrival);
+      });
+}
+
+namespace {
+
+net::Name multiName(int sym, const std::vector<Section>& secs) {
+  XDP_CHECK(!secs.empty(), "aggregated transfer needs at least one section");
+  net::Name n;
+  n.symbol = sym;
+  n.section = secs.front();
+  n.rest.assign(secs.begin() + 1, secs.end());
+  return n;
+}
+
+}  // namespace
+
+void Proc::sendMulti(int sym, const std::vector<Section>& secs,
+                     std::optional<std::vector<int>> dests) {
+  ProcTable& t = table();
+  const std::size_t sz = elemSize(t.decl(sym).type);
+  std::vector<std::byte> payload;
+  for (const Section& s : secs) {
+    const std::size_t off = payload.size();
+    payload.resize(off + static_cast<std::size_t>(s.count()) * sz);
+    t.readElems(sym, s, payload.data() + off);
+  }
+  const net::Name name = multiName(sym, secs);
+  if (!dests.has_value()) {
+    rt_.fabric().send(pid_, name, net::TransferKind::Data,
+                      std::move(payload), std::nullopt);
+    return;
+  }
+  rt_.fabric().sendToSet(pid_, name, net::TransferKind::Data, payload,
+                         *dests);
+}
+
+void Proc::recvMulti(int dstSym, const std::vector<Section>& dsts,
+                     int srcSym, const std::vector<Section>& names) {
+  ProcTable& t = table();
+  XDP_CHECK(dsts.size() == names.size(),
+            "aggregated receive: destination/name section counts differ");
+  const std::size_t sz = elemSize(t.decl(dstSym).type);
+  for (std::size_t k = 0; k < dsts.size(); ++k) {
+    XDP_CHECK(dsts[k].count() == names[k].count(),
+              "aggregated receive: section size mismatch");
+    if (!t.await(dstSym, dsts[k], nullptr)) {
+      if (rt_.options().debugChecks)
+        XDP_USAGE_FAIL("aggregated receive into unowned section");
+      return;
+    }
+  }
+  for (const Section& d : dsts) t.beginReceive(dstSym, d);
+  ProcTable* tp = &t;
+  auto dstsCopy = dsts;
+  rt_.fabric().postReceive(
+      pid_, multiName(srcSym, names), net::TransferKind::Data,
+      [tp, dstSym, dstsCopy, sz](const net::Message& msg) {
+        std::size_t off = 0;
+        for (const Section& d : dstsCopy) {
+          tp->completeReceive(dstSym, d, msg.payload.data() + off,
+                              msg.arrival);
+          off += static_cast<std::size_t>(d.count()) * sz;
+        }
+      });
+}
+
+void Proc::sendOwnershipMulti(int sym, const std::vector<Section>& secs,
+                              bool withValue,
+                              std::optional<std::vector<int>> dests) {
+  ProcTable& t = table();
+  std::vector<std::byte> payload;
+  for (const Section& s : secs) {
+    double arrival = 0.0;
+    if (!t.await(sym, s, &arrival)) {
+      if (rt_.options().debugChecks)
+        XDP_USAGE_FAIL("aggregated ownership send of unowned section");
+      return;
+    }
+    std::vector<std::byte> part = t.takeOwnershipOut(sym, s, withValue);
+    payload.insert(payload.end(), part.begin(), part.end());
+  }
+  const auto kind = withValue ? net::TransferKind::OwnershipAndValue
+                              : net::TransferKind::Ownership;
+  const net::Name name = multiName(sym, secs);
+  if (!dests.has_value()) {
+    rt_.fabric().send(pid_, name, kind, std::move(payload), std::nullopt);
+    return;
+  }
+  XDP_CHECK(dests->size() == 1,
+            "ownership can be sent to exactly one processor");
+  rt_.fabric().send(pid_, name, kind, std::move(payload), (*dests)[0]);
+}
+
+void Proc::recvOwnershipMulti(int sym, const std::vector<Section>& secs,
+                              bool withValue) {
+  ProcTable& t = table();
+  for (const Section& s : secs) t.beginOwnershipReceive(sym, s);
+  ProcTable* tp = &t;
+  const std::size_t sz = elemSize(t.decl(sym).type);
+  auto secsCopy = secs;
+  const auto kind = withValue ? net::TransferKind::OwnershipAndValue
+                              : net::TransferKind::Ownership;
+  rt_.fabric().postReceive(
+      pid_, multiName(sym, secs), kind,
+      [tp, sym, secsCopy, withValue, sz](const net::Message& msg) {
+        std::size_t off = 0;
+        for (const Section& s : secsCopy) {
+          tp->completeReceive(sym, s,
+                              withValue ? msg.payload.data() + off : nullptr,
+                              msg.arrival);
+          off += static_cast<std::size_t>(s.count()) * sz;
+        }
+      });
+}
+
+void Proc::compute(double dt) { rt_.fabric().advance(pid_, dt); }
+
+void Proc::barrier() { rt_.fabric().barrier(pid_); }
+
+double Proc::clock() const { return rt_.fabric().clock(pid_); }
+
+}  // namespace xdp::rt

@@ -1,0 +1,412 @@
+#include "xdp/rt/proc_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::rt {
+
+const char* elemTypeName(ElemType t) {
+  switch (t) {
+    case ElemType::F64:
+      return "f64";
+    case ElemType::I64:
+      return "i64";
+    case ElemType::C128:
+      return "c128";
+  }
+  return "?";
+}
+
+const char* segStateName(SegState s) {
+  switch (s) {
+    case SegState::Unowned:
+      return "unowned";
+    case SegState::Transitional:
+      return "transitional";
+    case SegState::Accessible:
+      return "accessible";
+  }
+  return "?";
+}
+
+std::size_t ProcTable::Pool::allocate(std::size_t elems) {
+  // First fit over the free list; split oversized blocks.
+  for (auto it = freeList.begin(); it != freeList.end(); ++it) {
+    if (it->second >= elems) {
+      std::size_t off = it->first;
+      if (it->second == elems) {
+        freeList.erase(it);
+      } else {
+        it->first += elems;
+        it->second -= elems;
+      }
+      stats.allocs += 1;
+      stats.currentElems += elems;
+      stats.peakElems = std::max(stats.peakElems, stats.currentElems);
+      std::memset(bytes.data() + off * elemSz, 0, elems * elemSz);
+      return off;
+    }
+  }
+  std::size_t off = bytes.size() / elemSz;
+  bytes.resize(bytes.size() + elems * elemSz, std::byte{0});
+  stats.allocs += 1;
+  stats.currentElems += elems;
+  stats.peakElems = std::max(stats.peakElems, stats.currentElems);
+  stats.poolElems = bytes.size() / elemSz;
+  return off;
+}
+
+void ProcTable::Pool::release(std::size_t offset, std::size_t elems) {
+  if (elems == 0) return;
+  stats.frees += 1;
+  stats.currentElems -= elems;
+  // Keep the free list sorted by offset and coalesce with both neighbours,
+  // so freed segment storage can back later allocations of any shape
+  // (the paper's storage-reuse claim, section 2.6).
+  auto it = std::lower_bound(
+      freeList.begin(), freeList.end(), offset,
+      [](const auto& blk, std::size_t off) { return blk.first < off; });
+  it = freeList.insert(it, {offset, elems});
+  if (it != freeList.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      it = freeList.erase(it);
+      it = std::prev(it);
+    }
+  }
+  auto next = std::next(it);
+  if (next != freeList.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    freeList.erase(next);
+  }
+}
+
+ProcTable::ProcTable(int pid, const std::vector<SymbolDecl>& decls,
+                     bool debugChecks)
+    : pid_(pid), debugChecks_(debugChecks), decls_(decls) {
+  entries_.resize(decls_.size());
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    const SymbolDecl& d = decls_[i];
+    XDP_CHECK(d.index == static_cast<int>(i), "symbol index mismatch");
+    Entry& e = entries_[i];
+    e.pool.elemSz = elemSize(d.type);
+    for (const Section& bounds :
+         dist::segmentsOf(d.dist, pid, d.segShape)) {
+      SegmentDesc seg;
+      seg.status = SegState::Accessible;
+      seg.bounds = bounds;
+      seg.elemOffset =
+          e.pool.allocate(static_cast<std::size_t>(bounds.count()));
+      e.segs.push_back(std::move(seg));
+    }
+  }
+}
+
+const SymbolDecl& ProcTable::decl(int sym) const {
+  XDP_CHECK(sym >= 0 && sym < numSymbols(), "bad symbol index");
+  return decls_[static_cast<std::size_t>(sym)];
+}
+
+const ProcTable::Entry& ProcTable::entry(int sym) const {
+  XDP_CHECK(sym >= 0 && sym < numSymbols(), "bad symbol index");
+  return entries_[static_cast<std::size_t>(sym)];
+}
+
+ProcTable::Entry& ProcTable::entry(int sym) {
+  XDP_CHECK(sym >= 0 && sym < numSymbols(), "bad symbol index");
+  return entries_[static_cast<std::size_t>(sym)];
+}
+
+bool ProcTable::pendingOverlapsLocked(const Entry& e, const Section& s) {
+  for (const Section& p : e.pendingRecvs) {
+    if (p.rank() != s.rank()) continue;
+    if (!Section::intersect(p, s).empty()) return true;
+  }
+  return false;
+}
+
+int ProcTable::stateOfLocked(int sym, const Section& s,
+                             double* arrival) const {
+  // The paper's iown() algorithm: intersect the query with every segment;
+  // since segments are disjoint, coverage holds iff the intersection
+  // cardinalities sum to the query cardinality. Accessibility is then a
+  // per-section property: no uncompleted receive may overlap the query.
+  const Entry& e = entry(sym);
+  Index covered = 0;
+  double maxArrival = 0.0;
+  for (const SegmentDesc& seg : e.segs) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (i.empty()) continue;
+    covered += i.count();
+    maxArrival = std::max(maxArrival, seg.arrival);
+  }
+  if (covered != s.count()) return -1;
+  if (arrival != nullptr) *arrival = maxArrival;
+  return pendingOverlapsLocked(e, s) ? 0 : 1;
+}
+
+bool ProcTable::iown(int sym, const Section& s) const {
+  std::lock_guard lk(mu_);
+  return stateOfLocked(sym, s, nullptr) >= 0;
+}
+
+bool ProcTable::accessible(int sym, const Section& s) const {
+  std::lock_guard lk(mu_);
+  return stateOfLocked(sym, s, nullptr) == 1;
+}
+
+bool ProcTable::await(int sym, const Section& s, double* arrival) {
+  std::unique_lock lk(mu_);
+  while (true) {
+    int st = stateOfLocked(sym, s, arrival);
+    if (st < 0) return false;   // unowned: await returns false (Fig. 1)
+    if (st == 1) return true;   // accessible
+    cv_.wait(lk);               // transitional: block
+  }
+}
+
+Index ProcTable::mylb(int sym, const Section& s, int d) const {
+  std::lock_guard lk(mu_);
+  const Entry& e = entry(sym);
+  Index best = kMaxInt;
+  for (const SegmentDesc& seg : e.segs) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (i.empty()) continue;
+    best = std::min(best, i.dim(d).lb());
+  }
+  return best;
+}
+
+Index ProcTable::myub(int sym, const Section& s, int d) const {
+  std::lock_guard lk(mu_);
+  const Entry& e = entry(sym);
+  Index best = kMinInt;
+  for (const SegmentDesc& seg : e.segs) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (i.empty()) continue;
+    best = std::max(best, i.dim(d).ub());
+  }
+  return best;
+}
+
+void ProcTable::readElemsLocked(const Entry& e, int sym, const Section& s,
+                                std::byte* out) const {
+  const std::size_t sz = e.pool.elemSz;
+  if (debugChecks_ && pendingOverlapsLocked(e, s)) {
+    std::ostringstream os;
+    os << "read of transitional section " << s.str() << " of symbol '"
+       << decl(sym).name << "' on p" << pid_
+       << " (an initiated receive has not completed)";
+    XDP_USAGE_FAIL(os.str());
+  }
+  Index covered = 0;
+  for (const SegmentDesc& seg : e.segs) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (i.empty()) continue;
+    covered += i.count();
+    const std::byte* base = e.pool.bytes.data() + seg.elemOffset * sz;
+    i.forEach([&](const Point& p) {
+      std::memcpy(out + static_cast<std::size_t>(s.fortranPos(p)) * sz,
+                  base + static_cast<std::size_t>(seg.bounds.fortranPos(p)) * sz,
+                  sz);
+    });
+  }
+  if (debugChecks_ && covered != s.count()) {
+    std::ostringstream os;
+    os << "read of unowned elements: " << s.str() << " of '"
+       << decl(sym).name << "' on p" << pid_;
+    XDP_USAGE_FAIL(os.str());
+  }
+}
+
+void ProcTable::readElems(int sym, const Section& s, std::byte* out) const {
+  std::lock_guard lk(mu_);
+  readElemsLocked(entry(sym), sym, s, out);
+}
+
+void ProcTable::writeElems(int sym, const Section& s, const std::byte* in) {
+  std::lock_guard lk(mu_);
+  Entry& e = entry(sym);
+  const std::size_t sz = e.pool.elemSz;
+  if (debugChecks_ && pendingOverlapsLocked(e, s)) {
+    std::ostringstream os;
+    os << "write to transitional section " << s.str() << " of '"
+       << decl(sym).name << "' on p" << pid_;
+    XDP_USAGE_FAIL(os.str());
+  }
+  Index covered = 0;
+  for (SegmentDesc& seg : e.segs) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (i.empty()) continue;
+    covered += i.count();
+    std::byte* base = e.pool.bytes.data() + seg.elemOffset * sz;
+    i.forEach([&](const Point& p) {
+      std::memcpy(base + static_cast<std::size_t>(seg.bounds.fortranPos(p)) * sz,
+                  in + static_cast<std::size_t>(s.fortranPos(p)) * sz, sz);
+    });
+  }
+  if (debugChecks_ && covered != s.count()) {
+    std::ostringstream os;
+    os << "write to unowned elements: " << s.str() << " of '"
+       << decl(sym).name << "' on p" << pid_;
+    XDP_USAGE_FAIL(os.str());
+  }
+}
+
+void ProcTable::beginReceive(int sym, const Section& s) {
+  std::lock_guard lk(mu_);
+  Entry& e = entry(sym);
+  if (debugChecks_) {
+    Index covered = 0;
+    for (const SegmentDesc& seg : e.segs)
+      covered += Section::intersect(seg.bounds, s).count();
+    if (covered != s.count()) {
+      std::ostringstream os;
+      os << "receive initiated into unowned section " << s.str() << " of '"
+         << decl(sym).name << "' on p" << pid_;
+      XDP_USAGE_FAIL(os.str());
+    }
+  }
+  e.pendingRecvs.push_back(s);
+}
+
+void ProcTable::completeReceive(int sym, const Section& s,
+                                const std::byte* payload,
+                                double arrivalTime) {
+  std::lock_guard lk(mu_);
+  Entry& e = entry(sym);
+  const std::size_t sz = e.pool.elemSz;
+  for (SegmentDesc& seg : e.segs) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (i.empty()) continue;
+    if (payload != nullptr) {
+      std::byte* base = e.pool.bytes.data() + seg.elemOffset * sz;
+      i.forEach([&](const Point& p) {
+        std::memcpy(
+            base + static_cast<std::size_t>(seg.bounds.fortranPos(p)) * sz,
+            payload + static_cast<std::size_t>(s.fortranPos(p)) * sz, sz);
+      });
+    }
+    seg.arrival = std::max(seg.arrival, arrivalTime);
+  }
+  // Retire exactly one outstanding receive for this section (several may
+  // legally target the same name, per paper section 2.7).
+  for (auto it = e.pendingRecvs.begin(); it != e.pendingRecvs.end(); ++it) {
+    if (*it == s) {
+      e.pendingRecvs.erase(it);
+      break;
+    }
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> ProcTable::takeOwnershipOut(int sym, const Section& s,
+                                                   bool withValue) {
+  std::lock_guard lk(mu_);
+  Entry& e = entry(sym);
+  const std::size_t sz = e.pool.elemSz;
+
+  std::vector<std::byte> payload;
+  if (withValue) {
+    payload.resize(static_cast<std::size_t>(s.count()) * sz);
+    readElemsLocked(e, sym, s, payload.data());
+  } else if (debugChecks_) {
+    // Validate full ownership even when no value travels.
+    if (stateOfLocked(sym, s, nullptr) < 0) {
+      std::ostringstream os;
+      os << "ownership send of not-fully-owned section " << s.str()
+         << " of '" << decl(sym).name << "' on p" << pid_;
+      XDP_USAGE_FAIL(os.str());
+    }
+  }
+
+  // Split/remove segments. New descriptors for remainder pieces get fresh
+  // storage; the transferred elements' storage is released — this is the
+  // paper's storage-reuse benefit (section 2.6).
+  XDP_CHECK(!pendingOverlapsLocked(e, s),
+            "ownership transfer of a transitional section (missing await)");
+  std::vector<SegmentDesc> kept;
+  std::vector<SegmentDesc> added;
+  for (SegmentDesc& seg : e.segs) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (i.empty()) {
+      kept.push_back(std::move(seg));
+      continue;
+    }
+    for (const Section& piece : Section::subtract(seg.bounds, s)) {
+      SegmentDesc nd;
+      nd.status = SegState::Accessible;
+      nd.bounds = piece;
+      nd.arrival = seg.arrival;
+      nd.elemOffset = e.pool.allocate(static_cast<std::size_t>(piece.count()));
+      // Copy the surviving values old segment -> new piece.
+      const std::byte* src = e.pool.bytes.data() + seg.elemOffset * sz;
+      std::byte* dst = e.pool.bytes.data() + nd.elemOffset * sz;
+      piece.forEach([&](const Point& p) {
+        std::memcpy(
+            dst + static_cast<std::size_t>(piece.fortranPos(p)) * sz,
+            src + static_cast<std::size_t>(seg.bounds.fortranPos(p)) * sz, sz);
+      });
+      added.push_back(std::move(nd));
+    }
+    e.pool.release(seg.elemOffset, static_cast<std::size_t>(seg.count()));
+  }
+  e.segs = std::move(kept);
+  e.segs.insert(e.segs.end(), std::make_move_iterator(added.begin()),
+                std::make_move_iterator(added.end()));
+  cv_.notify_all();
+  return payload;
+}
+
+void ProcTable::beginOwnershipReceive(int sym, const Section& s) {
+  std::lock_guard lk(mu_);
+  Entry& e = entry(sym);
+  if (debugChecks_) {
+    for (const SegmentDesc& seg : e.segs) {
+      if (!Section::intersect(seg.bounds, s).empty()) {
+        std::ostringstream os;
+        os << "ownership receive of already-owned section " << s.str()
+           << " of '" << decl(sym).name << "' on p" << pid_
+           << " (overlaps segment " << seg.bounds.str() << ")";
+        XDP_USAGE_FAIL(os.str());
+      }
+    }
+  }
+  SegmentDesc seg;
+  seg.status = SegState::Transitional;
+  seg.bounds = s;
+  seg.elemOffset = e.pool.allocate(static_cast<std::size_t>(s.count()));
+  e.segs.push_back(std::move(seg));
+  e.pendingRecvs.push_back(s);
+}
+
+std::vector<SegmentDesc> ProcTable::segments(int sym) const {
+  std::lock_guard lk(mu_);
+  const Entry& e = entry(sym);
+  std::vector<SegmentDesc> out = e.segs;
+  // Statuses are snapshots: a segment is transitional iff an uncompleted
+  // receive overlaps it (Figure 1's per-section state, segment-projected).
+  for (SegmentDesc& seg : out)
+    seg.status = pendingOverlapsLocked(e, seg.bounds)
+                     ? SegState::Transitional
+                     : SegState::Accessible;
+  return out;
+}
+
+StorageStats ProcTable::storageStats(int sym) const {
+  std::lock_guard lk(mu_);
+  return entry(sym).pool.stats;
+}
+
+std::size_t ProcTable::totalOwnedElems() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const Entry& e : entries_) n += e.pool.stats.currentElems;
+  return n;
+}
+
+}  // namespace xdp::rt

@@ -1,0 +1,57 @@
+#include "xdp/rt/runtime.hpp"
+
+#include "xdp/net/spmd.hpp"
+#include "xdp/rt/proc.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::rt {
+
+Runtime::Runtime(int nprocs, RuntimeOptions opts)
+    : nprocs_(nprocs), opts_(opts), fabric_(nprocs, opts.costModel) {}
+
+Runtime::~Runtime() = default;
+
+int Runtime::declareArray(std::string name, ElemType type, Section global,
+                          Distribution dist, SegmentShape segShape) {
+  XDP_CHECK(dist.nprocs() <= nprocs_,
+            "distribution uses more processors than the machine has");
+  XDP_CHECK(dist.global() == global,
+            "distribution global shape must equal the array's global shape");
+  SymbolDecl d;
+  d.index = static_cast<int>(decls_.size());
+  d.name = std::move(name);
+  d.type = type;
+  d.global = std::move(global);
+  d.dist = std::move(dist);
+  d.segShape = segShape;
+  decls_.push_back(std::move(d));
+  return decls_.back().index;
+}
+
+void Runtime::run(const std::function<void(Proc&)>& node) {
+  // Drop any match state leaked by a previous (buggy) run so stale
+  // completion callbacks can never touch the fresh tables.
+  fabric_.clearMatchState();
+  tables_.clear();
+  tables_.resize(static_cast<std::size_t>(nprocs_));
+  for (int p = 0; p < nprocs_; ++p)
+    tables_[static_cast<std::size_t>(p)] =
+        std::make_unique<ProcTable>(p, decls_, opts_.debugChecks);
+  net::runSpmd(nprocs_, [&](int pid) {
+    Proc proc(*this, pid);
+    node(proc);
+  });
+  if (opts_.debugChecks && fabric_.undeliveredCount() != 0) {
+    XDP_USAGE_FAIL("SPMD region ended with undelivered messages: a send had "
+                   "no matching receive");
+  }
+}
+
+ProcTable& Runtime::table(int pid) {
+  XDP_CHECK(pid >= 0 && pid < nprocs_, "bad pid");
+  XDP_CHECK(tables_.size() == static_cast<std::size_t>(nprocs_),
+            "tables not materialized; call run() first");
+  return *tables_[static_cast<std::size_t>(pid)];
+}
+
+}  // namespace xdp::rt

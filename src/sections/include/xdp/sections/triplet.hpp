@@ -1,0 +1,83 @@
+// Fortran-90 triplet notation lb:ub:stride — the building block of XDP
+// sections (paper section 2.1: "we assume that sections are defined by
+// Fortran 90 triplet notation").
+//
+// A Triplet denotes the arithmetic progression
+//     { lb, lb+stride, lb+2*stride, ..., <= ub }
+// Triplets are canonicalized on construction: ub is clamped to the last
+// element actually in the set, and an empty progression is represented
+// uniformly (lb=0, ub=-1, stride=1). Strides are strictly positive; a
+// descending Fortran triplet (negative stride) denotes the same *set* of
+// indices, so callers construct it via Triplet::descending which reverses
+// it. XDP ownership is a property of index sets, not traversal order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+namespace xdp::sec {
+
+using Index = std::int64_t;
+
+class Triplet {
+ public:
+  /// Empty triplet.
+  constexpr Triplet() : lb_(0), ub_(-1), stride_(1) {}
+
+  /// Single index i (Fortran `A[i]`).
+  constexpr explicit Triplet(Index i) : lb_(i), ub_(i), stride_(1) {}
+
+  /// Range lb:ub with stride 1.
+  Triplet(Index lb, Index ub);
+
+  /// Range lb:ub:stride, stride >= 1.
+  Triplet(Index lb, Index ub, Index stride);
+
+  /// The index set of a descending Fortran triplet first:last:stride with
+  /// stride < 0 (e.g. 10:2:-2 == {10,8,6,4,2} == 2:10:2 as a set).
+  static Triplet descending(Index first, Index last, Index stride);
+
+  constexpr Index lb() const { return lb_; }
+  constexpr Index ub() const { return ub_; }
+  constexpr Index stride() const { return stride_; }
+
+  constexpr bool empty() const { return lb_ > ub_; }
+  constexpr Index count() const {
+    return empty() ? 0 : (ub_ - lb_) / stride_ + 1;
+  }
+
+  constexpr bool contains(Index i) const {
+    return i >= lb_ && i <= ub_ && (i - lb_) % stride_ == 0;
+  }
+
+  /// k-th element, 0 <= k < count().
+  Index at(Index k) const;
+
+  /// Set intersection of two arithmetic progressions (exact, via the
+  /// extended Euclidean algorithm / CRT — handles arbitrary strides).
+  static Triplet intersect(const Triplet& a, const Triplet& b);
+
+  /// Set difference a \ b as a disjoint union of triplets. The number of
+  /// pieces is O(lcm(a.stride,b.stride)/a.stride) in the worst case;
+  /// callers that need bounded output should align strides first.
+  static std::vector<Triplet> subtract(const Triplet& a, const Triplet& b);
+
+  /// True iff the two triplets denote the same index set.
+  friend constexpr bool operator==(const Triplet& a, const Triplet& b) {
+    return (a.empty() && b.empty()) ||
+           (a.lb_ == b.lb_ && a.ub_ == b.ub_ && a.stride_ == b.stride_);
+  }
+
+ private:
+  void canonicalize();
+
+  Index lb_;
+  Index ub_;
+  Index stride_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Triplet& t);
+
+}  // namespace xdp::sec

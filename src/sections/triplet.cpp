@@ -1,0 +1,150 @@
+#include "xdp/sections/triplet.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::sec {
+namespace {
+
+/// Extended gcd: returns g = gcd(a,b) and x,y with a*x + b*y = g.
+Index extGcd(Index a, Index b, Index& x, Index& y) {
+  if (b == 0) {
+    x = 1;
+    y = 0;
+    return a;
+  }
+  Index x1 = 0, y1 = 0;
+  Index g = extGcd(b, a % b, x1, y1);
+  x = y1;
+  y = x1 - (a / b) * y1;
+  return g;
+}
+
+/// Floor division for possibly-negative numerators.
+constexpr Index floorDiv(Index a, Index b) {
+  Index q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Euclidean remainder in [0, b).
+constexpr Index mod(Index a, Index b) {
+  Index r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+}  // namespace
+
+Triplet::Triplet(Index lb, Index ub) : lb_(lb), ub_(ub), stride_(1) {
+  canonicalize();
+}
+
+Triplet::Triplet(Index lb, Index ub, Index stride)
+    : lb_(lb), ub_(ub), stride_(stride) {
+  XDP_CHECK(stride >= 1, "triplet stride must be >= 1 (use descending())");
+  canonicalize();
+}
+
+Triplet Triplet::descending(Index first, Index last, Index stride) {
+  XDP_CHECK(stride <= -1, "descending() requires a negative stride");
+  if (first < last) return Triplet();  // empty descending range
+  // Elements are first, first+stride, ... >= last. As an ascending set the
+  // smallest element is first - k*|stride| for the largest k fitting.
+  Index s = -stride;
+  Index k = (first - last) / s;
+  return Triplet(first - k * s, first, s);
+}
+
+void Triplet::canonicalize() {
+  if (lb_ > ub_) {
+    lb_ = 0;
+    ub_ = -1;
+    stride_ = 1;
+    return;
+  }
+  ub_ = lb_ + ((ub_ - lb_) / stride_) * stride_;
+  if (lb_ == ub_) stride_ = 1;
+}
+
+Index Triplet::at(Index k) const {
+  XDP_CHECK(k >= 0 && k < count(), "triplet element index out of range");
+  return lb_ + k * stride_;
+}
+
+Triplet Triplet::intersect(const Triplet& a, const Triplet& b) {
+  if (a.empty() || b.empty()) return Triplet();
+  // Solve a.lb + i*a.stride == b.lb + j*b.stride.
+  Index x = 0, y = 0;
+  Index g = extGcd(a.stride_, b.stride_, x, y);
+  Index diff = b.lb_ - a.lb_;
+  if (diff % g != 0) return Triplet();  // progressions never meet
+  // One solution: i0 = x * (diff / g); combined stride m = lcm.
+  Index m = a.stride_ / g * b.stride_;
+  // Smallest common element: start from a.lb + i0*a.stride, then shift into
+  // [max(lb), ...] by multiples of m.
+  // Use __int128 to dodge overflow in the intermediate product.
+  __int128 cand128 =
+      static_cast<__int128>(a.lb_) +
+      static_cast<__int128>(x) * (diff / g) * a.stride_;
+  Index lo = std::max(a.lb_, b.lb_);
+  Index hi = std::min(a.ub_, b.ub_);
+  if (lo > hi) return Triplet();
+  // Reduce cand modulo m into the residue class, then find the first
+  // element >= lo.
+  __int128 rem128 = cand128 % m;
+  Index rem = static_cast<Index>(rem128 < 0 ? rem128 + m : rem128);
+  Index first = lo + mod(rem - lo, m);
+  if (first > hi) return Triplet();
+  Index last = first + floorDiv(hi - first, m) * m;
+  return Triplet(first, last, m);
+}
+
+std::vector<Triplet> Triplet::subtract(const Triplet& a, const Triplet& b) {
+  std::vector<Triplet> out;
+  if (a.empty()) return out;
+  Triplet i = intersect(a, b);
+  if (i.empty()) {
+    out.push_back(a);
+    return out;
+  }
+  // Positions (in units of a.stride from a.lb) of the removed elements form
+  // an arithmetic progression: start p0, step q, count i.count().
+  Index p0 = (i.lb() - a.lb_) / a.stride_;
+  Index q = i.stride() / a.stride_;
+  Index pLast = (i.ub() - a.lb_) / a.stride_;
+  Index n = a.count();
+  // Head: positions [0, p0).
+  if (p0 > 0)
+    out.emplace_back(a.lb_, a.lb_ + (p0 - 1) * a.stride_, a.stride_);
+  // Middle: for each residue r in (0, q), positions p0+r, p0+r+q, ... < pLast.
+  if (q > 1) {
+    for (Index r = 1; r < q; ++r) {
+      Index start = p0 + r;
+      if (start > pLast) break;
+      // Last position of this residue class that is < pLast + q but also <= n-1
+      // and within the removed span [p0, pLast].
+      Index stop = std::min(pLast, n - 1);
+      Index k = floorDiv(stop - start, q);
+      if (k < 0) continue;
+      Index end = start + k * q;
+      out.emplace_back(a.lb_ + start * a.stride_, a.lb_ + end * a.stride_,
+                       q * a.stride_);
+    }
+  }
+  // Tail: positions (pLast, n).
+  if (pLast + 1 <= n - 1)
+    out.emplace_back(a.lb_ + (pLast + 1) * a.stride_,
+                     a.lb_ + (n - 1) * a.stride_, a.stride_);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Triplet& t) {
+  if (t.empty()) return os << "<empty>";
+  os << t.lb() << ":" << t.ub();
+  if (t.stride() != 1) os << ":" << t.stride();
+  return os;
+}
+
+}  // namespace xdp::sec

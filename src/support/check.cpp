@@ -1,0 +1,20 @@
+#include "xdp/support/check.hpp"
+
+#include <sstream>
+
+namespace xdp::detail {
+
+void checkFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": XDP_CHECK(" << expr << ") failed: " << msg;
+  throw Error(os.str());
+}
+
+void usageFailed(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": XDP usage rule violated: " << msg;
+  throw UsageError(os.str());
+}
+
+}  // namespace xdp::detail

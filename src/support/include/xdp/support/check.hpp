@@ -1,0 +1,52 @@
+// Diagnostics for the XDP runtime and compiler.
+//
+// The paper's semantics are deliberately unsafe: the runtime performs no
+// automatic state checks, because the compiler is expected to have proven
+// them unnecessary (XDP paper, section 2.1/2.5). We therefore split
+// diagnostics into two tiers:
+//
+//   * XDP_CHECK   — precondition violations of the *implementation* API
+//                   (bad rank, out-of-range index). Always on; throws.
+//   * XDP_DEBUG_CHECK — violations of the *XDP usage rules* (reading a
+//                   transitional section, mismatched send/receive names,
+//                   receiving ownership of an owned section). Enabled per
+//                   runtime instance via RuntimeOptions::debug_checks;
+//                   this macro is the cheap always-compiled variant used
+//                   in hot paths guarded by a bool.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xdp {
+
+/// Error thrown on violated implementation preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Error thrown (in debug-checks mode) when a program violates the XDP
+/// usage rules of Figure 1 — e.g. reading a transitional section.
+class UsageError : public Error {
+ public:
+  explicit UsageError(std::string what) : Error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void checkFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+[[noreturn]] void usageFailed(const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace xdp
+
+#define XDP_CHECK(expr, msg)                                          \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::xdp::detail::checkFailed(__FILE__, __LINE__, #expr, (msg));   \
+    }                                                                 \
+  } while (0)
+
+#define XDP_USAGE_FAIL(msg) ::xdp::detail::usageFailed(__FILE__, __LINE__, (msg))

@@ -1,0 +1,68 @@
+// Deterministic random number generation for tests, workload generators
+// and benchmarks. We avoid std::mt19937 seeding subtleties by using a
+// small, well-understood generator (splitmix64 feeding xoshiro256**),
+// so every run of a test or bench sees the same stream on every platform.
+#pragma once
+
+#include <cstdint>
+
+namespace xdp {
+
+/// splitmix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double real() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace xdp

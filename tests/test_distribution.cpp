@@ -1,0 +1,204 @@
+// HPF distribution tests, including the paper's concrete examples:
+//   Fig. 2: A[1:4,1:8] (*,BLOCK), B[1:16,1:16] (BLOCK,CYCLIC) on 2x2
+//   Fig. 3: 4x8 array as (BLOCK,BLOCK) and (BLOCK,CYCLIC) on 2x2
+//   Sec. 4: A[1:4,1:4,1:4] (*,*,BLOCK) on 4 procs
+#include <gtest/gtest.h>
+
+#include "xdp/dist/distribution.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::dist {
+namespace {
+
+Section box2(Index r, Index c) {
+  return Section{Triplet(1, r), Triplet(1, c)};
+}
+
+/// Every element must be owned by exactly one processor, and localPart must
+/// agree with ownerOf. This is the fundamental partition invariant.
+void checkPartition(const Distribution& d) {
+  // ownerOf-in-range + localPart consistency.
+  std::vector<RegionList> parts;
+  for (int p = 0; p < d.nprocs(); ++p) parts.push_back(d.localPart(p));
+  Index total = 0;
+  for (int p = 0; p < d.nprocs(); ++p) total += parts[static_cast<unsigned>(p)].count();
+  ASSERT_EQ(total, d.global().count()) << d.str();
+  d.global().forEach([&](const Point& pt) {
+    int owner = d.ownerOf(pt);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, d.nprocs());
+    for (int p = 0; p < d.nprocs(); ++p) {
+      EXPECT_EQ(parts[static_cast<unsigned>(p)].contains(pt), p == owner)
+          << d.str() << " at " << pt << " owner=" << owner << " p=" << p;
+    }
+  });
+}
+
+TEST(Distribution, BlockOneDim) {
+  Distribution d(Section{Triplet(1, 16)}, {DimSpec::block(4)});
+  EXPECT_EQ(d.nprocs(), 4);
+  EXPECT_EQ(d.ownerOf(Point{1}), 0);
+  EXPECT_EQ(d.ownerOf(Point{4}), 0);
+  EXPECT_EQ(d.ownerOf(Point{5}), 1);
+  EXPECT_EQ(d.ownerOf(Point{16}), 3);
+  auto part = d.localPart(2);
+  ASSERT_EQ(part.sections().size(), 1u);
+  EXPECT_EQ(part.sections()[0], (Section{Triplet(9, 12)}));
+  checkPartition(d);
+}
+
+TEST(Distribution, BlockUnevenLastProcShorter) {
+  // N=10 over 4: blocks of 3 -> 3,3,3,1.
+  Distribution d(Section{Triplet(1, 10)}, {DimSpec::block(4)});
+  EXPECT_EQ(d.localPart(0).count(), 3);
+  EXPECT_EQ(d.localPart(3).count(), 1);
+  checkPartition(d);
+}
+
+TEST(Distribution, BlockMoreProcsThanElements) {
+  Distribution d(Section{Triplet(1, 3)}, {DimSpec::block(8)});
+  checkPartition(d);
+  // Some processors own nothing.
+  int empty = 0;
+  for (int p = 0; p < 8; ++p)
+    if (d.localPart(p).empty()) ++empty;
+  EXPECT_GT(empty, 0);
+}
+
+TEST(Distribution, CyclicOneDim) {
+  Distribution d(Section{Triplet(1, 10)}, {DimSpec::cyclic(3)});
+  EXPECT_EQ(d.ownerOf(Point{1}), 0);
+  EXPECT_EQ(d.ownerOf(Point{2}), 1);
+  EXPECT_EQ(d.ownerOf(Point{3}), 2);
+  EXPECT_EQ(d.ownerOf(Point{4}), 0);
+  auto part = d.localPart(1);
+  ASSERT_EQ(part.sections().size(), 1u);
+  EXPECT_EQ(part.sections()[0], (Section{Triplet(2, 8, 3)}));
+  checkPartition(d);
+}
+
+TEST(Distribution, BlockCyclicOneDim) {
+  Distribution d(Section{Triplet(1, 16)}, {DimSpec::blockCyclic(2, 3)});
+  // blocks of 3: p0 gets 1-3, 7-9, 13-15; p1 gets 4-6, 10-12, 16.
+  EXPECT_EQ(d.ownerOf(Point{3}), 0);
+  EXPECT_EQ(d.ownerOf(Point{4}), 1);
+  EXPECT_EQ(d.ownerOf(Point{7}), 0);
+  EXPECT_EQ(d.ownerOf(Point{16}), 1);
+  EXPECT_EQ(d.localPart(0).count(), 9);
+  EXPECT_EQ(d.localPart(1).count(), 7);
+  checkPartition(d);
+}
+
+TEST(Distribution, Fig2StarBlock) {
+  // A[1:4,1:8] (*, BLOCK) over 4 processors in the distributed dimension.
+  Distribution d(box2(4, 8), {DimSpec::collapsed(), DimSpec::block(4)});
+  EXPECT_EQ(d.nprocs(), 4);
+  EXPECT_EQ(d.str(), "(*, BLOCK)");
+  // Processor p owns all rows of columns 2p+1..2p+2.
+  for (int p = 0; p < 4; ++p) {
+    auto part = d.localPart(p);
+    EXPECT_TRUE(part.covers(
+        Section{Triplet(1, 4), Triplet(2 * p + 1, 2 * p + 2)}));
+    EXPECT_EQ(part.count(), 8);
+  }
+  checkPartition(d);
+}
+
+TEST(Distribution, Fig2BlockCyclic2D) {
+  // B[1:16,1:16] (BLOCK, CYCLIC) over a 2x2 grid.
+  Distribution d(box2(16, 16), {DimSpec::block(2), DimSpec::cyclic(2)});
+  EXPECT_EQ(d.nprocs(), 4);
+  EXPECT_EQ(d.str(), "(BLOCK, CYCLIC)");
+  // pid = rowCoord + 2*colCoord (first distributed dim fastest).
+  EXPECT_EQ(d.ownerOf(Point{1, 1}), 0);
+  EXPECT_EQ(d.ownerOf(Point{9, 1}), 1);
+  EXPECT_EQ(d.ownerOf(Point{1, 2}), 2);
+  EXPECT_EQ(d.ownerOf(Point{9, 2}), 3);
+  checkPartition(d);
+}
+
+TEST(Distribution, Fig3BlockBlock) {
+  // 4x8 (BLOCK, BLOCK) on 2x2: P3 (coords (1,1)) owns rows 3:4, cols 5:8.
+  Distribution d(box2(4, 8), {DimSpec::block(2), DimSpec::block(2)});
+  auto part = d.localPart(3);
+  ASSERT_EQ(part.sections().size(), 1u);
+  EXPECT_EQ(part.sections()[0], (Section{Triplet(3, 4), Triplet(5, 8)}));
+  checkPartition(d);
+}
+
+TEST(Distribution, Fig3BlockCyclic) {
+  // 4x8 (BLOCK, CYCLIC) on 2x2: P3 owns rows 3:4, every other col from 2.
+  Distribution d(box2(4, 8), {DimSpec::block(2), DimSpec::cyclic(2)});
+  auto part = d.localPart(3);
+  ASSERT_EQ(part.sections().size(), 1u);
+  EXPECT_EQ(part.sections()[0],
+            (Section{Triplet(3, 4), Triplet(2, 8, 2)}));
+  checkPartition(d);
+}
+
+TEST(Distribution, FftStarStarBlock) {
+  // Section 4: A[1:4,1:4,1:4] (*,*,BLOCK) over 4 procs — proc i owns
+  // A[1:4,1:4,i+1].
+  Distribution d(
+      Section{Triplet(1, 4), Triplet(1, 4), Triplet(1, 4)},
+      {DimSpec::collapsed(), DimSpec::collapsed(), DimSpec::block(4)});
+  for (int p = 0; p < 4; ++p) {
+    auto part = d.localPart(p);
+    EXPECT_TRUE(part.covers(
+        Section{Triplet(1, 4), Triplet(1, 4), Triplet(p + 1)}));
+    EXPECT_EQ(part.count(), 16);
+  }
+  checkPartition(d);
+}
+
+TEST(Distribution, ScalarRankZero) {
+  Distribution d(Section{}, {});
+  EXPECT_EQ(d.nprocs(), 1);
+  EXPECT_EQ(d.ownerOf(Point{}), 0);
+  EXPECT_EQ(d.localPart(0).count(), 1);
+}
+
+TEST(Distribution, EqualityIsStructural) {
+  Distribution a(box2(4, 8), {DimSpec::block(2), DimSpec::cyclic(2)});
+  Distribution b(box2(4, 8), {DimSpec::block(2), DimSpec::cyclic(2)});
+  Distribution c(box2(4, 8), {DimSpec::cyclic(2), DimSpec::block(2)});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+struct DistCase {
+  DimSpec d0, d1;
+  Index n0, n1;
+};
+
+class DistributionPartition
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistributionPartition, PartitionInvariantHolds) {
+  auto [kind0, kind1, size] = GetParam();
+  auto mk = [&](int kind, int procs) {
+    switch (kind) {
+      case 0:
+        return DimSpec::collapsed();
+      case 1:
+        return DimSpec::block(procs);
+      case 2:
+        return DimSpec::cyclic(procs);
+      default:
+        return DimSpec::blockCyclic(procs, 3);
+    }
+  };
+  // Keep at least one distributed dimension so nprocs > 1 is exercised.
+  if (kind0 == 0 && kind1 == 0) GTEST_SKIP();
+  Distribution d(box2(size, size + 3), {mk(kind0, 2), mk(kind1, 3)});
+  checkPartition(d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistributionPartition,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(5, 8, 13)));
+
+}  // namespace
+}  // namespace xdp::dist

@@ -1,0 +1,87 @@
+// fft1d correctness against the naive DFT, and round-trip properties.
+#include <gtest/gtest.h>
+
+#include "xdp/apps/fft.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::apps {
+namespace {
+
+std::vector<Complex> randomSignal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.real() - 0.5, rng.real() - 0.5);
+  return v;
+}
+
+void expectNear(const std::vector<Complex>& a, const std::vector<Complex>& b,
+                double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(std::abs(a[i] - b[i]), 0.0, tol) << "index " << i;
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(isPow2(1));
+  EXPECT_TRUE(isPow2(64));
+  EXPECT_FALSE(isPow2(0));
+  EXPECT_FALSE(isPow2(12));
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<Complex> v(12);
+  EXPECT_THROW(fft1d(v), xdp::Error);
+}
+
+TEST(Fft, LengthOneIsIdentity) {
+  std::vector<Complex> v{Complex(3.0, -1.0)};
+  fft1d(v);
+  EXPECT_EQ(v[0], Complex(3.0, -1.0));
+}
+
+TEST(Fft, KnownTransform) {
+  // DFT of [1,1,1,1] = [4,0,0,0]; DFT of [1,-1,1,-1] = [0,0,4,0].
+  std::vector<Complex> ones{1, 1, 1, 1};
+  fft1d(ones);
+  expectNear(ones, {Complex(4), Complex(0), Complex(0), Complex(0)}, 1e-12);
+  std::vector<Complex> alt{1, -1, 1, -1};
+  fft1d(alt);
+  expectNear(alt, {Complex(0), Complex(0), Complex(4), Complex(0)}, 1e-12);
+}
+
+class FftVsDft : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftVsDft, MatchesNaiveDft) {
+  const auto n = static_cast<std::size_t>(1 << GetParam());
+  auto sig = randomSignal(n, 1000 + static_cast<std::uint64_t>(GetParam()));
+  auto expect = naiveDft(sig);
+  fft1d(sig);
+  expectNear(sig, expect, 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftVsDft, InverseRoundTrip) {
+  const auto n = static_cast<std::size_t>(1 << GetParam());
+  auto sig = randomSignal(n, 2000 + static_cast<std::uint64_t>(GetParam()));
+  auto orig = sig;
+  fft1d(sig);
+  fft1d(sig, /*inverse=*/true);
+  expectNear(sig, orig, 1e-12 * static_cast<double>(n));
+}
+
+TEST_P(FftVsDft, ParsevalHolds) {
+  const auto n = static_cast<std::size_t>(1 << GetParam());
+  auto sig = randomSignal(n, 3000 + static_cast<std::uint64_t>(GetParam()));
+  double timeEnergy = 0;
+  for (const auto& x : sig) timeEnergy += std::norm(x);
+  fft1d(sig);
+  double freqEnergy = 0;
+  for (const auto& x : sig) freqEnergy += std::norm(x);
+  EXPECT_NEAR(freqEnergy, timeEnergy * static_cast<double>(n),
+              1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsDft, ::testing::Values(0, 1, 2, 3, 4, 5,
+                                                            6, 7, 8));
+
+}  // namespace
+}  // namespace xdp::apps

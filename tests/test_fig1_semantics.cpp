@@ -1,0 +1,241 @@
+// Figure 1, row by row: a consolidated specification suite. Each test
+// quotes the paper's rule and pins the runtime to it. (Deeper scenario
+// coverage lives in test_rt_basic / test_rt_ownership; this file is the
+// spec-to-code map.)
+#include <gtest/gtest.h>
+
+#include "xdp/rt/proc.hpp"
+
+namespace xdp::rt {
+namespace {
+
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Point;
+using sec::Section;
+using sec::Triplet;
+
+/// 2 processors; A[1:8] BLOCK => p0 owns 1:4, p1 owns 5:8.
+struct Fig1 : ::testing::Test {
+  RuntimeOptions debug() {
+    RuntimeOptions o;
+    o.debugChecks = true;
+    return o;
+  }
+  Section g{Triplet(1, 8)};
+  Section left{Triplet(1, 4)};
+  Section right{Triplet(5, 8)};
+};
+
+TEST_F(Fig1, Mypid_ReturnsTheUniqueIdentifierOfP) {
+  Runtime rt(4);
+  rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(4)}));
+  std::array<std::atomic<int>, 4> seen{};
+  rt.run([&](Proc& p) {
+    ASSERT_GE(p.mypid(), 0);
+    ASSERT_LT(p.mypid(), 4);
+    seen[static_cast<unsigned>(p.mypid())]++;
+  });
+  for (auto& s : seen) EXPECT_EQ(s, 1);  // unique per processor
+}
+
+TEST_F(Fig1, Mylb_SmallestOwnedIndexOrMaxint) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 1) {
+      // "If any element of X is owned by p, returns the smallest index in
+      // dimension d, MAXINT otherwise."
+      EXPECT_EQ(p.mylb(A, g, 0), 5);
+      EXPECT_EQ(p.mylb(A, Section{Triplet(7, 8)}, 0), 7);
+      EXPECT_EQ(p.mylb(A, left, 0), kMaxInt);
+    }
+  });
+}
+
+TEST_F(Fig1, Myub_LargestOwnedIndexOrMinint) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      EXPECT_EQ(p.myub(A, g, 0), 4);
+      EXPECT_EQ(p.myub(A, right, 0), kMinInt);
+    }
+  });
+}
+
+TEST_F(Fig1, Iown_TrueIffXOwnedByP) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    Section mine = p.mypid() == 0 ? left : right;
+    Section theirs = p.mypid() == 0 ? right : left;
+    EXPECT_TRUE(p.iown(A, mine));
+    EXPECT_FALSE(p.iown(A, theirs));
+    EXPECT_FALSE(p.iown(A, g));  // partially owned = not owned (Fig. 1)
+  });
+}
+
+TEST_F(Fig1, Accessible_OwnedAndNoUncompletedReceive) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 1) {
+      EXPECT_TRUE(p.accessible(A, right));   // owned, no receive pending
+      EXPECT_FALSE(p.accessible(A, left));   // unowned
+      p.recv(A, Section{Triplet(5)}, A, Section{Triplet(1)});
+      EXPECT_FALSE(p.accessible(A, Section{Triplet(5)}));  // transitional
+      // Per-section state: an unrelated element of the same partition is
+      // still accessible while [5] is in flight.
+      EXPECT_TRUE(p.accessible(A, Section{Triplet(7)}));
+      p.barrier();
+      EXPECT_TRUE(p.await(A, Section{Triplet(5)}));
+      EXPECT_TRUE(p.accessible(A, Section{Triplet(5)}));
+    } else {
+      p.barrier();
+      p.send(A, Section{Triplet(1)}, std::vector<int>{1});
+    }
+  });
+}
+
+TEST_F(Fig1, Await_FalseIfUnownedElseBlocksUntilAccessible) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    Section theirs = p.mypid() == 0 ? right : left;
+    EXPECT_FALSE(p.await(A, theirs));  // "Returns false if X is unowned"
+    Section mine = p.mypid() == 0 ? left : right;
+    EXPECT_TRUE(p.await(A, mine));  // accessible: returns true at once
+  });
+}
+
+TEST_F(Fig1, SendE_InitiatesNameAndValueToUnspecifiedProcessor) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      p.set<double>(A, Point{2}, 9.5);
+      p.send(A, Section{Triplet(2)});  // E -> : destination unspecified
+    } else {
+      p.recv(A, Section{Triplet(6)}, A, Section{Triplet(2)});
+      EXPECT_TRUE(p.await(A, Section{Triplet(6)}));
+      EXPECT_DOUBLE_EQ(p.get<double>(A, Point{6}), 9.5);
+    }
+  });
+  EXPECT_EQ(rt.fabric().totalStats().rendezvousSends, 1u);
+}
+
+TEST_F(Fig1, SendES_SendsToEveryProcessorInS) {
+  Runtime rt(4, debug());
+  Section gp{Triplet(0, 3)};
+  int A = rt.declareArray<double>("A", gp, Distribution(gp, {DimSpec::block(4)}));
+  Section gi{Triplet(0, 3)};
+  int R = rt.declareArray<double>("R", gi, Distribution(gi, {DimSpec::block(4)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      p.set<double>(A, Point{0}, 4.25);
+      p.send(A, Section{Triplet(0)}, std::vector<int>{1, 2, 3});  // E -> S
+    } else {
+      Section mine{Triplet(p.mypid())};
+      p.recv(R, mine, A, Section{Triplet(0)});
+      EXPECT_TRUE(p.await(R, mine));
+      EXPECT_DOUBLE_EQ(p.get<double>(R, Point{p.mypid()}), 4.25);
+    }
+  });
+  EXPECT_EQ(rt.fabric().totalStats().directSends, 3u);
+}
+
+TEST_F(Fig1, OwnershipSend_BlocksUntilAccessibleThenRelinquishes) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      p.sendOwnership(A, left, /*withValue=*/false);  // E =>
+      EXPECT_FALSE(p.iown(A, left));  // relinquished
+    } else {
+      p.recvOwnership(A, left, /*withValue=*/false);
+      EXPECT_TRUE(p.await(A, left));
+    }
+  });
+  EXPECT_EQ(rt.fabric().totalStats().bytesSent, 0u);  // no value travels
+}
+
+TEST_F(Fig1, OwnershipValueSend_MovesOwnershipAndValue) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      p.write<double>(A, left, std::vector<double>{1, 2, 3, 4});
+      p.sendOwnership(A, left, /*withValue=*/true);  // E -=>
+    } else {
+      p.recvOwnership(A, left, /*withValue=*/true);  // U <=-
+      EXPECT_TRUE(p.await(A, left));
+      EXPECT_EQ(p.read<double>(A, left), (std::vector<double>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST_F(Fig1, Recv_BlocksUntilEAccessibleThenInitiates) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 1) {
+      // Two receives into the same element: the second's initiation must
+      // block until the first completes (E must be accessible).
+      p.recv(A, Section{Triplet(5)}, A, Section{Triplet(1)});
+      p.barrier();  // let p0 send the first value
+      p.recv(A, Section{Triplet(5)}, A, Section{Triplet(2)});  // blocks
+      EXPECT_TRUE(p.await(A, Section{Triplet(5)}));
+      EXPECT_DOUBLE_EQ(p.get<double>(A, Point{5}), 2.0);
+    } else {
+      p.set<double>(A, Point{1}, 1.0);
+      p.set<double>(A, Point{2}, 2.0);
+      p.barrier();
+      p.send(A, Section{Triplet(1)}, std::vector<int>{1});
+      p.send(A, Section{Triplet(2)}, std::vector<int>{1});
+    }
+  });
+}
+
+TEST_F(Fig1, OwnershipReceive_OnlyIfUnowned) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      // "Ownership of a section can only be received if the section was
+      // unowned."
+      EXPECT_THROW(p.recvOwnership(A, left, true), xdp::UsageError);
+    }
+  });
+}
+
+TEST_F(Fig1, States_UnownedTransitionalAccessible) {
+  Runtime rt(2, debug());
+  int A = rt.declareArray<double>(
+      "A", g, Distribution(g, {DimSpec::block(2)}),
+      dist::SegmentShape::of({2}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 1) {
+      // unowned: "some element of section is not owned by p".
+      EXPECT_FALSE(p.iown(A, Section{Triplet(4, 5)}));
+      // transitional: owned + uncompleted receive.
+      p.recv(A, Section{Triplet(5, 6)}, A, Section{Triplet(1, 2)});
+      EXPECT_TRUE(p.iown(A, Section{Triplet(5, 6)}));       // still owned
+      EXPECT_FALSE(p.accessible(A, Section{Triplet(5, 6)}));
+      // The snapshot view mirrors it per segment.
+      bool sawTransitional = false;
+      for (const auto& seg : p.table().segments(A))
+        if (seg.status == SegState::Transitional) sawTransitional = true;
+      EXPECT_TRUE(sawTransitional);
+      p.barrier();
+      EXPECT_TRUE(p.await(A, Section{Triplet(5, 6)}));  // accessible again
+    } else {
+      p.barrier();
+      p.send(A, Section{Triplet(1, 2)}, std::vector<int>{1});
+    }
+  });
+}
+
+}  // namespace
+}  // namespace xdp::rt

@@ -1,0 +1,217 @@
+// The IL+XDP text format: parsing the paper's listings, error reporting,
+// print/parse round-trip stability, and executing a parsed program.
+#include <gtest/gtest.h>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/il/parser.hpp"
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::il {
+namespace {
+
+// The paper's section 2.2 lowered listing, verbatim modulo declarations.
+const char* kPaperListing = R"(
+procs 4
+array A f64 [1:16] (BLOCK)
+array B f64 [1:16] (CYCLIC)
+array T f64 [0:3] (BLOCK)
+
+do i = 1, 16
+  iown(B[i]) : { B[i] -> }
+  iown(A[i]) : {
+    T[mypid] <- B[i]
+    await(T[mypid])
+    A[i] = A[i] + T[mypid]
+  }
+enddo
+)";
+
+TEST(IlParser, ParsesThePaperListing) {
+  Program prog = parseProgram(kPaperListing);
+  EXPECT_EQ(prog.nprocs, 4);
+  ASSERT_EQ(prog.arrays.size(), 3u);
+  EXPECT_EQ(prog.arrays[0].name, "A");
+  EXPECT_EQ(prog.arrays[1].dist.specs()[0].kind, dist::DistKind::Cyclic);
+  EXPECT_EQ(prog.arrays[1].dist.nprocs(), 4);  // defaulted to procs
+  ASSERT_EQ(prog.body->kind, StmtKind::Block);
+  ASSERT_EQ(prog.body->stmts.size(), 1u);
+  const StmtPtr& loop = prog.body->stmts[0];
+  EXPECT_EQ(loop->kind, StmtKind::For);
+  EXPECT_EQ(loop->name, "i");
+  ASSERT_EQ(loop->body->stmts.size(), 2u);
+  const StmtPtr& sendG = loop->body->stmts[0];
+  EXPECT_EQ(sendG->kind, StmtKind::Guarded);
+  EXPECT_EQ(sendG->rule->kind, ExprKind::Iown);
+  EXPECT_EQ(sendG->body->stmts[0]->kind, StmtKind::SendData);
+  const StmtPtr& compG = loop->body->stmts[1];
+  ASSERT_EQ(compG->body->stmts.size(), 3u);
+  EXPECT_EQ(compG->body->stmts[0]->kind, StmtKind::RecvData);
+  EXPECT_EQ(compG->body->stmts[1]->kind, StmtKind::Await);
+  EXPECT_EQ(compG->body->stmts[2]->kind, StmtKind::ElemAssign);
+}
+
+TEST(IlParser, ParsedPaperListingExecutesCorrectly) {
+  Program prog = parseProgram(kPaperListing);
+  rt::RuntimeOptions opts;
+  opts.debugChecks = true;
+  interp::Interpreter in(prog, opts);
+  // Seed values by a tiny prelude program would need a fill kernel; here
+  // zero-init means A stays zero — assert it runs and traffic flows.
+  in.run();
+  EXPECT_EQ(in.runtime().fabric().totalStats().messagesSent, 16u);
+  EXPECT_EQ(in.runtime().fabric().undeliveredCount(), 0u);
+}
+
+TEST(IlParser, OwnershipStatements) {
+  Program prog = parseProgram(R"(
+procs 2
+array A f64 [1:8] (BLOCK) seg (2)
+(mypid == 0) : {
+  A[1:4] -=> {1}
+  A[5:8] =>
+}
+(mypid == 1) : {
+  A[1:4] <=-
+  A[5:8] <=
+}
+)");
+  const auto& g0 = prog.body->stmts[0]->body->stmts;
+  ASSERT_EQ(g0.size(), 2u);
+  EXPECT_EQ(g0[0]->kind, StmtKind::SendOwn);
+  EXPECT_TRUE(g0[0]->withValue);
+  EXPECT_EQ(g0[0]->dest.kind, DestSpec::Kind::Pids);
+  EXPECT_EQ(g0[1]->kind, StmtKind::SendOwn);
+  EXPECT_FALSE(g0[1]->withValue);
+  const auto& g1 = prog.body->stmts[1]->body->stmts;
+  EXPECT_TRUE(g1[0]->withValue);
+  EXPECT_FALSE(g1[1]->withValue);
+  EXPECT_EQ(prog.arrays[0].segShape.elems[0], 2);
+}
+
+TEST(IlParser, SectionFormsAndIntrinsics) {
+  Program prog = parseProgram(R"(
+procs 4
+array A f64 [1:8,1:8] (*,BLOCK)
+(nonempty(A[1:8,2:6:2]^[mypart]) && iown(A[1,1]) ||
+ mylb(A[1:8,1:8],1) <= myub(A[1:8,1:8],1)) : { compute(1.5) }
+)");
+  SUCCEED();  // shape assertions via printer below
+  std::string text = printStmt(prog, prog.body);
+  EXPECT_NE(text.find("nonempty"), std::string::npos);
+  EXPECT_NE(text.find("^[mypart]"), std::string::npos);
+  EXPECT_NE(text.find("compute(1.5)"), std::string::npos);
+}
+
+TEST(IlParser, OwnerDestination) {
+  Program prog = parseProgram(R"(
+procs 2
+array A f64 [1:4] (BLOCK)
+array B f64 [1:4] (CYCLIC)
+do i = 1, 4
+  iown(B[i]) : { B[i] -> {owner(A[i])} }
+enddo
+)");
+  const auto& send =
+      prog.body->stmts[0]->body->stmts[0]->body->stmts[0];
+  EXPECT_EQ(send->dest.kind, DestSpec::Kind::OwnerOf);
+  EXPECT_EQ(send->dest.sym, prog.findSymbol("A"));
+}
+
+TEST(IlParser, KernelCallsAndLoopsWithStep) {
+  Program prog = parseProgram(R"(
+procs 2
+array A c128 [1:8,1:8] (*,BLOCK)
+do k = 1, 8, 2
+  fft1d(A[1:8,k])
+enddo
+)");
+  const StmtPtr& loop = prog.body->stmts[0];
+  ASSERT_TRUE(loop->step);
+  EXPECT_EQ(loop->step->intVal, 2);
+  EXPECT_EQ(loop->body->stmts[0]->kind, StmtKind::Kernel);
+  EXPECT_EQ(loop->body->stmts[0]->name, "fft1d");
+}
+
+TEST(IlParser, MultiDimDistributionsNeedExplicitProcs) {
+  EXPECT_THROW(parseProgram(R"(
+procs 4
+array A f64 [1:8,1:8] (BLOCK,BLOCK)
+)"),
+               xdp::Error);
+  Program ok = parseProgram(R"(
+procs 4
+array A f64 [1:8,1:8] (BLOCK:2,BLOCK:2)
+)");
+  EXPECT_EQ(ok.arrays[0].dist.nprocs(), 4);
+}
+
+TEST(IlParser, BlockCyclicSyntax) {
+  Program prog = parseProgram(R"(
+procs 2
+array A f64 [1:16] (CYCLIC(3))
+)");
+  EXPECT_EQ(prog.arrays[0].dist.specs()[0].kind,
+            dist::DistKind::BlockCyclic);
+  EXPECT_EQ(prog.arrays[0].dist.specs()[0].blockSize, 3);
+}
+
+TEST(IlParser, ErrorsCarryLocations) {
+  try {
+    parseProgram("procs 2\narray A f64 [1:8] (BLOCK)\nA[1] ??\n");
+    FAIL() << "expected a parse error";
+  } catch (const xdp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  EXPECT_THROW(parseProgram("procs 2\nB[1] = 0\n"), xdp::Error);  // unknown
+  EXPECT_THROW(parseProgram("procs 2\narray A f32 [1:8] (BLOCK)\n"),
+               xdp::Error);  // bad type
+}
+
+TEST(IlParser, RoundTripStability) {
+  // print(parse(print(p))) == print(p) for the lowered vecadd program.
+  auto cfg = apps::vecAddMisaligned(16, 4);
+  Program p = opt::lowerOwnerComputes(apps::buildVecAdd(cfg));
+  PrintOptions po;
+  po.parseable = true;
+  std::string once = printProgram(p, po);
+  Program reparsed = parseProgram(once);
+  std::string twice = printProgram(reparsed, po);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(IlParser, RoundTrippedProgramComputesTheSameResult) {
+  auto cfg = apps::vecAddMisaligned(16, 4);
+  Program p = opt::commBinding(opt::computeRuleElimination(
+      opt::redundantTransferElimination(
+          opt::lowerOwnerComputes(apps::buildVecAdd(cfg)))));
+  PrintOptions po;
+  po.parseable = true;
+  Program reparsed = parseProgram(printProgram(p, po));
+
+  auto runIt = [&](const Program& prog) {
+    rt::RuntimeOptions opts;
+    opts.debugChecks = true;
+    interp::Interpreter in(prog, opts);
+    apps::registerFillKernel(in, cfg.seed);
+    in.run();
+    return apps::gatherF64(in.runtime(), prog.findSymbol("A"),
+                           sec::Section{sec::Triplet(1, cfg.n)});
+  };
+  EXPECT_EQ(runIt(p), runIt(reparsed));
+}
+
+TEST(IlParser, ParseStmtsAgainstExistingProgram) {
+  Program prog = parseProgram(R"(
+procs 2
+array A f64 [1:8] (BLOCK)
+compute(0)
+)");
+  StmtPtr extra = parseStmts(prog, "iown(A[1]) : { A[1] = 42 }");
+  ASSERT_EQ(extra->kind, StmtKind::Block);
+  EXPECT_EQ(extra->stmts[0]->kind, StmtKind::Guarded);
+}
+
+}  // namespace
+}  // namespace xdp::il

@@ -1,0 +1,137 @@
+// IL construction and pretty-printing: the printer must reproduce the
+// paper's surface syntax for its listings.
+#include <gtest/gtest.h>
+
+#include "xdp/il/printer.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::il {
+namespace {
+
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Section;
+using sec::Triplet;
+
+Program vecAddLowered() {
+  Program prog;
+  prog.nprocs = 4;
+  Section g{Triplet(1, 16)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::block(4)}), {}});
+  prog.addArray({"B", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::cyclic(4)}), {}});
+  Section gp{Triplet(0, 3)};
+  prog.addArray({"T", rt::ElemType::F64, gp,
+                 Distribution(gp, {DimSpec::block(4)}), {}});
+  ExprPtr i = scalar("i");
+  SectionExprPtr ai = secPoint({i});
+  SectionExprPtr bi = secPoint({i});
+  SectionExprPtr tp = secPoint({mypid()});
+  int link = prog.freshLink();
+  prog.body = forLoop(
+      "i", intConst(1), intConst(16),
+      block({guarded(iown(1, bi), block({sendData(1, bi, {}, link)})),
+             guarded(iown(0, ai),
+                     block({recvData(2, tp, 1, bi, link), awaitStmt(2, tp),
+                            elemAssign(0, ai,
+                                       add(elem(0, ai), elem(2, tp)))}))}));
+  return prog;
+}
+
+TEST(IlPrinter, PaperSurfaceSyntax) {
+  Program prog = vecAddLowered();
+  std::string text = printProgram(prog);
+  // The section 2.2 listing, modulo whitespace:
+  EXPECT_NE(text.find("do i = 1, 16"), std::string::npos);
+  EXPECT_NE(text.find("iown(B[i]) : {"), std::string::npos);
+  EXPECT_NE(text.find("B[i] ->"), std::string::npos);
+  EXPECT_NE(text.find("T[mypid] <- B[i]"), std::string::npos);
+  EXPECT_NE(text.find("await(T[mypid])"), std::string::npos);
+  EXPECT_NE(text.find("A[i] = (A[i] + T[mypid])"), std::string::npos);
+  EXPECT_NE(text.find("enddo"), std::string::npos);
+  // Declarations header.
+  EXPECT_NE(text.find("A[1:16] distributed (BLOCK)"), std::string::npos);
+  EXPECT_NE(text.find("B[1:16] distributed (CYCLIC)"), std::string::npos);
+}
+
+TEST(IlPrinter, OwnershipTransferSyntax) {
+  Program prog;
+  prog.nprocs = 2;
+  Section g{Triplet(1, 8)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::block(2)}), {}});
+  ExprPtr i = scalar("i");
+  prog.body = block({
+      sendOwn(0, secPoint({i}), true),
+      sendOwn(0, secPoint({i}), false),
+      recvOwn(0, secPoint({i}), true),
+      recvOwn(0, secPoint({i}), false),
+  });
+  std::string text = printStmt(prog, prog.body);
+  EXPECT_NE(text.find("A[i] -=>"), std::string::npos);
+  EXPECT_NE(text.find("A[i] =>"), std::string::npos);
+  EXPECT_NE(text.find("A[i] <=-"), std::string::npos);
+  EXPECT_NE(text.find("A[i] <="), std::string::npos);
+}
+
+TEST(IlPrinter, DestAndLinkAnnotations) {
+  Program prog;
+  prog.nprocs = 2;
+  Section g{Triplet(1, 8)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::block(2)}), {}});
+  prog.body = block({
+      sendData(0, secPoint({intConst(3)}),
+               DestSpec::toPids({intConst(1)}), 7),
+  });
+  std::string plain = printStmt(prog, prog.body);
+  EXPECT_NE(plain.find("A[3] -> {1}"), std::string::npos);
+  EXPECT_EQ(plain.find("link"), std::string::npos);
+  PrintOptions opts;
+  opts.showLinks = true;
+  std::string linked = printStmt(prog, prog.body, opts);
+  EXPECT_NE(linked.find("//link 7"), std::string::npos);
+}
+
+TEST(IlPrinter, SectionExprForms) {
+  Program prog;
+  prog.nprocs = 2;
+  Section g{Triplet(1, 8)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::block(2)}), {}});
+  auto s = secIntersect(secLocalPart(0), secOwnerPart(0, intConst(1)));
+  EXPECT_EQ(printSection(prog, s), "[mypart]^[part(1)]");
+  auto ranged = secLit({TripletExpr{intConst(1), intConst(7), intConst(2)}});
+  EXPECT_EQ(printSection(prog, ranged), "[1:7:2]");
+}
+
+TEST(IlSameExpr, StructuralEquality) {
+  ExprPtr a = add(scalar("i"), intConst(1));
+  ExprPtr b = add(scalar("i"), intConst(1));
+  ExprPtr c = add(scalar("j"), intConst(1));
+  EXPECT_TRUE(sameExpr(a, b));
+  EXPECT_FALSE(sameExpr(a, c));
+  EXPECT_TRUE(sameSectionExpr(secPoint({a}), secPoint({b})));
+  EXPECT_FALSE(sameSectionExpr(secPoint({a}), secPoint({c})));
+  EXPECT_FALSE(sameSectionExpr(secPoint({a}),
+                               secRange1(a, intConst(9))));
+}
+
+TEST(IlProgram, SymbolLookupAndFreshLinks) {
+  Program prog = vecAddLowered();
+  EXPECT_EQ(prog.findSymbol("A"), 0);
+  EXPECT_EQ(prog.findSymbol("B"), 1);
+  EXPECT_EQ(prog.findSymbol("missing"), -1);
+  int l1 = prog.freshLink();
+  int l2 = prog.freshLink();
+  EXPECT_NE(l1, l2);
+  EXPECT_THROW(prog.addArray({"A", rt::ElemType::F64, Section{Triplet(1, 2)},
+                              Distribution(Section{Triplet(1, 2)},
+                                           {DimSpec::block(1)}),
+                              {}}),
+               xdp::Error);
+}
+
+}  // namespace
+}  // namespace xdp::il

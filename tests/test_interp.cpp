@@ -1,0 +1,223 @@
+// Interpreter semantics: expression evaluation, compute rules (including
+// the unowned-reference => false rule of paper 2.4), loops, transfers,
+// section expressions and kernels.
+#include <gtest/gtest.h>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/interp/interpreter.hpp"
+
+namespace xdp::interp {
+namespace {
+
+using dist::DimSpec;
+using dist::Distribution;
+using il::ExprPtr;
+using il::SectionExprPtr;
+using sec::Triplet;
+
+rt::RuntimeOptions debug() {
+  rt::RuntimeOptions o;
+  o.debugChecks = true;
+  return o;
+}
+
+il::Program oneArrayProgram(Index n, int nprocs, il::StmtPtr body) {
+  il::Program prog;
+  prog.nprocs = nprocs;
+  Section g{Triplet(1, n)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::block(nprocs)}), {}});
+  prog.body = std::move(body);
+  return prog;
+}
+
+TEST(Interp, GuardedOwnerWritesOnly) {
+  // Each owner writes A[i] = i via the iown guard; verify via gather.
+  ExprPtr i = il::scalar("i");
+  SectionExprPtr ai = il::secPoint({i});
+  auto prog = oneArrayProgram(
+      8, 2,
+      il::forLoop("i", il::intConst(1), il::intConst(8),
+                  il::block({il::guarded(
+                      il::iown(0, ai),
+                      il::block({il::elemAssign(0, ai, i)}))})));
+  Interpreter in(prog, debug());
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, 8)});
+  for (int k = 0; k < 8; ++k)
+    EXPECT_DOUBLE_EQ(vals[static_cast<unsigned>(k)], k + 1.0);
+  // Guards: 8 iterations on 2 procs = 16 evaluations, 8 true.
+  auto st = in.totalStats();
+  EXPECT_EQ(st.rulesEvaluated, 16u);
+  EXPECT_EQ(st.rulesTrue, 8u);
+  EXPECT_EQ(st.loopIterations, 16u);
+}
+
+TEST(Interp, UnownedValueRefMakesRuleFalse) {
+  // Rule "A[1] > -1" references a value only p0 owns; on p1 the rule is
+  // false rather than an error (paper 2.4).
+  SectionExprPtr a1 = il::secPoint({il::intConst(1)});
+  auto body = il::block({il::guarded(
+      il::bin(il::BinOp::Gt, il::elem(0, a1), il::realConst(-1.0)),
+      il::block({il::elemAssign(0, a1, il::realConst(5.0))}))});
+  auto prog = oneArrayProgram(8, 2, body);
+  Interpreter in(prog, debug());
+  in.run();  // would throw on p1 if the rule evaluated the unowned ref
+  auto st = in.totalStats();
+  EXPECT_EQ(st.rulesEvaluated, 2u);
+  EXPECT_EQ(st.rulesTrue, 1u);  // only the owner
+  auto vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, 8)});
+  EXPECT_DOUBLE_EQ(vals[0], 5.0);
+}
+
+TEST(Interp, IntrinsicsInExpressions) {
+  // mylb/myub drive loop bounds: each proc writes only its own block.
+  SectionExprPtr all = il::secLit(
+      {il::TripletExpr{il::intConst(1), il::intConst(8), {}}});
+  ExprPtr i = il::scalar("i");
+  auto body = il::block({il::forLoop(
+      "i", il::mylb(0, all, 0), il::myub(0, all, 0),
+      il::block({il::elemAssign(0, il::secPoint({i}), il::mypid())}))});
+  auto prog = oneArrayProgram(8, 4, body);
+  Interpreter in(prog, debug());
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, 8)});
+  for (int k = 0; k < 8; ++k)
+    EXPECT_DOUBLE_EQ(vals[static_cast<unsigned>(k)], k / 2);
+}
+
+TEST(Interp, ShortCircuitProtectsAgainstDivZero) {
+  SectionExprPtr a1 = il::secPoint({il::intConst(1)});
+  // (mypid != 0) && (1/mypid >= 0): short-circuit avoids div-by-zero on p0.
+  ExprPtr rule = il::land(
+      il::bin(il::BinOp::Ne, il::mypid(), il::intConst(0)),
+      il::bin(il::BinOp::Ge,
+              il::bin(il::BinOp::Div, il::intConst(1), il::mypid()),
+              il::intConst(0)));
+  auto prog =
+      oneArrayProgram(4, 2, il::block({il::guarded(rule, il::block({}))}));
+  Interpreter in(prog, debug());
+  EXPECT_NO_THROW(in.run());
+}
+
+TEST(Interp, SectionExprLocalAndOwnerPart) {
+  // LocalCopy via part expressions: B[mypart] = A[mypart] elementwise.
+  il::Program prog;
+  prog.nprocs = 4;
+  Section g{Triplet(1, 16)};
+  Distribution d(g, {DimSpec::block(4)});
+  prog.addArray({"A", rt::ElemType::F64, g, d, {}});
+  prog.addArray({"B", rt::ElemType::F64, g, d, {}});
+  prog.body = il::block({
+      il::kernel("fill", {{0, il::secLocalPart(0)}}),
+      il::localCopy(1, il::secLocalPart(1), 0, il::secLocalPart(0)),
+  });
+  Interpreter in(prog, debug());
+  apps::registerFillKernel(in, 99);
+  in.run();
+  auto a = apps::gatherF64(in.runtime(), 0, g);
+  auto b = apps::gatherF64(in.runtime(), 1, g);
+  EXPECT_EQ(a, b);
+  for (double v : a) EXPECT_NE(v, 0.0);
+}
+
+TEST(Interp, IntersectSectionExpr) {
+  // Owner q's part ∩ [5:12] — verified against the distribution directly.
+  il::Program prog;
+  prog.nprocs = 4;
+  Section g{Triplet(1, 16)};
+  Distribution d(g, {DimSpec::block(4)});
+  prog.addArray({"A", rt::ElemType::F64, g, d, {}});
+  // Every proc computes nonempty(ownerPart(q) ∩ [5:12]) for q = mypid and
+  // records it in A[mypid+1] (owners of those cells are staggered, so use
+  // a guarded write).
+  ExprPtr cond = il::secNonEmpty(
+      0, il::secIntersect(il::secOwnerPart(0, il::mypid()),
+                          il::secRange1(il::intConst(5), il::intConst(12))));
+  SectionExprPtr mine = il::secPoint(
+      {il::add(il::mul(il::mypid(), il::intConst(4)), il::intConst(1))});
+  prog.body = il::block({il::guarded(
+      cond, il::block({il::elemAssign(0, mine, il::realConst(1.0))}))});
+  Interpreter in(prog, debug());
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), 0, g);
+  // Parts: p0=1:4 (∩5:12 empty), p1=5:8, p2=9:12, p3=13:16 (empty).
+  EXPECT_DOUBLE_EQ(vals[0], 0.0);
+  EXPECT_DOUBLE_EQ(vals[4], 1.0);
+  EXPECT_DOUBLE_EQ(vals[8], 1.0);
+  EXPECT_DOUBLE_EQ(vals[12], 0.0);
+}
+
+TEST(Interp, TransfersThroughIl) {
+  // p0 sends A[1] to p1's B[2] slot through IL statements.
+  il::Program prog;
+  prog.nprocs = 2;
+  Section g{Triplet(1, 2)};
+  Distribution d(g, {DimSpec::block(2)});
+  prog.addArray({"A", rt::ElemType::F64, g, d, {}});
+  prog.addArray({"B", rt::ElemType::F64, g, d, {}});
+  SectionExprPtr a1 = il::secPoint({il::intConst(1)});
+  SectionExprPtr b2 = il::secPoint({il::intConst(2)});
+  prog.body = il::block({
+      il::guarded(il::iown(0, a1),
+                  il::block({il::elemAssign(0, a1, il::realConst(3.5)),
+                             il::sendData(0, a1)})),
+      il::guarded(il::iown(1, b2),
+                  il::block({il::recvData(1, b2, 0, a1),
+                             il::awaitStmt(1, b2)})),
+  });
+  Interpreter in(prog, debug());
+  in.run();
+  auto b = apps::gatherF64(in.runtime(), 1, g);
+  EXPECT_DOUBLE_EQ(b[1], 3.5);
+}
+
+TEST(Interp, OwnershipTransferThroughIl) {
+  il::Program prog;
+  prog.nprocs = 2;
+  Section g{Triplet(1, 8)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::block(2)}), {}});
+  SectionExprPtr left =
+      il::secLit({il::TripletExpr{il::intConst(1), il::intConst(4), {}}});
+  prog.body = il::block({
+      il::guarded(il::bin(il::BinOp::Eq, il::mypid(), il::intConst(0)),
+                  il::block({il::sendOwn(0, left, true)})),
+      il::guarded(il::bin(il::BinOp::Eq, il::mypid(), il::intConst(1)),
+                  il::block({il::recvOwn(0, left, true),
+                             il::awaitStmt(0, left)})),
+  });
+  Interpreter in(prog, debug());
+  in.run();
+  // p1 now owns everything.
+  EXPECT_TRUE(in.runtime().table(1).iown(0, g));
+  EXPECT_FALSE(
+      in.runtime().table(0).iown(0, Section{Triplet(1, 4)}));
+}
+
+TEST(Interp, ComputeCostAdvancesClock) {
+  auto prog = oneArrayProgram(
+      4, 2, il::block({il::computeCost(il::realConst(2.5))}));
+  Interpreter in(prog, debug());
+  in.run();
+  EXPECT_DOUBLE_EQ(in.runtime().fabric().clock(0), 2.5);
+  EXPECT_DOUBLE_EQ(in.runtime().fabric().makespan(), 2.5);
+}
+
+TEST(Interp, UndefinedScalarIsAnError) {
+  auto prog = oneArrayProgram(
+      4, 1,
+      il::block({il::scalarAssign("x", il::scalar("nope"))}));
+  Interpreter in(prog, debug());
+  EXPECT_THROW(in.run(), xdp::Error);
+}
+
+TEST(Interp, UnregisteredKernelIsAnError) {
+  auto prog = oneArrayProgram(
+      4, 1, il::block({il::kernel("mystery", {})}));
+  Interpreter in(prog, debug());
+  EXPECT_THROW(in.run(), xdp::Error);
+}
+
+}  // namespace
+}  // namespace xdp::interp

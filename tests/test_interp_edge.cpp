@@ -1,0 +1,188 @@
+// Interpreter edge cases: destination resolution, empty-section transfer
+// elision, loop semantics, i64 arrays, and error surfaces.
+#include <gtest/gtest.h>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/interp/interpreter.hpp"
+
+namespace xdp::interp {
+namespace {
+
+using dist::DimSpec;
+using dist::Distribution;
+using il::ExprPtr;
+using sec::Section;
+using sec::Triplet;
+
+rt::RuntimeOptions debug() {
+  rt::RuntimeOptions o;
+  o.debugChecks = true;
+  return o;
+}
+
+il::Program base(int nprocs, Index n, il::StmtPtr body,
+                 rt::ElemType type = rt::ElemType::F64) {
+  il::Program prog;
+  prog.nprocs = nprocs;
+  Section g{Triplet(1, n)};
+  prog.addArray({"A", type, g, Distribution(g, {DimSpec::block(nprocs)}), {}});
+  prog.body = std::move(body);
+  return prog;
+}
+
+TEST(InterpEdge, OwnerOfDestinationResolvesAtRuntime) {
+  // Send bound to "owner of A[k]" where k is a loop variable.
+  il::Program prog = base(
+      4, 16,
+      il::block({il::forLoop(
+          "k", il::intConst(1), il::intConst(16),
+          il::block({
+              il::guarded(
+                  il::iown(0, il::secPoint({il::scalar("k")})),
+                  il::block({il::sendData(
+                      0, il::secPoint({il::scalar("k")}),
+                      il::DestSpec::ownerOf(
+                          0, il::secPoint(
+                                 {il::add(il::scalar("k"),
+                                          il::intConst(0))})))})),
+              il::guarded(
+                  il::iown(0, il::secPoint({il::scalar("k")})),
+                  il::block(
+                      {il::recvData(0, il::secPoint({il::scalar("k")}), 0,
+                                    il::secPoint({il::scalar("k")})),
+                       il::awaitStmt(0, il::secPoint({il::scalar("k")}))})),
+          }))}));
+  Interpreter in(prog, debug());
+  in.run();  // self-sends bound to the correct owner; all matched
+  EXPECT_EQ(in.runtime().fabric().undeliveredCount(), 0u);
+  EXPECT_EQ(in.runtime().fabric().totalStats().directSends, 16u);
+}
+
+TEST(InterpEdge, OwnerOfSpanningProcessorsIsAnError) {
+  il::Program prog = base(
+      4, 16,
+      il::block({il::guarded(
+          il::bin(il::BinOp::Eq, il::mypid(), il::intConst(0)),
+          il::block({il::sendData(
+              0, il::secPoint({il::intConst(1)}),
+              il::DestSpec::ownerOf(
+                  0, il::secRange1(il::intConst(1), il::intConst(16))))}))}));
+  Interpreter in(prog, debug());
+  EXPECT_THROW(in.run(), xdp::Error);
+}
+
+TEST(InterpEdge, EmptySectionTransfersAreElided) {
+  // Intersections that come out empty produce no traffic and no errors.
+  auto emptySec = il::secIntersect(
+      il::secRange1(il::intConst(1), il::intConst(4)),
+      il::secRange1(il::intConst(10), il::intConst(12)));
+  il::Program prog =
+      base(2, 16,
+           il::block({il::sendData(0, emptySec),
+                      il::recvData(0, emptySec, 0, emptySec),
+                      il::sendOwn(0, emptySec, true),
+                      il::recvOwn(0, emptySec, true),
+                      il::awaitStmt(0, emptySec)}));
+  Interpreter in(prog, debug());
+  in.run();
+  EXPECT_EQ(in.runtime().fabric().totalStats().messagesSent, 0u);
+}
+
+TEST(InterpEdge, LoopBoundsEvaluatedOnEntry) {
+  // Changing `n` inside the loop must not change the trip count.
+  il::Program prog = base(
+      1, 4,
+      il::block({
+          il::scalarAssign("n", il::intConst(3)),
+          il::scalarAssign("count", il::intConst(0)),
+          il::forLoop("i", il::intConst(1), il::scalar("n"),
+                      il::block({
+                          il::scalarAssign("n", il::intConst(100)),
+                          il::scalarAssign(
+                              "count",
+                              il::add(il::scalar("count"), il::intConst(1))),
+                      })),
+          il::elemAssign(0, il::secPoint({il::intConst(1)}),
+                         il::scalar("count")),
+      }));
+  Interpreter in(prog, debug());
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, 4)});
+  EXPECT_DOUBLE_EQ(vals[0], 3.0);
+}
+
+TEST(InterpEdge, StridedLoopVisitsEveryStepOnce) {
+  il::Program prog = base(
+      1, 4,
+      il::block({
+          il::scalarAssign("acc", il::intConst(0)),
+          il::forLoop("i", il::intConst(1), il::intConst(10),
+                      il::block({il::scalarAssign(
+                          "acc", il::add(il::scalar("acc"), il::scalar("i")))}),
+                      il::intConst(3)),
+          il::elemAssign(0, il::secPoint({il::intConst(1)}),
+                         il::scalar("acc")),
+      }));
+  Interpreter in(prog, debug());
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, 4)});
+  EXPECT_DOUBLE_EQ(vals[0], 1 + 4 + 7 + 10);
+}
+
+TEST(InterpEdge, I64ArraysRoundAssignedReals) {
+  il::Program prog = base(
+      1, 4,
+      il::block({il::elemAssign(0, il::secPoint({il::intConst(1)}),
+                                il::realConst(2.6))}),
+      rt::ElemType::I64);
+  Interpreter in(prog, debug());
+  in.run();
+  rt::Proc p(in.runtime(), 0);
+  // llround(2.6) == 3.
+  std::vector<std::int64_t> v =
+      in.runtime().table(0).iown(0, Section{Triplet(1)})
+          ? [&] {
+              std::vector<std::int64_t> out(1);
+              in.runtime().table(0).readElems(
+                  0, Section{Triplet(1)},
+                  reinterpret_cast<std::byte*>(out.data()));
+              return out;
+            }()
+          : std::vector<std::int64_t>{};
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 3);
+}
+
+TEST(InterpEdge, ComplexElementAccessViaExprIsAnError) {
+  il::Program prog = base(
+      1, 4,
+      il::block({il::elemAssign(0, il::secPoint({il::intConst(1)}),
+                                il::realConst(1.0))}),
+      rt::ElemType::C128);
+  Interpreter in(prog, debug());
+  EXPECT_THROW(in.run(), xdp::Error);  // c128 needs kernels
+}
+
+TEST(InterpEdge, NonIntegralIndexIsAnError) {
+  il::Program prog = base(
+      1, 4,
+      il::block({il::elemAssign(0, il::secPoint({il::realConst(1.5)}),
+                                il::realConst(0.0))}));
+  Interpreter in(prog, debug());
+  EXPECT_THROW(in.run(), xdp::Error);
+}
+
+TEST(InterpEdge, StatsResetWorks) {
+  il::Program prog = base(
+      2, 8,
+      il::block({il::guarded(il::iown(0, il::secPoint({il::intConst(1)})),
+                             il::block({}))}));
+  Interpreter in(prog, debug());
+  in.run();
+  EXPECT_GT(in.totalStats().rulesEvaluated, 0u);
+  in.resetStats();
+  EXPECT_EQ(in.totalStats().rulesEvaluated, 0u);
+}
+
+}  // namespace
+}  // namespace xdp::interp

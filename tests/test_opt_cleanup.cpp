@@ -1,0 +1,202 @@
+// Dead array elimination and receive hoisting.
+#include <gtest/gtest.h>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using interp::Interpreter;
+using sec::Section;
+using sec::Triplet;
+
+// --- dead array elimination -------------------------------------------------
+
+TEST(DeadArrayElim, RemovesRteOrphanedTemporaries) {
+  auto cfg = apps::vecAddAligned(16, 4);
+  il::Program lowered = lowerOwnerComputes(apps::buildVecAdd(cfg));
+  il::Program rte = redundantTransferElimination(lowered);
+  ASSERT_GE(rte.arrays.size(), 3u);  // A, B + orphaned T0
+  il::Program clean = deadArrayElimination(rte);
+  EXPECT_EQ(clean.arrays.size(), 2u);
+  EXPECT_EQ(clean.findSymbol("A"), 0);
+  EXPECT_EQ(clean.findSymbol("B"), 1);
+  EXPECT_EQ(clean.findSymbol("T0"), -1);
+  // Still executes correctly after renumbering.
+  rt::RuntimeOptions opts;
+  opts.debugChecks = true;
+  Interpreter in(clean, opts);
+  apps::registerFillKernel(in, cfg.seed);
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), clean.findSymbol("A"),
+                              Section{Triplet(1, 16)});
+  for (sec::Index i = 1; i <= 16; ++i)
+    EXPECT_DOUBLE_EQ(vals[static_cast<std::size_t>(i - 1)],
+                     apps::vecAddExpected(cfg, i));
+}
+
+TEST(DeadArrayElim, KeepsLiveProgramsUntouched) {
+  auto cfg = apps::vecAddMisaligned(16, 4);
+  il::Program lowered = lowerOwnerComputes(apps::buildVecAdd(cfg));
+  il::Program clean = deadArrayElimination(lowered);
+  EXPECT_EQ(clean.arrays.size(), lowered.arrays.size());
+  EXPECT_EQ(il::printProgram(clean), il::printProgram(lowered));
+}
+
+TEST(DeadArrayElim, RenumberingAdjustsEverySymbolField) {
+  // Kill the first array; everything referencing the survivors shifts.
+  il::Program p;
+  p.nprocs = 2;
+  Section g{Triplet(1, 4)};
+  dist::Distribution d(g, {dist::DimSpec::block(2)});
+  p.addArray({"DEAD", rt::ElemType::F64, g, d, {}});
+  p.addArray({"L", rt::ElemType::F64, g, d, {}});
+  p.addArray({"R", rt::ElemType::F64, g, d, {}});
+  auto s1 = il::secPoint({il::intConst(1)});
+  p.body = il::block({
+      il::guarded(il::iown(1, s1),
+                  il::block({il::elemAssign(1, s1, il::elem(2, s1)),
+                             il::sendData(2, s1,
+                                          il::DestSpec::ownerOf(1, s1))})),
+  });
+  il::Program clean = deadArrayElimination(p);
+  ASSERT_EQ(clean.arrays.size(), 2u);
+  EXPECT_EQ(clean.findSymbol("L"), 0);
+  EXPECT_EQ(clean.findSymbol("R"), 1);
+  std::string text = il::printProgram(clean);
+  EXPECT_NE(text.find("iown(L[1])"), std::string::npos);
+  EXPECT_NE(text.find("L[1] = R[1]"), std::string::npos);
+  EXPECT_NE(text.find("{owner(L[1])}"), std::string::npos);
+}
+
+// --- receive hoisting ---------------------------------------------------------
+
+il::Program exchangeProgram(bool preHoisted) {
+  // p0: computes, then sends A; p1: computes, receives into IN, awaits.
+  // The receive is textually last; hoisting should lift it above the
+  // compute (and the send — disjoint symbols).
+  il::Program p;
+  p.nprocs = 2;
+  Section g{Triplet(1, 256)};
+  dist::Distribution dA(g, {dist::DimSpec::block(1)});
+  p.addArray({"A", rt::ElemType::F64, g, dA, {}});
+  Section g2{Triplet(1, 512)};
+  p.addArray({"IN", rt::ElemType::F64, g2,
+              dist::Distribution(g2, {dist::DimSpec::block(2)}), {}});
+  auto whole = il::secLit(
+      {il::TripletExpr{il::intConst(1), il::intConst(256), {}}});
+  auto inbox = il::secLit(
+      {il::TripletExpr{il::intConst(257), il::intConst(512), {}}});
+  auto isP0 = il::bin(il::BinOp::Eq, il::mypid(), il::intConst(0));
+  auto isP1 = il::bin(il::BinOp::Eq, il::mypid(), il::intConst(1));
+  std::vector<il::StmtPtr> stmts;
+  if (preHoisted)
+    stmts.push_back(
+        il::guarded(isP1, il::block({il::recvData(1, inbox, 0, whole)})));
+  stmts.push_back(il::guarded(
+      isP0, il::block({il::computeCost(il::realConst(1e-4)),
+                       il::sendData(0, whole,
+                                    il::DestSpec::toPids({il::intConst(1)}))})));
+  stmts.push_back(
+      il::guarded(isP1, il::block({il::computeCost(il::realConst(2e-4))})));
+  if (!preHoisted)
+    stmts.push_back(
+        il::guarded(isP1, il::block({il::recvData(1, inbox, 0, whole)})));
+  stmts.push_back(
+      il::guarded(isP1, il::block({il::awaitStmt(1, inbox)})));
+  p.body = il::block(std::move(stmts));
+  return p;
+}
+
+double makespanOf(const il::Program& p) {
+  Interpreter in(p, {});
+  in.run();
+  return in.runtime().fabric().makespan();
+}
+
+TEST(RecvHoisting, LiftsReceiveAboveIndependentWork) {
+  il::Program late = exchangeProgram(false);
+  il::Program hoisted = recvHoisting(late);
+  // The guarded receive must now be the first statement.
+  const auto& first = hoisted.body->stmts[0];
+  ASSERT_EQ(first->kind, il::StmtKind::Guarded);
+  ASSERT_EQ(first->body->stmts[0]->kind, il::StmtKind::RecvData);
+  // ... and the program equals the hand-hoisted version textually.
+  EXPECT_EQ(il::printProgram(hoisted),
+            il::printProgram(exchangeProgram(true)));
+}
+
+TEST(RecvHoisting, PostedReceiveAvoidsUnexpectedCopy) {
+  il::Program late = exchangeProgram(false);
+  il::Program hoisted = recvHoisting(late);
+  double tLate = makespanOf(late);
+  double tHoisted = makespanOf(hoisted);
+  EXPECT_LT(tHoisted, tLate);  // unexpected-message copy avoided
+  // Also check the counter directly.
+  Interpreter inLate(late, {});
+  inLate.run();
+  EXPECT_EQ(inLate.runtime().fabric().totalStats().unexpectedMessages, 1u);
+  Interpreter inHoist(hoisted, {});
+  inHoist.run();
+  EXPECT_EQ(inHoist.runtime().fabric().totalStats().unexpectedMessages, 0u);
+}
+
+TEST(RecvHoisting, RespectsTrueDependences) {
+  // A receive into IN cannot move above a statement that writes IN.
+  il::Program p;
+  p.nprocs = 2;
+  Section g{Triplet(1, 4)};
+  dist::Distribution d2(g, {dist::DimSpec::block(2)});
+  p.addArray({"A", rt::ElemType::F64, g,
+              dist::Distribution(g, {dist::DimSpec::block(1)}), {}});
+  p.addArray({"IN", rt::ElemType::F64, g, d2, {}});
+  auto a1 = il::secPoint({il::intConst(1)});
+  auto in3 = il::secPoint({il::intConst(3)});
+  auto isP1 = il::bin(il::BinOp::Eq, il::mypid(), il::intConst(1));
+  p.body = il::block({
+      il::guarded(isP1, il::block({il::elemAssign(1, in3, il::realConst(1)),
+                                   il::recvData(1, in3, 0, a1)})),
+      il::guarded(il::lnot(isP1),
+                  il::block({il::sendData(
+                      0, a1, il::DestSpec::toPids({il::intConst(1)}))})),
+  });
+  il::Program out = recvHoisting(p);
+  // Inside the p1 guard, the order is unchanged (write-before-receive).
+  const auto& body = out.body->stmts[0]->body->stmts;
+  EXPECT_EQ(body[0]->kind, il::StmtKind::ElemAssign);
+  EXPECT_EQ(body[1]->kind, il::StmtKind::RecvData);
+}
+
+TEST(RecvHoisting, NameSymbolIsOnlyATag) {
+  // The receive names A but doesn't touch it: it may hop over a SEND of A.
+  il::Program late = exchangeProgram(false);
+  il::Program hoisted = recvHoisting(late);
+  // Receive ended up before the send guard (index 0 < send at index 1).
+  ASSERT_GE(hoisted.body->stmts.size(), 2u);
+  EXPECT_EQ(hoisted.body->stmts[0]->body->stmts[0]->kind,
+            il::StmtKind::RecvData);
+  EXPECT_EQ(hoisted.body->stmts[1]->body->stmts.back()->kind,
+            il::StmtKind::SendData);
+}
+
+TEST(RecvHoisting, StandardPipelineStillCorrect) {
+  auto cfg = apps::vecAddMisaligned(32, 4);
+  PassManager pm;
+  for (const auto& p : standardPipeline()) pm.add(p);
+  il::Program optimized = pm.run(apps::buildVecAdd(cfg));
+  rt::RuntimeOptions opts;
+  opts.debugChecks = true;
+  Interpreter in(optimized, opts);
+  apps::registerFillKernel(in, cfg.seed);
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), optimized.findSymbol("A"),
+                              Section{Triplet(1, 32)});
+  for (sec::Index i = 1; i <= 32; ++i)
+    EXPECT_DOUBLE_EQ(vals[static_cast<std::size_t>(i - 1)],
+                     apps::vecAddExpected(cfg, i));
+}
+
+}  // namespace
+}  // namespace xdp::opt

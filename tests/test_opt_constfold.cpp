@@ -1,0 +1,131 @@
+// Constant folding + guard simplification on IL+XDP.
+#include <gtest/gtest.h>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using sec::Section;
+using sec::Triplet;
+
+il::Program wrap(il::StmtPtr body) {
+  il::Program p;
+  p.nprocs = 2;
+  Section g{Triplet(1, 8)};
+  p.addArray({"A", rt::ElemType::F64, g,
+              dist::Distribution(g, {dist::DimSpec::block(2)}), {}});
+  p.body = std::move(body);
+  return p;
+}
+
+std::string foldAndPrint(il::StmtPtr body) {
+  il::Program p = wrap(std::move(body));
+  il::Program out = constantFolding(p);
+  return il::printStmt(out, out.body);
+}
+
+TEST(ConstFold, ArithmeticFolds) {
+  auto s = foldAndPrint(il::block({il::scalarAssign(
+      "x", il::add(il::mul(il::intConst(3), il::intConst(4)),
+                   il::intConst(1)))}));
+  EXPECT_EQ(s, "x = 13\n");
+}
+
+TEST(ConstFold, MinMaxAndComparisons) {
+  auto s = foldAndPrint(il::block({
+      il::scalarAssign("a", il::bin(il::BinOp::Max, il::intConst(1),
+                                    il::intConst(5))),
+      il::scalarAssign("b", il::bin(il::BinOp::Le, il::intConst(2),
+                                    il::intConst(2))),
+  }));
+  EXPECT_EQ(s, "a = 5\nb = 1\n");
+}
+
+TEST(ConstFold, MixedIntRealPromotes) {
+  auto s = foldAndPrint(il::block({il::scalarAssign(
+      "x", il::mul(il::intConst(2), il::realConst(1.5)))}));
+  EXPECT_EQ(s, "x = 3\n");  // real 3.0 prints as 3
+}
+
+TEST(ConstFold, LogicalIdentitiesWithOneSide) {
+  // true && e => e ; e || true => true — even when e isn't constant.
+  auto e = il::bin(il::BinOp::Lt, il::mypid(), il::intConst(1));
+  auto s1 = foldAndPrint(
+      il::block({il::guarded(il::land(il::intConst(1), e),
+                             il::block({il::computeCost(il::intConst(1))}))}));
+  EXPECT_EQ(s1, "(mypid < 1) : {\n  compute(1)\n}\n");
+  auto s2 = foldAndPrint(
+      il::block({il::guarded(il::bin(il::BinOp::Or, e, il::intConst(1)),
+                             il::block({il::computeCost(il::intConst(1))}))}));
+  EXPECT_EQ(s2, "compute(1)\n");  // guard true: body inlined
+}
+
+TEST(ConstFold, FalseGuardDeleted) {
+  auto s = foldAndPrint(il::block({
+      il::guarded(il::bin(il::BinOp::Gt, il::intConst(1), il::intConst(2)),
+                  il::block({il::computeCost(il::intConst(9))})),
+      il::scalarAssign("x", il::intConst(0)),
+  }));
+  EXPECT_EQ(s, "x = 0\n");
+}
+
+TEST(ConstFold, StaticallyEmptyLoopDeleted) {
+  auto s = foldAndPrint(il::block({
+      il::forLoop("i", il::intConst(5), il::intConst(2),
+                  il::block({il::computeCost(il::intConst(1))})),
+      il::scalarAssign("x", il::intConst(1)),
+  }));
+  EXPECT_EQ(s, "x = 1\n");
+}
+
+TEST(ConstFold, DivisionByZeroLeftForRuntime) {
+  auto s = foldAndPrint(il::block({il::scalarAssign(
+      "x", il::bin(il::BinOp::Div, il::intConst(4), il::intConst(0)))}));
+  EXPECT_EQ(s, "x = (4 / 0)\n");
+}
+
+TEST(ConstFold, DoubleNegations) {
+  auto s = foldAndPrint(il::block({il::scalarAssign(
+      "x", il::neg(il::neg(il::scalar("y"))))}));
+  EXPECT_EQ(s, "x = y\n");
+  auto s2 = foldAndPrint(il::block({il::guarded(
+      il::lnot(il::lnot(il::iown(0, il::secPoint({il::intConst(1)})))),
+      il::block({il::computeCost(il::intConst(1))}))}));
+  EXPECT_EQ(s2, "iown(A[1]) : {\n  compute(1)\n}\n");
+}
+
+TEST(ConstFold, CleansVectorizedSelfGuards) {
+  // After vectorization the send/recv loops carry `q != mypid && ...`
+  // guards; folding inside a concrete program must preserve semantics.
+  auto cfg = apps::vecAddMisaligned(32, 4);
+  il::Program vec = messageVectorization(
+      lowerOwnerComputes(apps::buildVecAdd(cfg)));
+  il::Program folded = constantFolding(vec);
+  rt::RuntimeOptions opts;
+  opts.debugChecks = true;
+  interp::Interpreter in(folded, opts);
+  apps::registerFillKernel(in, cfg.seed);
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), folded.findSymbol("A"),
+                              Section{Triplet(1, 32)});
+  for (sec::Index i = 1; i <= 32; ++i)
+    EXPECT_DOUBLE_EQ(vals[static_cast<std::size_t>(i - 1)],
+                     apps::vecAddExpected(cfg, i));
+}
+
+TEST(ConstFold, FoldsInsideSectionsAndBounds) {
+  auto sec = il::secLit({il::TripletExpr{
+      il::add(il::intConst(1), il::intConst(1)),
+      il::sub(il::intConst(10), il::intConst(4)), {}}});
+  auto s = foldAndPrint(il::block({il::forLoop(
+      "i", il::bin(il::BinOp::Min, il::intConst(3), il::intConst(7)),
+      il::intConst(4),
+      il::block({il::sendData(0, sec)}))}));
+  EXPECT_EQ(s, "do i = 3, 4\n  A[2:6] ->\nenddo\n");
+}
+
+}  // namespace
+}  // namespace xdp::opt

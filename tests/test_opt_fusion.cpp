@@ -1,0 +1,197 @@
+// Loop fusion and await sinking: the legality matrix. Fusion's conditions
+// come from the paper's section 4 discussion ("the analysis for validity
+// of fusion must also check ..."); each rejection case here encodes one
+// way the transformation would break the program.
+#include <gtest/gtest.h>
+
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprPtr;
+using il::Program;
+using il::SectionExprPtr;
+using il::StmtKind;
+using il::StmtPtr;
+using sec::Section;
+using sec::Triplet;
+
+Program makeProg(std::vector<StmtPtr> stmts) {
+  Program p;
+  p.nprocs = 4;
+  Section g{Triplet(1, 8), Triplet(1, 8)};
+  p.addArray({"A", rt::ElemType::F64, g,
+              dist::Distribution(g, {dist::DimSpec::collapsed(),
+                                     dist::DimSpec::block(4)}),
+              {}});
+  Section g1{Triplet(1, 8)};
+  p.addArray({"C", rt::ElemType::F64, g1,
+              dist::Distribution(g1, {dist::DimSpec::block(4)}), {}});
+  p.body = il::block(std::move(stmts));
+  return p;
+}
+
+int topLoops(const Program& p) {
+  int n = 0;
+  for (const auto& s : p.body->stmts)
+    if (s->kind == StmtKind::For) ++n;
+  return n;
+}
+
+ExprPtr j() { return il::scalar("j"); }
+SectionExprPtr aPlaneJ() {
+  return il::secLit({il::TripletExpr{il::intConst(1), il::intConst(8), {}},
+                     il::TripletExpr{j(), {}, {}}});
+}
+SectionExprPtr aColJ() {  // var in dim 0 instead
+  return il::secLit({il::TripletExpr{j(), {}, {}},
+                     il::TripletExpr{il::intConst(1), il::intConst(8), {}}});
+}
+
+StmtPtr loopOver(const char* var, StmtPtr body) {
+  return il::forLoop(var, il::intConst(1), il::intConst(8),
+                     il::block({std::move(body)}));
+}
+
+TEST(LoopFusion, FusesSameVarDimAndRenames) {
+  Program p = makeProg({
+      loopOver("j", il::kernel("k1", {{0, aPlaneJ()}})),
+      loopOver("n", il::forLoop("q", il::intConst(0), il::intConst(3),
+                                il::block({il::sendOwn(
+                                    0,
+                                    il::secLit({il::TripletExpr{il::intConst(1),
+                                                                il::intConst(8),
+                                                                {}},
+                                                il::TripletExpr{il::scalar("n"),
+                                                                {},
+                                                                {}}}),
+                                    true)}))),
+  });
+  Program fused = loopFusion(p);
+  EXPECT_EQ(topLoops(fused), 1);
+  // The second loop's variable was renamed to the first's.
+  std::string text = il::printStmt(fused, fused.body);
+  EXPECT_EQ(text.find("A[1:8,n]"), std::string::npos);
+  EXPECT_NE(text.find("A[1:8,j]"), std::string::npos);
+}
+
+TEST(LoopFusion, RejectsDifferentVarDims) {
+  Program p = makeProg({
+      loopOver("j", il::kernel("k1", {{0, aPlaneJ()}})),
+      loopOver("j", il::kernel("k2", {{0, aColJ()}})),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 2);
+}
+
+TEST(LoopFusion, RejectsDifferentHeaders) {
+  Program p = makeProg({
+      loopOver("j", il::kernel("k1", {{0, aPlaneJ()}})),
+      il::forLoop("j", il::intConst(2), il::intConst(8),
+                  il::block({il::kernel("k2", {{0, aPlaneJ()}})})),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 2);
+}
+
+TEST(LoopFusion, RejectsVarFreeSharedSymbol) {
+  // Both loops touch A[1:8,1] (no loop-var plane): iterations alias.
+  SectionExprPtr fixed =
+      il::secLit({il::TripletExpr{il::intConst(1), il::intConst(8), {}},
+                  il::TripletExpr{il::intConst(1), {}, {}}});
+  Program p = makeProg({
+      loopOver("j", il::kernel("k1", {{0, fixed}})),
+      loopOver("j", il::kernel("k2", {{0, fixed}})),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 2);
+}
+
+TEST(LoopFusion, RejectsVarInRangePosition) {
+  // A[1:j, 1]: footprint grows with j — not a disjoint-plane pattern.
+  SectionExprPtr growing =
+      il::secLit({il::TripletExpr{il::intConst(1), j(), {}},
+                  il::TripletExpr{il::intConst(1), {}, {}}});
+  Program p = makeProg({
+      loopOver("j", il::kernel("k1", {{0, growing}})),
+      loopOver("j", il::kernel("k2", {{0, aPlaneJ()}})),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 2);
+}
+
+TEST(LoopFusion, RejectsAwaitOnTransferredSymbol) {
+  // The paper's Loop-4 case: the consumer's await must not be pulled into
+  // the producer loop that ships the ownership.
+  Program p = makeProg({
+      loopOver("j", il::sendOwn(0, aPlaneJ(), true)),
+      loopOver("j", il::guarded(il::awaitOf(0, aPlaneJ()),
+                                il::block({il::kernel("k", {{0, aPlaneJ()}})}))),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 2);
+}
+
+TEST(LoopFusion, AllowsAwaitOnUnrelatedSymbol) {
+  SectionExprPtr cJ = il::secPoint({j()});
+  Program p = makeProg({
+      loopOver("j", il::sendOwn(0, aPlaneJ(), true)),
+      loopOver("j", il::guarded(il::awaitOf(1, cJ),
+                                il::block({il::kernel("k", {{1, cJ}})}))),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 1);
+}
+
+TEST(LoopFusion, FusesDisjointSymbolLoops) {
+  Program p = makeProg({
+      loopOver("j", il::kernel("k1", {{0, aPlaneJ()}})),
+      loopOver("j", il::kernel("k2", {{1, il::secPoint({j()})}})),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 1);
+}
+
+TEST(LoopFusion, ChainsAcrossThreeLoops) {
+  Program p = makeProg({
+      loopOver("a", il::kernel("k1", {{0, il::secLit(
+          {il::TripletExpr{il::intConst(1), il::intConst(8), {}},
+           il::TripletExpr{il::scalar("a"), {}, {}}})}})),
+      loopOver("b", il::kernel("k2", {{0, il::secLit(
+          {il::TripletExpr{il::intConst(1), il::intConst(8), {}},
+           il::TripletExpr{il::scalar("b"), {}, {}}})}})),
+      loopOver("c", il::kernel("k3", {{1, il::secPoint({il::scalar("c")})}})),
+  });
+  EXPECT_EQ(topLoops(loopFusion(p)), 1);
+}
+
+// --- await sinking ---------------------------------------------------------
+
+TEST(AwaitSinking, SinksIntoLoopAndNarrows) {
+  SectionExprPtr lineI =
+      il::secLit({il::TripletExpr{il::scalar("i"), {}, {}},
+                  il::TripletExpr{il::intConst(1), il::intConst(8), {}}});
+  Program p = makeProg({il::guarded(
+      il::awaitOf(0, il::secLit(
+          {il::TripletExpr{il::intConst(1), il::intConst(8), {}},
+           il::TripletExpr{il::intConst(1), il::intConst(8), {}}})),
+      il::block({il::forLoop("i", il::intConst(1), il::intConst(8),
+                             il::block({il::kernel("k", {{0, lineI}})}))}))});
+  Program out = awaitSinking(p);
+  std::string text = il::printStmt(out, out.body);
+  // The loop is now outermost, awaiting a single line per iteration.
+  EXPECT_EQ(out.body->stmts[0]->kind, StmtKind::For);
+  EXPECT_NE(text.find("await(A[i,1:8])"), std::string::npos);
+}
+
+TEST(AwaitSinking, LeavesNonMatchingShapesAlone) {
+  // Body references A loop-invariantly: nothing to narrow by.
+  SectionExprPtr whole =
+      il::secLit({il::TripletExpr{il::intConst(1), il::intConst(8), {}},
+                  il::TripletExpr{il::intConst(1), il::intConst(8), {}}});
+  Program p = makeProg({il::guarded(
+      il::awaitOf(0, whole),
+      il::block({il::forLoop("i", il::intConst(1), il::intConst(8),
+                             il::block({il::kernel("k", {{0, whole}})}))}))});
+  Program out = awaitSinking(p);
+  EXPECT_EQ(out.body->stmts[0]->kind, StmtKind::Guarded);
+}
+
+}  // namespace
+}  // namespace xdp::opt

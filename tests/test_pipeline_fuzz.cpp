@@ -1,0 +1,156 @@
+// Differential fuzzing of the whole compiler: random sequential programs
+// (random distributions, random affine-rhs expressions over several
+// arrays) are lowered and pushed through randomized pass orderings; every
+// variant must compute exactly the result of direct sequential evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/il/printer.hpp"
+#include "xdp/opt/passes.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using interp::Interpreter;
+using sec::Index;
+using sec::Point;
+using sec::Section;
+using sec::Triplet;
+
+struct FuzzCase {
+  Index n;
+  int nprocs;
+  std::uint64_t seed;
+  std::vector<dist::Distribution> dists;  // one per array (A = lhs first)
+  // rhs = sum over terms of coef * X[i], where X is one of the arrays.
+  struct Term {
+    int sym;
+    double coef;
+  };
+  std::vector<Term> terms;
+  double bias = 0.0;
+};
+
+dist::Distribution randomDist(Rng& rng, const Section& g, int nprocs) {
+  switch (rng.below(3)) {
+    case 0:
+      return dist::Distribution(g, {dist::DimSpec::block(nprocs)});
+    case 1:
+      return dist::Distribution(g, {dist::DimSpec::cyclic(nprocs)});
+    default:
+      return dist::Distribution(
+          g, {dist::DimSpec::blockCyclic(
+                 nprocs, static_cast<Index>(rng.range(1, 4)))});
+  }
+}
+
+FuzzCase randomCase(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fc;
+  fc.seed = seed;
+  fc.n = rng.range(8, 40);
+  fc.nprocs = static_cast<int>(rng.range(2, 4));
+  Section g{Triplet(1, fc.n)};
+  const int nArrays = static_cast<int>(rng.range(2, 4));
+  for (int a = 0; a < nArrays; ++a)
+    fc.dists.push_back(randomDist(rng, g, fc.nprocs));
+  const int nTerms = static_cast<int>(rng.range(1, 3));
+  for (int t = 0; t < nTerms; ++t) {
+    FuzzCase::Term term;
+    term.sym = static_cast<int>(rng.below(static_cast<std::uint64_t>(nArrays)));
+    term.coef = static_cast<double>(rng.range(-3, 3));
+    if (term.coef == 0) term.coef = 1.0;
+    fc.terms.push_back(term);
+  }
+  fc.bias = static_cast<double>(rng.range(-5, 5)) * 0.25;
+  return fc;
+}
+
+il::Program buildCase(const FuzzCase& fc) {
+  il::Program prog;
+  prog.nprocs = fc.nprocs;
+  Section g{Triplet(1, fc.n)};
+  std::vector<std::pair<int, il::SectionExprPtr>> fills;
+  for (std::size_t a = 0; a < fc.dists.size(); ++a) {
+    prog.addArray({"V" + std::to_string(a), rt::ElemType::F64, g,
+                   fc.dists[a], {}});
+  }
+  auto whole = il::secLit(
+      {il::TripletExpr{il::intConst(1), il::intConst(fc.n), {}}});
+  for (std::size_t a = 0; a < fc.dists.size(); ++a)
+    fills.emplace_back(static_cast<int>(a), whole);
+  il::ExprPtr i = il::scalar("i");
+  auto ai = il::secPoint({i});
+  il::ExprPtr rhs = il::realConst(fc.bias);
+  for (const auto& t : fc.terms)
+    rhs = il::add(rhs, il::mul(il::realConst(t.coef),
+                               il::elem(t.sym, il::secPoint({i}))));
+  prog.body = il::block({
+      il::kernel("fill", fills),
+      il::forLoop("i", il::intConst(1), il::intConst(fc.n),
+                  il::block({il::elemAssign(0, ai, rhs)})),
+  });
+  return prog;
+}
+
+double expectedAt(const FuzzCase& fc, Index i) {
+  Point pt{i};
+  double v = fc.bias;
+  for (const auto& t : fc.terms)
+    v += t.coef * apps::cellValueAt(fc.seed, t.sym, pt);
+  return v;
+}
+
+void runAndCheck(const il::Program& prog, const FuzzCase& fc,
+                 const char* stage) {
+  rt::RuntimeOptions opts;
+  opts.debugChecks = true;
+  Interpreter in(prog, opts);
+  apps::registerFillKernel(in, fc.seed);
+  in.run();
+  auto vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, fc.n)});
+  for (Index i = 1; i <= fc.n; ++i)
+    ASSERT_NEAR(vals[static_cast<std::size_t>(i - 1)], expectedAt(fc, i),
+                1e-12)
+        << stage << " seed " << fc.seed << " element " << i << "\n"
+        << il::printProgram(prog);
+  EXPECT_EQ(in.runtime().fabric().undeliveredCount(), 0u) << stage;
+  EXPECT_EQ(in.runtime().fabric().pendingReceiveCount(), 0u) << stage;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, EveryStageMatchesSequentialSemantics) {
+  for (std::uint64_t k = 0; k < 6; ++k) {
+    FuzzCase fc = randomCase(GetParam() * 1000 + k);
+    il::Program seq = buildCase(fc);
+    il::Program lowered = lowerOwnerComputes(seq);
+    runAndCheck(lowered, fc, "lowered");
+    il::Program rte = redundantTransferElimination(lowered);
+    runAndCheck(rte, fc, "rte");
+    il::Program clean = deadArrayElimination(rte);
+    // deadArrayElimination may renumber; lhs is still symbol 0 ("V0").
+    runAndCheck(clean, fc, "dead-array-elim");
+    il::Program bound = commBinding(clean);
+    runAndCheck(bound, fc, "bound");
+    // Vectorization/CRE apply only to single-rectangle partitions; they
+    // must leave other programs untouched-but-correct either way.
+    il::Program vec = messageVectorization(clean);
+    runAndCheck(vec, fc, "vectorized");
+    il::Program cre = computeRuleElimination(vec);
+    runAndCheck(cre, fc, "cre");
+    il::Program hoisted = recvHoisting(cre);
+    runAndCheck(hoisted, fc, "hoisted");
+    il::Program full = commBinding(hoisted);
+    runAndCheck(full, fc, "full");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace xdp::opt

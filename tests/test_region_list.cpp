@@ -1,0 +1,109 @@
+// RegionList: the disjoint-union index-set machinery behind localPart and
+// the run-time ownership bookkeeping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "xdp/sections/region_list.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::sec {
+namespace {
+
+std::set<std::vector<Index>> pointSet(const RegionList& rl) {
+  std::set<std::vector<Index>> out;
+  rl.forEach([&](const Point& p) {
+    std::vector<Index> v;
+    for (int d = 0; d < p.rank(); ++d) v.push_back(p[d]);
+    out.insert(v);
+  });
+  return out;
+}
+
+TEST(RegionList, EmptyCoversOnlyEmpty) {
+  RegionList rl;
+  EXPECT_TRUE(rl.empty());
+  EXPECT_TRUE(rl.covers(Section{Triplet(), Triplet(1, 3)}));
+  EXPECT_FALSE(rl.covers(Section{Triplet(1), Triplet(1)}));
+}
+
+TEST(RegionList, AddDeduplicatesOverlap) {
+  RegionList rl;
+  rl.add(Section{Triplet(1, 8)});
+  rl.add(Section{Triplet(5, 12)});
+  EXPECT_EQ(rl.count(), 12);  // 1..12, no double counting
+  EXPECT_TRUE(rl.covers(Section{Triplet(1, 12)}));
+  EXPECT_FALSE(rl.covers(Section{Triplet(1, 13)}));
+}
+
+TEST(RegionList, CoversIsPaperIownAlgorithm) {
+  // The example from section 3.1: C[1:4,1:8] (BLOCK,BLOCK) on 2x2, P3 owns
+  // C[1:2,5:8] split into 1x2 segments; iown(C[1,5:7]) is true.
+  RegionList p3;
+  p3.add(Section{Triplet(1, 2), Triplet(5, 6)});
+  p3.add(Section{Triplet(1, 2), Triplet(7, 8)});
+  EXPECT_TRUE(p3.covers(Section{Triplet(1), Triplet(5, 7)}));
+  EXPECT_FALSE(p3.covers(Section{Triplet(1), Triplet(4, 7)}));
+  EXPECT_FALSE(p3.covers(Section{Triplet(3), Triplet(5, 7)}));
+}
+
+TEST(RegionList, SubtractThenCoversFails) {
+  RegionList rl(Section{Triplet(1, 10), Triplet(1, 10)});
+  rl.subtract(Section{Triplet(3, 5), Triplet(3, 5)});
+  EXPECT_EQ(rl.count(), 100 - 9);
+  EXPECT_FALSE(rl.covers(Section{Triplet(3), Triplet(3)}));
+  EXPECT_TRUE(rl.covers(Section{Triplet(1, 10), Triplet(6, 10)}));
+}
+
+TEST(RegionList, IntersectReturnsClippedPieces) {
+  RegionList rl;
+  rl.add(Section{Triplet(1, 4)});
+  rl.add(Section{Triplet(10, 14)});
+  auto pieces = rl.intersect(Section{Triplet(3, 12)});
+  Index total = 0;
+  for (const auto& p : pieces) total += p.count();
+  EXPECT_EQ(total, 2 + 3);  // {3,4} and {10,11,12}
+}
+
+TEST(RegionList, SameSet) {
+  RegionList a;
+  a.add(Section{Triplet(1, 4)});
+  a.add(Section{Triplet(5, 8)});
+  RegionList b(Section{Triplet(1, 8)});
+  EXPECT_TRUE(a.sameSet(b));
+  b.subtract(Section{Triplet(8)});
+  EXPECT_FALSE(a.sameSet(b));
+}
+
+class RegionListProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionListProperty, RandomAddSubtractMatchesSetModel) {
+  Rng rng(GetParam());
+  RegionList rl;
+  std::set<std::vector<Index>> model;
+  for (int op = 0; op < 40; ++op) {
+    Section s{Triplet(rng.range(0, 10), rng.range(0, 18), rng.range(1, 3)),
+              Triplet(rng.range(0, 10), rng.range(0, 18), rng.range(1, 3))};
+    if (rng.below(3) != 0) {
+      rl.add(s);
+      s.forEach([&](const Point& p) {
+        model.insert({p[0], p[1]});
+      });
+    } else {
+      rl.subtract(s);
+      s.forEach([&](const Point& p) {
+        model.erase({p[0], p[1]});
+      });
+    }
+    ASSERT_EQ(rl.count(), static_cast<Index>(model.size()))
+        << "disjointness violated at op " << op;
+    ASSERT_EQ(pointSet(rl), model) << "content mismatch at op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionListProperty,
+                         ::testing::Values(3, 17, 29, 71, 101));
+
+}  // namespace
+}  // namespace xdp::sec

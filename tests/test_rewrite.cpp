@@ -1,0 +1,126 @@
+// The pass-infrastructure tree utilities: visitation order, functional
+// rewriting with deletion and splicing, expression substitution.
+#include <gtest/gtest.h>
+
+#include "xdp/opt/rewrite.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using il::ExprKind;
+using il::ExprPtr;
+using il::StmtKind;
+using il::StmtPtr;
+
+StmtPtr sampleTree() {
+  // do i = 1, 4 { x = i; (i < 2) : { compute(i) } }
+  return il::block({il::forLoop(
+      "i", il::intConst(1), il::intConst(4),
+      il::block({
+          il::scalarAssign("x", il::scalar("i")),
+          il::guarded(il::bin(il::BinOp::Lt, il::scalar("i"), il::intConst(2)),
+                      il::block({il::computeCost(il::scalar("i"))})),
+      }))});
+}
+
+TEST(Rewrite, VisitReachesEveryStatement) {
+  std::vector<StmtKind> kinds;
+  visitStmts(sampleTree(), [&](const StmtPtr& s) { kinds.push_back(s->kind); });
+  // Preorder: Block, For, Block, ScalarAssign, Guarded, Block, ComputeCost.
+  ASSERT_EQ(kinds.size(), 7u);
+  EXPECT_EQ(kinds[0], StmtKind::Block);
+  EXPECT_EQ(kinds[1], StmtKind::For);
+  EXPECT_EQ(kinds[3], StmtKind::ScalarAssign);
+  EXPECT_EQ(kinds[6], StmtKind::ComputeCost);
+}
+
+TEST(Rewrite, IdentityRewriteSharesNodes) {
+  StmtPtr tree = sampleTree();
+  StmtPtr same = rewriteStmts(
+      tree, [](const StmtPtr&) -> std::optional<StmtPtr> { return std::nullopt; });
+  EXPECT_EQ(tree, same);  // untouched trees are shared, not copied
+}
+
+TEST(Rewrite, DeleteStatement) {
+  StmtPtr tree = sampleTree();
+  StmtPtr out = rewriteStmts(tree, [](const StmtPtr& s) -> std::optional<StmtPtr> {
+    if (s->kind == StmtKind::ScalarAssign) return StmtPtr(nullptr);
+    return std::nullopt;
+  });
+  int assigns = 0;
+  visitStmts(out, [&](const StmtPtr& s) {
+    if (s->kind == StmtKind::ScalarAssign) ++assigns;
+  });
+  EXPECT_EQ(assigns, 0);
+}
+
+TEST(Rewrite, ExpandOneToMany) {
+  // Replace the assign by a block of two computes; splicing must flatten
+  // it into the parent block.
+  StmtPtr tree = sampleTree();
+  StmtPtr out = rewriteStmts(tree, [](const StmtPtr& s) -> std::optional<StmtPtr> {
+    if (s->kind != StmtKind::ScalarAssign) return std::nullopt;
+    return il::block(
+        {il::computeCost(il::intConst(1)), il::computeCost(il::intConst(2))});
+  });
+  const StmtPtr& loopBody = out->stmts[0]->body;
+  ASSERT_EQ(loopBody->kind, StmtKind::Block);
+  EXPECT_EQ(loopBody->stmts.size(), 3u);  // 2 spliced + guard
+  EXPECT_EQ(loopBody->stmts[0]->kind, StmtKind::ComputeCost);
+  EXPECT_EQ(loopBody->stmts[1]->kind, StmtKind::ComputeCost);
+}
+
+TEST(Rewrite, SubstituteScalarEverywhere) {
+  StmtPtr out = substituteScalar(sampleTree(), "i", il::mypid());
+  bool anyI = anyExpr(out, [](const ExprPtr& e) {
+    return e->kind == ExprKind::ScalarRef && e->name == "i";
+  });
+  EXPECT_FALSE(anyI);
+  bool anyPid = anyExpr(out, [](const ExprPtr& e) {
+    return e->kind == ExprKind::MyPid;
+  });
+  EXPECT_TRUE(anyPid);
+  // Loop bounds were constant and remain.
+  EXPECT_EQ(out->stmts[0]->lb->intVal, 1);
+}
+
+TEST(Rewrite, SubstituteInsideSectionExprs) {
+  StmtPtr s = il::block({il::sendData(
+      0, il::secLit({il::TripletExpr{il::scalar("i"), il::scalar("i"), {}}}))});
+  StmtPtr out = substituteScalar(s, "i", il::intConst(7));
+  const auto& sec = out->stmts[0]->lhs;
+  EXPECT_EQ(sec->dims[0].lb->kind, ExprKind::IntConst);
+  EXPECT_EQ(sec->dims[0].lb->intVal, 7);
+}
+
+TEST(Rewrite, RewriteExprRebuildsSpineOnly) {
+  ExprPtr e = il::add(il::mul(il::scalar("a"), il::intConst(2)),
+                      il::scalar("b"));
+  ExprPtr shared = e->lhs;  // a*2
+  ExprPtr out = rewriteExpr(e, [](const ExprPtr& x) -> std::optional<ExprPtr> {
+    if (x->kind == ExprKind::ScalarRef && x->name == "b")
+      return il::intConst(9);
+    return std::nullopt;
+  });
+  EXPECT_NE(out, e);
+  EXPECT_EQ(out->lhs, shared);  // untouched subtree is shared
+  EXPECT_EQ(out->rhs->intVal, 9);
+}
+
+TEST(Rewrite, AnyExprSeesGuardsBoundsAndDests) {
+  StmtPtr s = il::block({
+      il::forLoop("k", il::scalar("needle"), il::intConst(2), il::block({})),
+  });
+  EXPECT_TRUE(anyExpr(s, [](const ExprPtr& e) {
+    return e->kind == ExprKind::ScalarRef && e->name == "needle";
+  }));
+  StmtPtr send = il::block({il::sendData(
+      0, il::secPoint({il::intConst(1)}),
+      il::DestSpec::toPids({il::scalar("needle")}))});
+  EXPECT_TRUE(anyExpr(send, [](const ExprPtr& e) {
+    return e->kind == ExprKind::ScalarRef && e->name == "needle";
+  }));
+}
+
+}  // namespace
+}  // namespace xdp::opt

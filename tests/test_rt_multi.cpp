@@ -1,0 +1,182 @@
+// Aggregated multi-section transfers — the extension the paper proposes in
+// section 3.2 ("aggregating a set of separate data transfers into a single
+// message can reduce overhead ... allowing the left-hand side of XDP send
+// and receive statements to be a set of sections").
+#include <gtest/gtest.h>
+
+#include "xdp/rt/proc.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::rt {
+namespace {
+
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Point;
+using sec::Section;
+using sec::Triplet;
+
+RuntimeOptions debug() {
+  RuntimeOptions o;
+  o.debugChecks = true;
+  return o;
+}
+
+TEST(RtMulti, ThreeSectionsOneMessage) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 32)};
+  const int A = rt.declareArray<double>("A", g,
+                                        Distribution(g, {DimSpec::block(1)}));
+  Section g2{Triplet(1, 64)};
+  const int IN = rt.declareArray<double>(
+      "IN", g2, Distribution(g2, {DimSpec::block(2)}));
+  // Three disjoint strided pieces of A, one message.
+  std::vector<Section> pieces{Section{Triplet(1, 4)},
+                              Section{Triplet(10, 18, 2)},
+                              Section{Triplet(30, 32)}};
+  std::vector<Section> dsts{Section{Triplet(33, 36)},
+                            Section{Triplet(40, 44)},
+                            Section{Triplet(50, 52)}};
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      for (Index i = 1; i <= 32; ++i)
+        p.set<double>(A, Point{i}, static_cast<double>(i));
+      p.sendMulti(A, pieces, std::vector<int>{1});
+    } else {
+      p.recvMulti(IN, dsts, A, pieces);
+      for (const Section& d : dsts) EXPECT_TRUE(p.await(IN, d));
+      EXPECT_EQ(p.read<double>(IN, dsts[0]),
+                (std::vector<double>{1, 2, 3, 4}));
+      EXPECT_EQ(p.read<double>(IN, dsts[1]),
+                (std::vector<double>{10, 12, 14, 16, 18}));
+      EXPECT_EQ(p.read<double>(IN, dsts[2]),
+                (std::vector<double>{30, 31, 32}));
+    }
+  });
+  auto st = rt.fabric().totalStats();
+  EXPECT_EQ(st.messagesSent, 1u);  // one alpha for three sections
+  EXPECT_EQ(st.bytesSent, 12u * sizeof(double));
+}
+
+TEST(RtMulti, NamesIncludeTheWholeSet) {
+  // A receive naming a different set must not match.
+  Runtime rt(2);
+  Section g{Triplet(1, 8)};
+  const int A = rt.declareArray<double>("A", g,
+                                        Distribution(g, {DimSpec::block(1)}));
+  Section g2{Triplet(1, 16)};
+  const int IN = rt.declareArray<double>(
+      "IN", g2, Distribution(g2, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      p.sendMulti(A, {Section{Triplet(1, 2)}, Section{Triplet(5, 6)}},
+                  std::vector<int>{1});
+    } else {
+      // Wrong set: different second section.
+      p.recvMulti(IN, {Section{Triplet(9, 10)}, Section{Triplet(11, 12)}},
+                  A, {Section{Triplet(1, 2)}, Section{Triplet(7, 8)}});
+      EXPECT_FALSE(p.accessible(IN, Section{Triplet(9, 10)}));
+    }
+  });
+  EXPECT_EQ(rt.fabric().undeliveredCount(), 1u);
+  EXPECT_EQ(rt.fabric().pendingReceiveCount(), 1u);
+}
+
+TEST(RtMulti, AggregatedOwnershipTransfer) {
+  // A whole redistribution's worth of planes in ONE ownership message.
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 16)};
+  const int A = rt.declareArray<double>(
+      "A", g, Distribution(g, {DimSpec::block(1)}),
+      dist::SegmentShape::of({4}));
+  std::vector<Section> planes{Section{Triplet(1, 4)}, Section{Triplet(9, 12)}};
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      for (Index i = 1; i <= 16; ++i)
+        p.set<double>(A, Point{i}, i * 3.0);
+      p.sendOwnershipMulti(A, planes, /*withValue=*/true,
+                           std::vector<int>{1});
+      EXPECT_FALSE(p.iown(A, planes[0]));
+      EXPECT_FALSE(p.iown(A, planes[1]));
+      EXPECT_TRUE(p.iown(A, Section{Triplet(5, 8)}));
+    } else {
+      p.recvOwnershipMulti(A, planes, /*withValue=*/true);
+      EXPECT_TRUE(p.await(A, planes[0]));
+      EXPECT_TRUE(p.await(A, planes[1]));
+      EXPECT_EQ(p.read<double>(A, planes[0]),
+                (std::vector<double>{3, 6, 9, 12}));
+      EXPECT_EQ(p.read<double>(A, planes[1]),
+                (std::vector<double>{27, 30, 33, 36}));
+    }
+  });
+  auto st = rt.fabric().totalStats();
+  EXPECT_EQ(st.messagesSent, 1u);
+  EXPECT_EQ(st.ownershipTransfers, 1u);
+}
+
+TEST(RtMulti, OwnershipOnlyAggregateCarriesNoBytes) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 8)};
+  const int A = rt.declareArray<double>(
+      "A", g, Distribution(g, {DimSpec::block(1)}),
+      dist::SegmentShape::of({2}));
+  std::vector<Section> parts{Section{Triplet(1, 2)}, Section{Triplet(5, 6)}};
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      p.sendOwnershipMulti(A, parts, /*withValue=*/false,
+                           std::vector<int>{1});
+    } else {
+      p.recvOwnershipMulti(A, parts, /*withValue=*/false);
+      EXPECT_TRUE(p.await(A, parts[0]));
+      EXPECT_TRUE(p.await(A, parts[1]));
+    }
+  });
+  EXPECT_EQ(rt.fabric().totalStats().bytesSent, 0u);
+}
+
+TEST(RtMulti, AggregationCostsOneAlpha) {
+  // Modeled cost: k separate sends pay k alphas; one aggregate pays one.
+  const int kSections = 8;
+  auto runIt = [&](bool aggregate) {
+    Runtime rt(2);
+    Section g{Triplet(1, 64)};
+    const int A = rt.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(1)}));
+    Section g2{Triplet(1, 128)};
+    const int IN = rt.declareArray<double>(
+        "IN", g2, Distribution(g2, {DimSpec::block(2)}));
+    std::vector<Section> pieces, dsts;
+    for (int k = 0; k < kSections; ++k) {
+      pieces.emplace_back(Section{Triplet(8 * k + 1, 8 * k + 8)});
+      dsts.emplace_back(Section{Triplet(64 + 8 * k + 1, 64 + 8 * k + 8)});
+    }
+    rt.run([&](Proc& p) {
+      if (p.mypid() == 0) {
+        if (aggregate) {
+          p.sendMulti(A, pieces, std::vector<int>{1});
+        } else {
+          for (const Section& s : pieces) p.send(A, s, std::vector<int>{1});
+        }
+      } else {
+        if (aggregate) {
+          p.recvMulti(IN, dsts, A, pieces);
+          for (const Section& d : dsts) p.await(IN, d);
+        } else {
+          for (std::size_t k = 0; k < pieces.size(); ++k) {
+            p.recv(IN, dsts[k], A, pieces[k]);
+            p.await(IN, dsts[k]);
+          }
+        }
+      }
+    });
+    return rt.fabric().clock(0);  // sender-side modeled cost
+  };
+  const double aggregated = runIt(true);
+  const double separate = runIt(false);
+  // k-1 alphas saved (alpha = 1e-5 by default).
+  EXPECT_NEAR(separate - aggregated, (kSections - 1) * 1e-5, 1e-9);
+}
+
+}  // namespace
+}  // namespace xdp::rt

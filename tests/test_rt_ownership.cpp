@@ -1,0 +1,311 @@
+// Ownership-transfer semantics (the paper's novel feature): "=>", "-=>",
+// "<=", "<=-", segment splitting, storage reuse, redistribution, and the
+// load-balancing pattern of section 2.7.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "xdp/rt/proc.hpp"
+
+namespace xdp::rt {
+namespace {
+
+using dist::DimSpec;
+using sec::Triplet;
+
+RuntimeOptions debug() {
+  RuntimeOptions o;
+  o.debugChecks = true;
+  return o;
+}
+
+TEST(RtOwnership, OwnershipAndValueMovesBetweenProcs) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 8)};
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    Section left{Triplet(1, 4)};
+    if (p.mypid() == 0) {
+      std::vector<double> vals{1, 2, 3, 4};
+      p.write<double>(A, left, vals);
+      p.sendOwnership(A, left, /*withValue=*/true);  // A[1:4] -=>
+      EXPECT_FALSE(p.iown(A, left));                 // relinquished
+    } else {
+      p.recvOwnership(A, left, /*withValue=*/true);  // A[1:4] <=-
+      EXPECT_TRUE(p.iown(A, left));                  // owned (transitional)
+      EXPECT_TRUE(p.await(A, left));
+      auto vals = p.read<double>(A, left);
+      EXPECT_EQ(vals, (std::vector<double>{1, 2, 3, 4}));
+      // p1 now owns the whole array.
+      EXPECT_TRUE(p.iown(A, Section{Triplet(1, 8)}));
+    }
+  });
+}
+
+TEST(RtOwnership, OwnershipOnlyTransferCarriesNoValue) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 4)};
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.fabric().resetStats();
+  rt.run([&](Proc& p) {
+    Section left{Triplet(1, 2)};
+    if (p.mypid() == 0) {
+      p.write<double>(A, left, std::vector<double>{7, 8});
+      p.sendOwnership(A, left, /*withValue=*/false);  // A[1:2] =>
+      EXPECT_FALSE(p.iown(A, left));
+    } else {
+      p.recvOwnership(A, left, /*withValue=*/false);  // A[1:2] <=
+      EXPECT_TRUE(p.await(A, left));
+      // Value did not travel: fresh storage is zero-initialized.
+      auto vals = p.read<double>(A, left);
+      EXPECT_EQ(vals, (std::vector<double>{0, 0}));
+    }
+  });
+  // The ownership-only message carried zero payload bytes.
+  EXPECT_EQ(rt.fabric().totalStats().bytesSent, 0u);
+  EXPECT_EQ(rt.fabric().totalStats().ownershipTransfers, 1u);
+}
+
+TEST(RtOwnership, PartialTransferSplitsSegments) {
+  // One processor owns [1:8] as a single segment; shipping [3:5] must
+  // split the remainder into new accessible segments with values intact.
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 8)};
+  // All of A on p0 (BLOCK over 1 proc in a 2-proc machine).
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(1)}));
+  rt.run([&](Proc& p) {
+    Section mid{Triplet(3, 5)};
+    if (p.mypid() == 0) {
+      std::vector<double> vals{1, 2, 3, 4, 5, 6, 7, 8};
+      p.write<double>(A, g, vals);
+      p.sendOwnership(A, mid, true, std::vector<int>{1});
+      EXPECT_FALSE(p.iown(A, mid));
+      EXPECT_TRUE(p.iown(A, Section{Triplet(1, 2)}));
+      EXPECT_TRUE(p.iown(A, Section{Triplet(6, 8)}));
+      // Remainder values survived the split.
+      EXPECT_EQ(p.read<double>(A, Section{Triplet(1, 2)}),
+                (std::vector<double>{1, 2}));
+      EXPECT_EQ(p.read<double>(A, Section{Triplet(6, 8)}),
+                (std::vector<double>{6, 7, 8}));
+      EXPECT_FALSE(p.iown(A, g));  // full array no longer covered
+    } else {
+      p.recvOwnership(A, mid, true);
+      EXPECT_TRUE(p.await(A, mid));
+      EXPECT_EQ(p.read<double>(A, mid), (std::vector<double>{3, 4, 5}));
+    }
+  });
+}
+
+TEST(RtOwnership, StorageIsReusedAfterTransferOut) {
+  // Paper section 2.6: "when ownership of a section is transferred out of
+  // a processor, the storage it had occupied can be reused".
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 128)};
+  int A = rt.declareArray<double>(
+      "A", g, Distribution(g, {DimSpec::block(1)}),
+      SegmentShape::of({32}));  // 4 segments of 32 on p0
+  rt.run([&](Proc& p) {
+    Section half{Triplet(1, 64)};
+    if (p.mypid() == 0) {
+      // Ship two segments out; the freed storage must back the ownership
+      // we reacquire afterwards, so the pool never grows.
+      auto before = p.table().storageStats(A);
+      p.sendOwnership(A, half, true, std::vector<int>{1});
+      auto afterSend = p.table().storageStats(A);
+      EXPECT_EQ(afterSend.currentElems, before.currentElems - 64);
+      p.recvOwnership(A, half, true);
+      EXPECT_TRUE(p.await(A, half));
+      auto afterBack = p.table().storageStats(A);
+      EXPECT_EQ(afterBack.currentElems, before.currentElems);
+      EXPECT_EQ(afterBack.poolElems, before.poolElems) << "pool grew";
+    } else {
+      p.recvOwnership(A, half, true);
+      EXPECT_TRUE(p.await(A, half));
+      p.sendOwnership(A, half, true, std::vector<int>{0});
+    }
+  });
+}
+
+TEST(RtOwnership, RoundTripReusesFreedPool) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 64)};
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(1)}),
+                                  SegmentShape::of({16}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      for (int round = 0; round < 8; ++round) {
+        p.sendOwnership(A, g, true, std::vector<int>{1});
+        p.recvOwnership(A, g, true);
+        EXPECT_TRUE(p.await(A, g));
+      }
+      auto st = p.table().storageStats(A);
+      // Freed storage must be recycled: the pool never exceeds one full
+      // copy of the local data (64 elements).
+      EXPECT_LE(st.poolElems, 64u);
+      EXPECT_EQ(st.currentElems, 64u);
+    } else {
+      for (int round = 0; round < 8; ++round) {
+        p.recvOwnership(A, g, true);
+        EXPECT_TRUE(p.await(A, g));
+        p.sendOwnership(A, g, true, std::vector<int>{0});
+      }
+    }
+  });
+}
+
+TEST(RtOwnership, ValuesSurviveRoundTrip) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 16)};
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(1)}));
+  rt.run([&](Proc& p) {
+    std::vector<double> vals(16);
+    for (int i = 0; i < 16; ++i) vals[static_cast<unsigned>(i)] = i * 1.5;
+    if (p.mypid() == 0) {
+      p.write<double>(A, g, vals);
+      p.sendOwnership(A, g, true, std::vector<int>{1});
+      p.recvOwnership(A, g, true);
+      EXPECT_TRUE(p.await(A, g));
+      EXPECT_EQ(p.read<double>(A, g), vals);
+    } else {
+      p.recvOwnership(A, g, true);
+      EXPECT_TRUE(p.await(A, g));
+      p.sendOwnership(A, g, true, std::vector<int>{0});
+    }
+  });
+}
+
+TEST(RtOwnership, DebugChecksCatchDoubleOwnershipReceive) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 8)};
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      // p0 already owns [1:4]; receiving ownership of an owned section is
+      // a usage error.
+      EXPECT_THROW(p.recvOwnership(A, Section{Triplet(1, 4)}, true),
+                   xdp::UsageError);
+      EXPECT_THROW(p.recvOwnership(A, Section{Triplet(4, 5)}, true),
+                   xdp::UsageError);  // partial overlap too
+    }
+  });
+}
+
+TEST(RtOwnership, DebugChecksCatchUnownedOwnershipSend) {
+  Runtime rt(2, debug());
+  Section g{Triplet(1, 8)};
+  int A = rt.declareArray<double>("A", g, Distribution(g, {DimSpec::block(2)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      EXPECT_THROW(p.sendOwnership(A, Section{Triplet(5, 8)}, true),
+                   xdp::UsageError);
+    }
+  });
+}
+
+TEST(RtOwnership, MypidFollowsOwnershipNotCode) {
+  // "load balancing can be implemented by migrating ownership of data
+  // while still running the same SPMD program" — after migration, the
+  // iown() guard selects a different processor for the same statement.
+  Runtime rt(2, debug());
+  Section g{Triplet(1)};
+  int W = rt.declareArray<double>("W", g, Distribution(g, {DimSpec::block(1)}));
+  std::atomic<int> executedBy{-1};
+  rt.run([&](Proc& p) {
+    Section w{Triplet(1)};
+    // Phase 1: owner executes the guarded statement.
+    if (p.iown(W, w)) {
+      EXPECT_EQ(p.mypid(), 0);
+      p.sendOwnership(W, w, true, std::vector<int>{1});
+    } else {
+      p.recvOwnership(W, w, true);
+    }
+    p.barrier();
+    // Phase 2: the *same* guarded statement now runs on p1.
+    if (p.await(W, w)) {
+      executedBy = p.mypid();
+    }
+  });
+  EXPECT_EQ(executedBy, 1);
+}
+
+TEST(RtOwnership, TaskFarmConcurrentReceives) {
+  // Section 2.7: an owner emits a sequence of value-carrying sends; idle
+  // processors post receives for the same name and each send is matched
+  // to exactly one of them (FCFS at the matchmaker).
+  const int P = 4, kJobs = 12;
+  Runtime rt(P, debug());
+  Section gJ{Triplet(1, kJobs)};
+  // Jobs start on p0.
+  int J = rt.declareArray<double>("J", gJ, Distribution(gJ, {DimSpec::block(1)}),
+                                  SegmentShape::of({1}));
+  // Each worker's inbox slot.
+  Section gW{Triplet(0, P - 1)};
+  int M = rt.declareArray<double>("M", gW, Distribution(gW, {DimSpec::block(P)}));
+  std::atomic<int> jobsDone{0};
+  std::array<std::atomic<int>, 4> perWorker{};
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      for (Index j = 1; j <= kJobs; ++j) {
+        p.set<double>(J, Point{j}, static_cast<double>(j));
+        p.send(J, Section{Triplet(j)});  // J[j] -> (unspecified)
+      }
+    } else {
+      // Workers greedily pull jobs. Deterministic split: worker w takes
+      // jobs w, w+3, w+6... by name so each job has exactly one receiver.
+      for (Index j = static_cast<Index>(p.mypid()); j <= kJobs;
+           j += P - 1) {
+        Section slot{Triplet(p.mypid())};  // M[mypid] is worker-owned
+        p.recv(M, slot, J, Section{Triplet(j)});
+        EXPECT_TRUE(p.await(M, slot));
+        EXPECT_DOUBLE_EQ(p.get<double>(M, Point{p.mypid()}),
+                         static_cast<double>(j));
+        jobsDone++;
+        perWorker[static_cast<unsigned>(p.mypid())]++;
+      }
+    }
+  });
+  EXPECT_EQ(jobsDone, kJobs);
+  for (int w = 1; w < P; ++w)
+    EXPECT_EQ(perWorker[static_cast<unsigned>(w)], kJobs / (P - 1));
+  EXPECT_EQ(rt.fabric().undeliveredCount(), 0u);
+}
+
+TEST(RtOwnership, RedistributeBlockToOther) {
+  // Full redistribution by ownership transfer: (*,BLOCK) -> (BLOCK,*) of
+  // a 4x4 array over 2 procs, the 2-D analogue of the paper's FFT Loop 3.
+  const int P = 2;
+  Runtime rt(P, debug());
+  Section g{Triplet(1, 4), Triplet(1, 4)};
+  Distribution colBlock(g, {DimSpec::collapsed(), DimSpec::block(P)});
+  int A = rt.declareArray<double>("A", g, colBlock,
+                                  SegmentShape::of({4, 1}));
+  rt.run([&](Proc& p) {
+    // Init: element (i,j) = 10*i + j on its owner.
+    g.forEach([&](const Point& pt) {
+      if (p.iown(A, Section{Triplet(pt[0]), Triplet(pt[1])}))
+        p.set<double>(A, pt, 10.0 * pt[0] + pt[1]);
+    });
+    p.barrier();
+    // Redistribute to (BLOCK,*): processor p owns rows 2p+1..2p+2.
+    Index rlo = 2 * p.mypid() + 1, rhi = 2 * p.mypid() + 2;
+    Index clo = 2 * p.mypid() + 1, chi = 2 * p.mypid() + 2;
+    // Send away the part of my columns that lands on the other proc.
+    int other = 1 - p.mypid();
+    Index orlo = 2 * other + 1, orhi = 2 * other + 2;
+    Section outgoing{Triplet(orlo, orhi), Triplet(clo, chi)};
+    p.sendOwnership(A, outgoing, true, std::vector<int>{other});
+    // Receive the part of my rows that was on the other proc.
+    Section incoming{Triplet(rlo, rhi), Triplet(2 * other + 1, 2 * other + 2)};
+    p.recvOwnership(A, incoming, true);
+    Section myRows{Triplet(rlo, rhi), Triplet(1, 4)};
+    EXPECT_TRUE(p.await(A, myRows));
+    EXPECT_TRUE(p.iown(A, myRows));
+    // Values intact after redistribution.
+    myRows.forEach([&](const Point& pt) {
+      EXPECT_DOUBLE_EQ(p.get<double>(A, pt), 10.0 * pt[0] + pt[1]);
+    });
+  });
+}
+
+}  // namespace
+}  // namespace xdp::rt

@@ -1,0 +1,229 @@
+// Property/stress tests of the runtime's ownership machinery: under long
+// random sequences of ownership transfers, the global partition invariant
+// must hold — every element owned by exactly one processor, with its
+// latest value intact — and the storage pools must not leak.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "xdp/rt/proc.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::rt {
+namespace {
+
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Point;
+using sec::Section;
+using sec::Triplet;
+
+RuntimeOptions debug() {
+  RuntimeOptions o;
+  o.debugChecks = true;
+  return o;
+}
+
+/// Deterministic plan of random section transfers, executed SPMD-style:
+/// step k moves section S_k from its current owner to a chosen target.
+struct TransferPlan {
+  struct Step {
+    Index lb, ub;
+    int to;
+  };
+  std::vector<Step> steps;
+  std::vector<int> ownerAt;  // model: owner of each element, updated below
+};
+
+TEST(RtStress, RandomSectionMigrationsKeepPartitionInvariant) {
+  constexpr Index kN = 64;
+  constexpr int kProcs = 4;
+  constexpr int kSteps = 60;
+  for (std::uint64_t seed : {7ull, 99ull, 12345ull}) {
+    Rng rng(seed);
+    // Model world: element -> owner; initial BLOCK.
+    std::vector<int> owner(kN);
+    for (Index i = 0; i < kN; ++i)
+      owner[static_cast<std::size_t>(i)] =
+          static_cast<int>(i / (kN / kProcs));
+    // Build a plan of steps where each step's section has a single owner
+    // (so a single processor executes the send).
+    struct Step {
+      Index lb, ub;
+      int from, to;
+    };
+    std::vector<Step> plan;
+    for (int s = 0; s < kSteps; ++s) {
+      // Pick a random element, extend to the maximal same-owner run, then
+      // take a random sub-run of it.
+      Index pivot = rng.range(0, kN - 1);
+      int from = owner[static_cast<std::size_t>(pivot)];
+      Index lo = pivot, hi = pivot;
+      while (lo > 0 && owner[static_cast<std::size_t>(lo - 1)] == from) --lo;
+      while (hi + 1 < kN && owner[static_cast<std::size_t>(hi + 1)] == from)
+        ++hi;
+      Index a = rng.range(lo, hi), b = rng.range(lo, hi);
+      if (a > b) std::swap(a, b);
+      int to = static_cast<int>(rng.below(kProcs));
+      if (to == from) to = (to + 1) % kProcs;
+      plan.push_back({a + 1, b + 1, from, to});  // 1-based sections
+      for (Index i = a; i <= b; ++i)
+        owner[static_cast<std::size_t>(i)] = to;
+    }
+
+    Runtime rt(kProcs, debug());
+    Section g{Triplet(1, kN)};
+    const int A = rt.declareArray<double>(
+        "A", g, Distribution(g, {DimSpec::block(kProcs)}),
+        dist::SegmentShape::of({4}));
+    rt.run([&](Proc& p) {
+      // Owners stamp their initial elements with the element index.
+      for (Index i = 1; i <= kN; ++i) {
+        Section si{Triplet(i)};
+        if (p.iown(A, si))
+          p.set<double>(A, Point{i}, static_cast<double>(i));
+      }
+      p.barrier();
+      for (const Step& st : plan) {
+        Section s{Triplet(st.lb, st.ub)};
+        if (p.mypid() == st.from) {
+          // The section may have been fragmented by earlier inbound
+          // transfers; await yields accessibility before shipping.
+          p.sendOwnership(A, s, true, std::vector<int>{st.to});
+        } else if (p.mypid() == st.to) {
+          p.recvOwnership(A, s, true);
+          EXPECT_TRUE(p.await(A, s));
+        }
+        p.barrier();  // steps are globally ordered
+      }
+    });
+
+    // Partition invariant + value preservation against the model.
+    for (Index i = 1; i <= kN; ++i) {
+      Section si{Triplet(i)};
+      int owners = 0;
+      for (int q = 0; q < kProcs; ++q) {
+        if (rt.table(q).iown(A, si)) {
+          ++owners;
+          std::array<std::byte, sizeof(double)> buf{};
+          rt.table(q).readElems(A, si, buf.data());
+          double v;
+          std::memcpy(&v, buf.data(), sizeof v);
+          EXPECT_DOUBLE_EQ(v, static_cast<double>(i)) << "element " << i;
+          EXPECT_EQ(q, owner[static_cast<std::size_t>(i - 1)]);
+        }
+      }
+      EXPECT_EQ(owners, 1) << "element " << i << " seed " << seed;
+    }
+    // No storage leaked: total owned elements == kN.
+    std::size_t total = 0;
+    for (int q = 0; q < kProcs; ++q)
+      total += rt.table(q).totalOwnedElems();
+    EXPECT_EQ(total, static_cast<std::size_t>(kN));
+  }
+}
+
+TEST(RtStress, ManyConcurrentDataTransfers) {
+  // All-to-all data traffic with unique names, repeated; nothing may be
+  // lost, duplicated or corrupted.
+  constexpr int kProcs = 8;
+  constexpr int kRounds = 20;
+  Runtime rt(kProcs, debug());
+  Section g{Triplet(0, kProcs * kProcs * kRounds - 1)};
+  const int A = rt.declareArray<double>(
+      "A", g, Distribution(g, {DimSpec::cyclic(kProcs)}));
+  Section gi{Triplet(0, kProcs * kProcs * kRounds - 1)};
+  const int IN = rt.declareArray<double>(
+      "IN", gi, Distribution(gi, {DimSpec::cyclic(kProcs)}));
+  rt.run([&](Proc& p) {
+    const int me = p.mypid();
+    // CYCLIC over [0:...] means slot % P owns the slot, so every slot's
+    // low digit is its owner. A-slot for (round r, sender s, receiver d)
+    // is r*P*P + d*P + s (owned by the sender s); the matching IN-slot is
+    // r*P*P + s*P + d (owned by the receiver d).
+    for (int r = 0; r < kRounds; ++r) {
+      for (int dst = 0; dst < kProcs; ++dst) {
+        Index slot = static_cast<Index>(r * kProcs * kProcs + dst * kProcs +
+                                        me);
+        ASSERT_TRUE(p.iown(A, Section{Triplet(slot)}));
+        p.set<double>(A, Point{slot}, static_cast<double>(slot) + 0.5);
+      }
+      p.barrier();
+      for (int dst = 0; dst < kProcs; ++dst) {
+        Index slot = static_cast<Index>(r * kProcs * kProcs + dst * kProcs +
+                                        me);
+        p.send(A, Section{Triplet(slot)}, std::vector<int>{dst});
+      }
+      for (int src = 0; src < kProcs; ++src) {
+        Index slot = static_cast<Index>(r * kProcs * kProcs + me * kProcs +
+                                        src);
+        Index inSlot = static_cast<Index>(r * kProcs * kProcs +
+                                          src * kProcs + me);
+        p.recv(IN, Section{Triplet(inSlot)}, A, Section{Triplet(slot)});
+        EXPECT_TRUE(p.await(IN, Section{Triplet(inSlot)}));
+        EXPECT_DOUBLE_EQ(p.get<double>(IN, Point{inSlot}),
+                         static_cast<double>(slot) + 0.5);
+      }
+      p.barrier();
+    }
+  });
+  EXPECT_EQ(rt.fabric().undeliveredCount(), 0u);
+  EXPECT_EQ(rt.fabric().pendingReceiveCount(), 0u);
+  auto st = rt.fabric().totalStats();
+  EXPECT_EQ(st.messagesSent,
+            static_cast<std::uint64_t>(kProcs) * kProcs * kRounds);
+}
+
+TEST(RtStress, FragmentThenReassemble) {
+  // Fragment one processor's block into single elements spread over all
+  // processors, then gather everything onto the last processor; values
+  // and the partition must survive both phases.
+  constexpr Index kN = 32;
+  constexpr int kProcs = 4;
+  Runtime rt(kProcs, debug());
+  Section g{Triplet(1, kN)};
+  const int A = rt.declareArray<double>(
+      "A", g, Distribution(g, {DimSpec::block(1)}));
+  rt.run([&](Proc& p) {
+    if (p.mypid() == 0) {
+      for (Index i = 1; i <= kN; ++i)
+        p.set<double>(A, Point{i}, i * 2.0);
+      for (Index i = 1; i <= kN; ++i)
+        p.sendOwnership(A, Section{Triplet(i)}, true,
+                        std::vector<int>{static_cast<int>(i) % kProcs});
+    }
+    for (Index i = 1; i <= kN; ++i)
+      if (static_cast<int>(i) % kProcs == p.mypid() && p.mypid() != 0)
+        p.recvOwnership(A, Section{Triplet(i)}, true);
+    // p0's self-targets: it just shipped them; receive them back.
+    if (p.mypid() == 0)
+      for (Index i = kProcs; i <= kN; i += kProcs)
+        p.recvOwnership(A, Section{Triplet(i)}, true);
+    // Wait for my fragments, then forward them all to the last processor.
+    const int last = kProcs - 1;
+    for (Index i = 1; i <= kN; ++i) {
+      if (static_cast<int>(i) % kProcs != p.mypid()) continue;
+      Section si{Triplet(i)};
+      EXPECT_TRUE(p.await(A, si));
+      if (p.mypid() != last)
+        p.sendOwnership(A, si, true, std::vector<int>{last});
+    }
+    if (p.mypid() == last) {
+      for (Index i = 1; i <= kN; ++i)
+        if (static_cast<int>(i) % kProcs != last)
+          p.recvOwnership(A, Section{Triplet(i)}, true);
+      EXPECT_TRUE(p.await(A, g));
+      for (Index i = 1; i <= kN; ++i)
+        EXPECT_DOUBLE_EQ(p.get<double>(A, Point{i}), i * 2.0);
+      EXPECT_TRUE(p.iown(A, g));
+    }
+  });
+  std::size_t total = 0;
+  for (int q = 0; q < kProcs; ++q) total += rt.table(q).totalOwnedElems();
+  EXPECT_EQ(total, static_cast<std::size_t>(kN));
+}
+
+}  // namespace
+}  // namespace xdp::rt

@@ -1,0 +1,154 @@
+// Deeper algebraic property sweeps for the section machinery: identities
+// that every downstream component assumes, exercised across ranks and
+// adversarial strides.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xdp/dist/segmentation.hpp"
+#include "xdp/sections/region_list.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::sec {
+namespace {
+
+Triplet randTrip(Rng& rng, Index lo, Index hi, Index maxStride) {
+  return Triplet(rng.range(lo, hi), rng.range(lo, hi + 10),
+                 rng.range(1, maxStride));
+}
+
+Section randSection(Rng& rng, int rank, Index maxStride = 4) {
+  std::vector<Triplet> dims;
+  for (int d = 0; d < rank; ++d) dims.push_back(randTrip(rng, -4, 8, maxStride));
+  return Section(dims);
+}
+
+class SectionAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SectionAlgebra, IntersectionIsCommutativeAndIdempotent) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const int rank = static_cast<int>(rng.range(1, 4));
+    Section a = randSection(rng, rank);
+    Section b = randSection(rng, rank);
+    Section ab = Section::intersect(a, b);
+    Section ba = Section::intersect(b, a);
+    EXPECT_TRUE(ab == ba);
+    EXPECT_TRUE(Section::intersect(a, a) == a || a.empty());
+    // i ⊆ a and i ⊆ b.
+    EXPECT_TRUE(a.containsAll(ab));
+    EXPECT_TRUE(b.containsAll(ab));
+  }
+}
+
+TEST_P(SectionAlgebra, IntersectionIsAssociative) {
+  Rng rng(GetParam() ^ 0x11);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int rank = static_cast<int>(rng.range(1, 3));
+    Section a = randSection(rng, rank);
+    Section b = randSection(rng, rank);
+    Section c = randSection(rng, rank);
+    Section l = Section::intersect(Section::intersect(a, b), c);
+    Section r = Section::intersect(a, Section::intersect(b, c));
+    EXPECT_TRUE(l == r) << a << " " << b << " " << c;
+  }
+}
+
+TEST_P(SectionAlgebra, SubtractPartitionsTheOriginal) {
+  // a == (a \ b) ⊎ (a ∩ b): counts add up and all pieces are inside a.
+  Rng rng(GetParam() ^ 0x22);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int rank = static_cast<int>(rng.range(1, 4));
+    Section a = randSection(rng, rank, 3);
+    Section b = randSection(rng, rank, 3);
+    auto rest = Section::subtract(a, b);
+    Index total = Section::intersect(a, b).count();
+    for (const Section& piece : rest) {
+      EXPECT_TRUE(a.containsAll(piece));
+      EXPECT_TRUE(Section::intersect(piece, b).empty());
+      total += piece.count();
+    }
+    EXPECT_EQ(total, a.count());
+    // Pieces are pairwise disjoint.
+    for (std::size_t x = 0; x < rest.size(); ++x)
+      for (std::size_t y = x + 1; y < rest.size(); ++y)
+        EXPECT_TRUE(Section::intersect(rest[x], rest[y]).empty());
+  }
+}
+
+TEST_P(SectionAlgebra, FortranPosIsABijection) {
+  Rng rng(GetParam() ^ 0x33);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int rank = static_cast<int>(rng.range(1, 4));
+    Section s = randSection(rng, rank);
+    if (s.count() > 4000) continue;
+    std::set<Index> seen;
+    s.forEach([&](const Point& p) {
+      Index pos = s.fortranPos(p);
+      EXPECT_GE(pos, 0);
+      EXPECT_LT(pos, s.count());
+      EXPECT_TRUE(seen.insert(pos).second) << "duplicate position";
+    });
+    EXPECT_EQ(static_cast<Index>(seen.size()), s.count());
+  }
+}
+
+TEST_P(SectionAlgebra, CoverageAgreesWithMembership) {
+  Rng rng(GetParam() ^ 0x44);
+  for (int iter = 0; iter < 30; ++iter) {
+    RegionList rl;
+    for (int k = 0; k < 4; ++k) rl.add(randSection(rng, 2, 3));
+    Section q = randSection(rng, 2, 3);
+    bool expect = true;
+    if (q.empty()) {
+      expect = true;
+    } else {
+      q.forEach([&](const Point& p) { expect = expect && rl.contains(p); });
+    }
+    EXPECT_EQ(rl.covers(q), expect) << q;
+  }
+}
+
+TEST_P(SectionAlgebra, SegmentationIsAPartitionUnderRandomShapes) {
+  Rng rng(GetParam() ^ 0x55);
+  using namespace xdp::dist;
+  for (int iter = 0; iter < 10; ++iter) {
+    Index n0 = rng.range(4, 12), n1 = rng.range(4, 12);
+    Section g{Triplet(1, n0), Triplet(1, n1)};
+    auto spec = [&](int which, int procs) {
+      switch (which) {
+        case 0: return DimSpec::collapsed();
+        case 1: return DimSpec::block(procs);
+        case 2: return DimSpec::cyclic(procs);
+        default:
+          return DimSpec::blockCyclic(procs,
+                                      static_cast<Index>(rng.range(1, 3)));
+      }
+    };
+    int k0 = static_cast<int>(rng.below(4)), k1 = static_cast<int>(rng.below(4));
+    if (k0 == 0 && k1 == 0) k1 = 1;
+    Distribution d(g, {spec(k0, 2), spec(k1, 2)});
+    SegmentShape shape = SegmentShape::of(
+        {static_cast<Index>(rng.range(0, 4)),
+         static_cast<Index>(rng.range(0, 4))});
+    for (int pid = 0; pid < d.nprocs(); ++pid) {
+      auto segs = segmentsOf(d, pid, shape);
+      RegionList part = d.localPart(pid);
+      Index total = 0;
+      for (const auto& s : segs) {
+        EXPECT_TRUE(part.covers(s));
+        total += s.count();
+      }
+      EXPECT_EQ(total, part.count());
+      for (std::size_t x = 0; x < segs.size(); ++x)
+        for (std::size_t y = x + 1; y < segs.size(); ++y)
+          EXPECT_TRUE(Section::intersect(segs[x], segs[y]).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SectionAlgebra,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace xdp::sec

@@ -1,0 +1,120 @@
+// Segmentation tests (paper Fig. 3): tiling local partitions into segments
+// of a compiler-chosen shape.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "xdp/dist/segmentation.hpp"
+
+namespace xdp::dist {
+namespace {
+
+Section box2(Index r, Index c) {
+  return Section{Triplet(1, r), Triplet(1, c)};
+}
+
+/// Segments must disjointly cover exactly the local partition.
+void checkSegmentsCoverPartition(const Distribution& d, int pid,
+                                 const SegmentShape& shape) {
+  auto segs = segmentsOf(d, pid, shape);
+  RegionList part = d.localPart(pid);
+  Index total = 0;
+  for (const auto& s : segs) {
+    total += s.count();
+    EXPECT_TRUE(part.covers(s)) << "segment outside partition: " << s;
+  }
+  EXPECT_EQ(total, part.count()) << "segments overlap or miss elements";
+}
+
+TEST(Segmentation, ChopTriplet) {
+  auto chunks = chopTriplet(Triplet(1, 10), 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], Triplet(1, 4));
+  EXPECT_EQ(chunks[1], Triplet(5, 8));
+  EXPECT_EQ(chunks[2], Triplet(9, 10));  // ragged tail
+}
+
+TEST(Segmentation, ChopStridedTriplet) {
+  // CYCLIC-owned elements {2,5,8,11,14} chopped in pairs.
+  auto chunks = chopTriplet(Triplet(2, 14, 3), 2);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], Triplet(2, 5, 3));
+  EXPECT_EQ(chunks[1], Triplet(8, 11, 3));
+  EXPECT_EQ(chunks[2], Triplet(14, 14, 3));
+}
+
+TEST(Segmentation, ZeroMeansWholeDim) {
+  auto chunks = chopTriplet(Triplet(1, 100), 0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], Triplet(1, 100));
+}
+
+TEST(Segmentation, Fig3aBlockBlock2x1Segments) {
+  // Fig 3(a): 4x8 (BLOCK,BLOCK) on 2x2, P3 owns [3:4,5:8]; 2x1 segments
+  // give 4 segments of 2 elements each.
+  Distribution d(box2(4, 8), {DimSpec::block(2), DimSpec::block(2)});
+  auto segs = segmentsOf(d, 3, SegmentShape::of({2, 1}));
+  ASSERT_EQ(segs.size(), 4u);
+  for (const auto& s : segs) EXPECT_EQ(s.count(), 2);
+  // First segment in Fortran order is the top-left of the partition.
+  EXPECT_EQ(segs[0], (Section{Triplet(3, 4), Triplet(5)}));
+  checkSegmentsCoverPartition(d, 3, SegmentShape::of({2, 1}));
+}
+
+TEST(Segmentation, Fig3aBlockBlock1x2Segments) {
+  Distribution d(box2(4, 8), {DimSpec::block(2), DimSpec::block(2)});
+  auto segs = segmentsOf(d, 3, SegmentShape::of({1, 2}));
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0], (Section{Triplet(3), Triplet(5, 6)}));
+  checkSegmentsCoverPartition(d, 3, SegmentShape::of({1, 2}));
+}
+
+TEST(Segmentation, Fig3bBlockCyclicSegments) {
+  // Fig 3(b): (BLOCK, CYCLIC): P3 owns rows 3:4, cols {2,4,6,8}. A 2x2
+  // segment covers 2 rows x 2 owned (strided) columns.
+  Distribution d(box2(4, 8), {DimSpec::block(2), DimSpec::cyclic(2)});
+  auto segs = segmentsOf(d, 3, SegmentShape::of({2, 2}));
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Section{Triplet(3, 4), Triplet(2, 4, 2)}));
+  EXPECT_EQ(segs[1], (Section{Triplet(3, 4), Triplet(6, 8, 2)}));
+  checkSegmentsCoverPartition(d, 3, SegmentShape::of({2, 2}));
+}
+
+TEST(Segmentation, FftExampleSegments) {
+  // Section 4: (*,*,BLOCK) on 4 procs, segments of 4 consecutive elements
+  // = one column line A[1:4,n,p].
+  Distribution d(
+      Section{Triplet(1, 4), Triplet(1, 4), Triplet(1, 4)},
+      {DimSpec::collapsed(), DimSpec::collapsed(), DimSpec::block(4)});
+  auto segs = segmentsOf(d, 2, SegmentShape::of({4, 1, 1}));
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0],
+            (Section{Triplet(1, 4), Triplet(1), Triplet(3)}));
+  checkSegmentsCoverPartition(d, 2, SegmentShape::of({4, 1, 1}));
+}
+
+class SegmentationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SegmentationSweep, CoverageForAllShapesAndPids) {
+  auto [s0, s1] = GetParam();
+  std::vector<Distribution> dists = {
+      Distribution(box2(7, 9), {DimSpec::block(2), DimSpec::block(3)}),
+      Distribution(box2(7, 9), {DimSpec::cyclic(2), DimSpec::block(3)}),
+      Distribution(box2(7, 9), {DimSpec::blockCyclic(2, 2), DimSpec::cyclic(3)}),
+      Distribution(box2(7, 9), {DimSpec::collapsed(), DimSpec::block(4)}),
+  };
+  for (const auto& d : dists)
+    for (int p = 0; p < d.nprocs(); ++p)
+      checkSegmentsCoverPartition(
+          d, p, SegmentShape::of({static_cast<Index>(s0),
+                                  static_cast<Index>(s1)}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SegmentationSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2, 5)));
+
+}  // namespace
+}  // namespace xdp::dist

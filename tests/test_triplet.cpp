@@ -1,0 +1,177 @@
+// Unit and property tests for the F90 triplet algebra — the primitive all
+// XDP ownership queries reduce to.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xdp/sections/triplet.hpp"
+#include "xdp/support/check.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::sec {
+namespace {
+
+std::set<Index> elems(const Triplet& t) {
+  std::set<Index> out;
+  for (Index k = 0; k < t.count(); ++k) out.insert(t.at(k));
+  return out;
+}
+
+std::set<Index> elems(const std::vector<Triplet>& ts) {
+  std::set<Index> out;
+  for (const auto& t : ts)
+    for (Index k = 0; k < t.count(); ++k) out.insert(t.at(k));
+  return out;
+}
+
+TEST(Triplet, EmptyIsCanonical) {
+  Triplet e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.count(), 0);
+  EXPECT_EQ(Triplet(5, 3), e);          // lb > ub
+  EXPECT_EQ(Triplet(5, 3, 2), e);
+  EXPECT_FALSE(e.contains(0));
+}
+
+TEST(Triplet, SingleElement) {
+  Triplet t(7);
+  EXPECT_EQ(t.count(), 1);
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_FALSE(t.contains(8));
+  EXPECT_EQ(t.stride(), 1);
+}
+
+TEST(Triplet, UbClampedToLastElement) {
+  Triplet t(1, 10, 3);  // {1,4,7,10}
+  EXPECT_EQ(t.ub(), 10);
+  Triplet u(1, 9, 3);  // {1,4,7} — ub clamps to 7
+  EXPECT_EQ(u.ub(), 7);
+  EXPECT_EQ(u.count(), 3);
+}
+
+TEST(Triplet, SingleElementStrideNormalized) {
+  // 5:5:3 == 5:5:1 as a set; canonical form makes them compare equal.
+  EXPECT_EQ(Triplet(5, 5, 3), Triplet(5));
+}
+
+TEST(Triplet, DescendingDenotesSameSet) {
+  Triplet t = Triplet::descending(10, 2, -2);  // {10,8,6,4,2}
+  EXPECT_EQ(t, Triplet(2, 10, 2));
+  // Descending with lb > ub in set terms still lands on the right residue:
+  // 9:1:-3 = {9,6,3} = 3:9:3.
+  EXPECT_EQ(Triplet::descending(9, 1, -3), Triplet(3, 9, 3));
+  // first < last is empty.
+  EXPECT_TRUE(Triplet::descending(1, 9, -3).empty());
+}
+
+TEST(Triplet, At) {
+  Triplet t(2, 14, 4);  // {2,6,10,14}
+  EXPECT_EQ(t.at(0), 2);
+  EXPECT_EQ(t.at(3), 14);
+  EXPECT_THROW(t.at(4), xdp::Error);
+}
+
+TEST(Triplet, IntersectSameStride) {
+  Triplet a(1, 100);
+  Triplet b(50, 200);
+  EXPECT_EQ(Triplet::intersect(a, b), Triplet(50, 100));
+}
+
+TEST(Triplet, IntersectDisjointRanges) {
+  EXPECT_TRUE(Triplet::intersect(Triplet(1, 10), Triplet(11, 20)).empty());
+}
+
+TEST(Triplet, IntersectStridedNeverMeets) {
+  // Evens vs odds.
+  EXPECT_TRUE(
+      Triplet::intersect(Triplet(0, 100, 2), Triplet(1, 99, 2)).empty());
+}
+
+TEST(Triplet, IntersectCrtCase) {
+  // {0,3,6,...} ∩ {0,5,10,...} = multiples of 15.
+  Triplet i = Triplet::intersect(Triplet(0, 90, 3), Triplet(0, 90, 5));
+  EXPECT_EQ(i, Triplet(0, 90, 15));
+  // Shifted: x ≡ 1 mod 3, x ≡ 2 mod 5 -> x ≡ 7 mod 15.
+  Triplet j = Triplet::intersect(Triplet(1, 100, 3), Triplet(2, 100, 5));
+  EXPECT_EQ(j, Triplet(7, 97, 15));
+}
+
+TEST(Triplet, IntersectWithNegativeBounds) {
+  Triplet i = Triplet::intersect(Triplet(-10, 10, 4), Triplet(-6, 6, 2));
+  // {-10,-6,-2,2,6,10} ∩ {-6,-4,...,6} = {-6,-2,2,6}.
+  EXPECT_EQ(i, Triplet(-6, 6, 4));
+}
+
+TEST(Triplet, SubtractMiddleBlock) {
+  auto rest = Triplet::subtract(Triplet(1, 10), Triplet(4, 6));
+  std::set<Index> expect{1, 2, 3, 7, 8, 9, 10};
+  EXPECT_EQ(elems(rest), expect);
+}
+
+TEST(Triplet, SubtractEveryOther) {
+  // {1..10} minus evens leaves exactly the odds (possibly as several
+  // disjoint pieces — the representation is not required to be minimal).
+  auto rest = Triplet::subtract(Triplet(1, 10), Triplet(2, 10, 2));
+  std::set<Index> expect{1, 3, 5, 7, 9};
+  EXPECT_EQ(elems(rest), expect);
+  Index total = 0;
+  for (const auto& t : rest) total += t.count();
+  EXPECT_EQ(total, 5);
+}
+
+TEST(Triplet, SubtractDisjointReturnsOriginal) {
+  auto rest = Triplet::subtract(Triplet(1, 5), Triplet(20, 30));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], Triplet(1, 5));
+}
+
+TEST(Triplet, SubtractAllLeavesNothing) {
+  EXPECT_TRUE(Triplet::subtract(Triplet(3, 9, 2), Triplet(1, 11)).empty());
+}
+
+// --- property sweeps: intersection and subtraction against brute force ---
+
+struct TripletCase {
+  std::uint64_t seed;
+};
+
+class TripletProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TripletProperty, IntersectMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    Triplet a(rng.range(-20, 20), rng.range(-20, 40), rng.range(1, 7));
+    Triplet b(rng.range(-20, 20), rng.range(-20, 40), rng.range(1, 7));
+    Triplet i = Triplet::intersect(a, b);
+    std::set<Index> expect;
+    for (Index x : elems(a))
+      if (b.contains(x)) expect.insert(x);
+    EXPECT_EQ(elems(i), expect) << "a=" << a.lb() << ":" << a.ub() << ":"
+                                << a.stride() << " b=" << b.lb() << ":"
+                                << b.ub() << ":" << b.stride();
+  }
+}
+
+TEST_P(TripletProperty, SubtractMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int iter = 0; iter < 200; ++iter) {
+    Triplet a(rng.range(-20, 20), rng.range(-20, 40), rng.range(1, 7));
+    Triplet b(rng.range(-20, 20), rng.range(-20, 40), rng.range(1, 7));
+    auto rest = Triplet::subtract(a, b);
+    std::set<Index> expect;
+    for (Index x : elems(a))
+      if (!b.contains(x)) expect.insert(x);
+    EXPECT_EQ(elems(rest), expect);
+    // Pieces must be pairwise disjoint.
+    Index total = 0;
+    for (const auto& t : rest) total += t.count();
+    EXPECT_EQ(total, static_cast<Index>(expect.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripletProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 42, 99, 1234,
+                                           987654321));
+
+}  // namespace
+}  // namespace xdp::sec

@@ -1,0 +1,82 @@
+// Workload generators and the deterministic fill machinery used by every
+// verification path.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/apps/workloads.hpp"
+
+namespace xdp::apps {
+namespace {
+
+TEST(Workloads, SkewedCostsPreserveTotal) {
+  for (double skew : {1.0, 1.05, 1.3}) {
+    auto costs = skewedCosts(50, 2e-3, skew, 7);
+    ASSERT_EQ(costs.size(), 50u);
+    double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+    EXPECT_NEAR(total, 50 * 2e-3, 1e-12);
+    for (double c : costs) EXPECT_GT(c, 0.0);
+  }
+}
+
+TEST(Workloads, SkewOneIsUniform) {
+  auto costs = skewedCosts(10, 1e-3, 1.0, 3);
+  for (double c : costs) EXPECT_DOUBLE_EQ(c, 1e-3);
+}
+
+TEST(Workloads, HigherSkewConcentratesWork) {
+  auto mild = skewedCosts(64, 1e-3, 1.02, 42);
+  auto harsh = skewedCosts(64, 1e-3, 1.2, 42);
+  auto maxOf = [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end());
+  };
+  EXPECT_GT(maxOf(harsh), maxOf(mild));
+}
+
+TEST(Workloads, SkewedCostsDeterministicPerSeed) {
+  EXPECT_EQ(skewedCosts(20, 1e-3, 1.1, 5), skewedCosts(20, 1e-3, 1.1, 5));
+  EXPECT_NE(skewedCosts(20, 1e-3, 1.1, 5), skewedCosts(20, 1e-3, 1.1, 6));
+}
+
+TEST(Workloads, CellValueDependsOnAllInputs) {
+  sec::Point p1{3, 4};
+  sec::Point p2{4, 3};
+  EXPECT_EQ(cellValueAt(1, 0, p1), cellValueAt(1, 0, p1));
+  EXPECT_NE(cellValueAt(1, 0, p1), cellValueAt(1, 0, p2));  // order matters
+  EXPECT_NE(cellValueAt(1, 0, p1), cellValueAt(1, 1, p1));  // symbol matters
+  EXPECT_NE(cellValueAt(1, 0, p1), cellValueAt(2, 0, p1));  // seed matters
+  double v = cellValueAt(123, 0, p1);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Workloads, ComplexCellValueHasIndependentParts) {
+  sec::Point p{1, 2, 3};
+  Complex c = complexCellValueAt(9, 0, p);
+  EXPECT_NE(c.real(), c.imag());
+  EXPECT_EQ(c, complexCellValueAt(9, 0, p));
+}
+
+TEST(Workloads, GatherRoundTripsFill) {
+  // fill kernel + gather are inverses over the whole array.
+  il::Program prog;
+  prog.nprocs = 3;
+  sec::Section g{sec::Triplet(1, 9), sec::Triplet(1, 4)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 dist::Distribution(g, {dist::DimSpec::block(3),
+                                        dist::DimSpec::collapsed()}),
+                 {}});
+  prog.body = il::block({il::kernel("fill", {{0, il::secLocalPart(0)}})});
+  interp::Interpreter in(prog, {});
+  registerFillKernel(in, 77);
+  in.run();
+  auto vals = gatherF64(in.runtime(), 0, g);
+  g.forEach([&](const sec::Point& pt) {
+    EXPECT_DOUBLE_EQ(vals[static_cast<std::size_t>(g.fortranPos(pt))],
+                     cellValueAt(77, 0, pt));
+  });
+}
+
+}  // namespace
+}  // namespace xdp::apps
