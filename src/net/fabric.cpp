@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 
 #include "xdp/support/check.hpp"
 
@@ -38,7 +39,11 @@ NetStats& NetStats::operator+=(const NetStats& o) {
 Fabric::Fabric(int nprocs, CostModel model)
     : nprocs_(nprocs), model_(model), eps_(static_cast<std::size_t>(nprocs)) {
   XDP_CHECK(nprocs >= 1, "fabric needs at least one endpoint");
+  if (auto plan = currentGlobalFaultPlan())
+    injector_ = std::make_unique<FaultInjector>(*plan, nprocs_);
 }
+
+Fabric::~Fabric() = default;
 
 double Fabric::clock(int pid) const {
   std::lock_guard lk(mu_);
@@ -75,6 +80,12 @@ bool Fabric::matches(const Name& a, TransferKind ka, const Name& b,
 
 void Fabric::completeLocked(Endpoint& ep, const PendingReceive& pr,
                             Message msg) {
+  if (msg.dupId != 0) {
+    // First of a duplicated pair to complete wins; make sure the twin can
+    // never complete too (exactly-once semantics).
+    completedDups_.insert(msg.dupId);
+    purgeDuplicateLocked(msg.dupId);
+  }
   ep.stats.messagesReceived += 1;
   ep.stats.bytesReceived += msg.payload.size();
   // Unexpected-message criterion in *virtual* time: the message landed
@@ -132,11 +143,28 @@ void Fabric::send(int src, const Name& name, TransferKind kind,
   if (dest.has_value()) {
     XDP_CHECK(*dest >= 0 && *dest < nprocs_, "send: bad destination pid");
     sep.stats.directSends += 1;
+  } else {
+    sep.stats.rendezvousSends += 1;
+    msg.arrival += model_.matchHop;  // extra control hop via the matchmaker
+  }
+  if (injector_) {
+    faultSendLocked(src, std::move(msg), dest);
+    return;
+  }
+  routeLocked(std::move(msg), dest);
+}
+
+void Fabric::routeLocked(Message msg, std::optional<int> dest) {
+  if (msg.dupId != 0 && completedDups_.count(msg.dupId) != 0) {
+    // Its twin already completed a receive; a real transport's sequence
+    // numbers would detect and discard this copy on arrival.
+    injector_->stats().suppressedDuplicates += 1;
+    return;
+  }
+  if (dest.has_value()) {
     deliverLocked(*dest, std::move(msg));
     return;
   }
-  sep.stats.rendezvousSends += 1;
-  msg.arrival += model_.matchHop;  // extra control hop via the matchmaker
   // FCFS: hand to the first registered receive interest with this name.
   for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end(); ++it) {
     if (matches(it->name, it->kind, msg.name, msg.kind)) {
@@ -148,6 +176,73 @@ void Fabric::send(int src, const Name& name, TransferKind kind,
     }
   }
   matcherMsgs_.push_back(std::move(msg));
+}
+
+void Fabric::faultSendLocked(int src, Message msg, std::optional<int> dest) {
+  FaultInjector& in = *injector_;
+  if (in.crashNow(src)) {
+    std::ostringstream os;
+    os << "fault injection: endpoint p" << src << " crashed (plan allows "
+       << in.plan().crashAfterSends << " sends)";
+    throw FaultAbort(os.str());
+  }
+  const FaultInjector::Outcome out = in.classify(src);
+  msg.arrival += out.extraDelay;
+
+  // Never let two same-name messages from one source overtake each other
+  // (MPI's non-overtaking rule): release a held twin-channel message first.
+  if (in.hasHeld(src) && in.heldName(src) == msg.name) {
+    FaultInjector::Held h = in.takeHeld(src);
+    routeLocked(std::move(h.msg), h.dest);
+  }
+  if (out.drop) return;  // sender paid for it; the fabric lost it
+
+  std::optional<Message> dup;
+  if (out.duplicate) {
+    msg.dupId = in.newDupId();
+    dup = msg;  // deep copy, including the shared dupId
+  }
+  if (out.hold && !in.hasHeld(src)) {
+    in.hold(src, std::move(msg), dest);
+    if (dup.has_value()) routeLocked(std::move(*dup), dest);
+    return;
+  }
+  routeLocked(std::move(msg), dest);
+  if (dup.has_value()) routeLocked(std::move(*dup), dest);
+  if (in.hasHeld(src)) {
+    // This send releases the previously held message *after* the new one:
+    // the adjacent pair has been reordered.
+    FaultInjector::Held h = in.takeHeld(src);
+    routeLocked(std::move(h.msg), h.dest);
+  }
+}
+
+std::size_t Fabric::flushHeldLocked(int src) {
+  if (!injector_) return 0;
+  std::vector<FaultInjector::Held> due;
+  if (src < 0) {
+    due = injector_->takeAllHeld();
+  } else if (injector_->hasHeld(src)) {
+    due.push_back(injector_->takeHeld(src));
+  }
+  for (auto& h : due) routeLocked(std::move(h.msg), h.dest);
+  return due.size();
+}
+
+void Fabric::purgeDuplicateLocked(std::uint64_t dupId) {
+  auto drop = [&](std::deque<Message>& q) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->dupId == dupId) {
+        q.erase(it);
+        injector_->stats().suppressedDuplicates += 1;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (drop(matcherMsgs_)) return;
+  for (auto& ep : eps_)
+    if (drop(ep.unexpected)) return;
 }
 
 void Fabric::sendToSet(int src, const Name& name, TransferKind kind,
@@ -196,8 +291,15 @@ void Fabric::barrier(int pid) {
   {
     std::lock_guard lk(mu_);
     myClock = eps_[static_cast<std::size_t>(pid)].clock;
+    // A processor entering a barrier will not send again until released;
+    // anything the injector held back for it must land now.
+    if (injector_) flushHeldLocked(pid);
   }
   std::unique_lock lk(barrierMu_);
+  if (aborted_)
+    throw DeadlockError(abortSummary_ + " [p" + std::to_string(pid) +
+                            " entering barrier]",
+                        abortReport_ ? *abortReport_ : std::string());
   barrierMax_ = std::max(barrierMax_, myClock);
   std::uint64_t gen = barrierGen_;
   if (++barrierCount_ == nprocs_) {
@@ -214,7 +316,11 @@ void Fabric::barrier(int pid) {
     barrierCv_.notify_all();
     return;
   }
-  barrierCv_.wait(lk, [&] { return barrierGen_ != gen; });
+  barrierCv_.wait(lk, [&] { return barrierGen_ != gen || aborted_; });
+  if (barrierGen_ == gen && aborted_)
+    throw DeadlockError(abortSummary_ + " [p" + std::to_string(pid) +
+                            " blocked at barrier]",
+                        abortReport_ ? *abortReport_ : std::string());
 }
 
 NetStats Fabric::stats(int pid) const {
@@ -256,6 +362,109 @@ void Fabric::clearMatchState() {
     ep.unexpected.clear();
     ep.pending.clear();
   }
+  completedDups_.clear();
+  if (injector_) injector_->takeAllHeld();  // discard, not deliver
+}
+
+void Fabric::setFaultPlan(const FaultPlan& plan) {
+  std::lock_guard lk(mu_);
+  if (injector_) flushHeldLocked(-1);
+  injector_ = std::make_unique<FaultInjector>(plan, nprocs_);
+}
+
+void Fabric::clearFaultPlan() {
+  std::lock_guard lk(mu_);
+  if (!injector_) return;
+  flushHeldLocked(-1);
+  injector_.reset();
+}
+
+bool Fabric::hasFaultPlan() const {
+  std::lock_guard lk(mu_);
+  return injector_ != nullptr;
+}
+
+bool Fabric::faultPlanLossy() const {
+  std::lock_guard lk(mu_);
+  return injector_ != nullptr && injector_->plan().lossy();
+}
+
+FaultStats Fabric::faultStats() const {
+  std::lock_guard lk(mu_);
+  return injector_ ? injector_->stats() : FaultStats{};
+}
+
+std::size_t Fabric::flushHeldFaults() {
+  std::lock_guard lk(mu_);
+  return flushHeldLocked(-1);
+}
+
+std::size_t Fabric::heldFaultCount() const {
+  std::lock_guard lk(mu_);
+  return injector_ ? injector_->heldCount() : 0;
+}
+
+FabricSnapshot Fabric::snapshot() const {
+  FabricSnapshot snap;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& ep : eps_) {
+      for (const auto& pr : ep.pending) {
+        // Attribute the receive to its endpoint via the matcher registry
+        // when present; endpoints are scanned in pid order anyway.
+        FabricSnapshot::RecvInfo r;
+        r.pid = static_cast<int>(&ep - eps_.data());
+        r.name = pr.name;
+        r.kind = pr.kind;
+        snap.pendingReceives.push_back(std::move(r));
+      }
+      for (const auto& m : ep.unexpected) {
+        snap.undelivered.push_back(FabricSnapshot::MsgInfo{
+            m.src, static_cast<int>(&ep - eps_.data()), m.name, m.kind,
+            m.payload.size()});
+      }
+    }
+    for (const auto& m : matcherMsgs_) {
+      snap.undelivered.push_back(
+          FabricSnapshot::MsgInfo{m.src, -1, m.name, m.kind, m.payload.size()});
+    }
+    snap.heldFaults = injector_ ? injector_->heldCount() : 0;
+  }
+  {
+    std::lock_guard lk(barrierMu_);
+    snap.barrierWaiters = barrierCount_;
+  }
+  return snap;
+}
+
+int Fabric::barrierWaiters() const {
+  std::lock_guard lk(barrierMu_);
+  return barrierCount_;
+}
+
+std::uint64_t Fabric::barrierEpoch() const {
+  std::lock_guard lk(barrierMu_);
+  return barrierGen_;
+}
+
+void Fabric::abortBlockedOps(const std::string& summary,
+                             std::shared_ptr<const std::string> report) {
+  std::lock_guard lk(barrierMu_);
+  aborted_ = true;
+  abortSummary_ = summary;
+  abortReport_ = std::move(report);
+  barrierCv_.notify_all();
+}
+
+void Fabric::clearAbort() {
+  std::lock_guard lk(barrierMu_);
+  aborted_ = false;
+  abortSummary_.clear();
+  abortReport_.reset();
+  // Threads that threw out of an aborted barrier left their entrant counts
+  // behind; between runs nobody is inside, so reset the incomplete barrier.
+  barrierCount_ = 0;
+  barrierMax_ = 0.0;
 }
 
 }  // namespace xdp::net

@@ -1,0 +1,148 @@
+#include "xdp/net/fault.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "xdp/support/check.hpp"
+#include "xdp/support/rng.hpp"
+
+namespace xdp::net {
+
+namespace {
+
+void markPids(const std::vector<int>& pids, int nprocs,
+              std::vector<char>& flags, const char* what) {
+  for (int p : pids) {
+    XDP_CHECK(p >= 0 && p < nprocs, std::string("FaultPlan: bad pid in ") + what);
+    flags[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+double unitReal(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, int nprocs)
+    : plan_(std::move(plan)),
+      stalled_(static_cast<std::size_t>(nprocs), 0),
+      crashy_(static_cast<std::size_t>(nprocs), 0),
+      seq_(static_cast<std::size_t>(nprocs), 0),
+      sendCount_(static_cast<std::size_t>(nprocs), 0),
+      held_(static_cast<std::size_t>(nprocs)) {
+  auto checkProb = [](double p, const char* what) {
+    XDP_CHECK(p >= 0.0 && p <= 1.0,
+              std::string("FaultPlan: probability out of [0,1]: ") + what);
+  };
+  checkProb(plan_.dropProb, "dropProb");
+  checkProb(plan_.dupProb, "dupProb");
+  checkProb(plan_.delayProb, "delayProb");
+  checkProb(plan_.reorderProb, "reorderProb");
+  markPids(plan_.stallPids, nprocs, stalled_, "stallPids");
+  markPids(plan_.crashPids, nprocs, crashy_, "crashPids");
+}
+
+FaultInjector::Outcome FaultInjector::classify(int src) {
+  const auto s = static_cast<std::size_t>(src);
+  const std::uint64_t ordinal = seq_[s]++;
+  // Counter-based decision stream: one generator per (seed, src, ordinal),
+  // so decisions do not depend on the interleaving of other endpoints.
+  SplitMix64 g(plan_.seed +
+               0x9e3779b97f4a7c15ULL * (ordinal + 1) +
+               0x2545f4914f6cdd1dULL * (static_cast<std::uint64_t>(src) + 1));
+  const double uDrop = unitReal(g.next());
+  const double uDup = unitReal(g.next());
+  const double uDelay = unitReal(g.next());
+  const double uDelayAmt = unitReal(g.next());
+  const double uReorder = unitReal(g.next());
+
+  Outcome o;
+  o.drop = uDrop < plan_.dropProb;
+  if (o.drop) {
+    stats_.dropped += 1;
+    return o;
+  }
+  o.duplicate = uDup < plan_.dupProb;
+  if (o.duplicate) stats_.duplicated += 1;
+  if (uDelay < plan_.delayProb) {
+    o.extraDelay += uDelayAmt * plan_.maxDelay;
+    stats_.delayed += 1;
+  }
+  if (stalled_[s]) {
+    o.extraDelay += plan_.stallDelay;
+    stats_.stalled += 1;
+  }
+  o.hold = uReorder < plan_.reorderProb;
+  return o;
+}
+
+bool FaultInjector::crashNow(int src) {
+  const auto s = static_cast<std::size_t>(src);
+  if (!crashy_[s]) return false;
+  sendCount_[s] += 1;
+  if (sendCount_[s] <= plan_.crashAfterSends) return false;
+  if (sendCount_[s] == plan_.crashAfterSends + 1) stats_.crashed += 1;
+  return true;
+}
+
+bool FaultInjector::hasHeld(int src) const {
+  return held_[static_cast<std::size_t>(src)].has_value();
+}
+
+const Name& FaultInjector::heldName(int src) const {
+  const auto& h = held_[static_cast<std::size_t>(src)];
+  XDP_CHECK(h.has_value(), "heldName: no held message for this source");
+  return h->msg.name;
+}
+
+void FaultInjector::hold(int src, Message msg, std::optional<int> dest) {
+  auto& slot = held_[static_cast<std::size_t>(src)];
+  XDP_CHECK(!slot.has_value(), "hold: source already has a held message");
+  slot = Held{std::move(msg), dest};
+  heldCount_ += 1;
+  stats_.reordered += 1;
+}
+
+FaultInjector::Held FaultInjector::takeHeld(int src) {
+  auto& slot = held_[static_cast<std::size_t>(src)];
+  XDP_CHECK(slot.has_value(), "takeHeld: no held message for this source");
+  Held h = std::move(*slot);
+  slot.reset();
+  heldCount_ -= 1;
+  return h;
+}
+
+std::vector<FaultInjector::Held> FaultInjector::takeAllHeld() {
+  std::vector<Held> out;
+  for (auto& slot : held_) {
+    if (!slot.has_value()) continue;
+    out.push_back(std::move(*slot));
+    slot.reset();
+  }
+  heldCount_ = 0;
+  return out;
+}
+
+namespace {
+std::mutex gScopeMu;
+std::optional<FaultPlan> gScopePlan;
+}  // namespace
+
+FaultScope::FaultScope(FaultPlan plan) {
+  std::lock_guard lk(gScopeMu);
+  prev_ = std::move(gScopePlan);
+  gScopePlan = std::move(plan);
+}
+
+FaultScope::~FaultScope() {
+  std::lock_guard lk(gScopeMu);
+  gScopePlan = std::move(prev_);
+}
+
+std::optional<FaultPlan> currentGlobalFaultPlan() {
+  std::lock_guard lk(gScopeMu);
+  return gScopePlan;
+}
+
+}  // namespace xdp::net

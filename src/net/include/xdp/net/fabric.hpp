@@ -29,11 +29,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "xdp/net/cost_model.hpp"
+#include "xdp/net/fault.hpp"
 #include "xdp/net/message.hpp"
 
 namespace xdp::net {
@@ -60,9 +64,33 @@ using CompletionFn = std::function<void(const Message&)>;
 /// Identifies a posted receive, for cancellation of rendezvous interest.
 using ReceiveId = std::uint64_t;
 
+/// Point-in-time picture of the fabric's matching state, for failure
+/// diagnostics: what every hung receive is waiting for and where every
+/// unmatched message is parked.
+struct FabricSnapshot {
+  struct RecvInfo {
+    int pid = -1;
+    Name name;
+    TransferKind kind = TransferKind::Data;
+  };
+  struct MsgInfo {
+    int src = -1;
+    int dst = -1;  ///< -1 = parked at the rendezvous matcher
+    Name name;
+    TransferKind kind = TransferKind::Data;
+    std::size_t bytes = 0;
+  };
+  std::vector<RecvInfo> pendingReceives;
+  std::vector<MsgInfo> undelivered;
+  std::size_t heldFaults = 0;  ///< messages parked inside the fault injector
+  int barrierWaiters = 0;      ///< entrants of the current incomplete barrier
+};
+
 class Fabric {
  public:
+  /// If a FaultScope is live, the new fabric adopts its plan.
   Fabric(int nprocs, CostModel model = {});
+  ~Fabric();
 
   int nprocs() const { return nprocs_; }
   const CostModel& model() const { return model_; }
@@ -117,7 +145,41 @@ class Fabric {
 
   /// Drop all unmatched messages and posted receives (used at SPMD region
   /// boundaries so a leaked receive can never fire into a later region).
+  /// Also drops fault-injector holdbacks and duplicate-suppression state.
   void clearMatchState();
+
+  /// --- fault injection -------------------------------------------------
+
+  /// Install (or replace) a fault plan; takes effect on the next send.
+  /// Replacing a plan first releases any held-back messages.
+  void setFaultPlan(const FaultPlan& plan);
+  /// Remove the plan, releasing any held-back messages first.
+  void clearFaultPlan();
+  bool hasFaultPlan() const;
+  /// True iff a plan is installed and it can lose messages (see
+  /// FaultPlan::lossy) — the runtime waives end-of-run usage checks then.
+  bool faultPlanLossy() const;
+  FaultStats faultStats() const;
+  /// Deliver every message the injector is holding back (reorder faults).
+  /// Returns how many were released. Called at quiescence by the watchdog
+  /// and at the end of an SPMD region.
+  std::size_t flushHeldFaults();
+  std::size_t heldFaultCount() const;
+
+  /// --- hang diagnostics ------------------------------------------------
+
+  FabricSnapshot snapshot() const;
+  /// Entrants of the current *incomplete* barrier (0 when no barrier is in
+  /// progress). Waiters of an already-released barrier do not count.
+  int barrierWaiters() const;
+  /// Generation counter; advances when a barrier completes. Stable value +
+  /// stable waiter count across two observations = a genuinely stuck wait.
+  std::uint64_t barrierEpoch() const;
+  /// Fail every current and future barrier wait with a DeadlockError built
+  /// from `summary`/`report` (watchdog teardown). Sticky until clearAbort.
+  void abortBlockedOps(const std::string& summary,
+                       std::shared_ptr<const std::string> report);
+  void clearAbort();
 
  private:
   struct PendingReceive {
@@ -144,6 +206,22 @@ class Fabric {
   /// Caller holds mu_.
   void deliverLocked(int dst, Message msg);
 
+  /// Route a (possibly fault-processed) message: suppress completed
+  /// duplicates, then deliver directly or via the matcher. Caller holds mu_.
+  void routeLocked(Message msg, std::optional<int> dest);
+
+  /// The fault-injected send path: crash, drop, duplicate, delay, hold.
+  /// Caller holds mu_; injector_ is non-null.
+  void faultSendLocked(int src, Message msg, std::optional<int> dest);
+
+  /// Release held-back messages (all sources, or just `src` if >= 0).
+  /// Returns the number released. Caller holds mu_.
+  std::size_t flushHeldLocked(int src);
+
+  /// Remove the not-yet-completed twin of a completed duplicate from every
+  /// parking queue. Caller holds mu_.
+  void purgeDuplicateLocked(std::uint64_t dupId);
+
   /// Complete `pr` with `msg`, applying the unexpected-message penalty
   /// when the message's (virtual) arrival precedes the receive's (virtual)
   /// post time — a deterministic criterion independent of real thread
@@ -161,13 +239,20 @@ class Fabric {
   std::deque<Message> matcherMsgs_;        // unspecified sends, unmatched
   std::deque<MatcherEntry> matcherRecvs_;  // receive interest, FCFS
   ReceiveId nextId_ = 1;
+  std::unique_ptr<FaultInjector> injector_;       // null = no faults
+  std::unordered_set<std::uint64_t> completedDups_;
 
   // Reusable barrier.
-  std::mutex barrierMu_;
+  mutable std::mutex barrierMu_;
   std::condition_variable barrierCv_;
   int barrierCount_ = 0;
   std::uint64_t barrierGen_ = 0;
   double barrierMax_ = 0.0;
+
+  // Watchdog teardown (guarded by barrierMu_; sticky until clearAbort).
+  bool aborted_ = false;
+  std::string abortSummary_;
+  std::shared_ptr<const std::string> abortReport_;
 };
 
 }  // namespace xdp::net

@@ -1,0 +1,154 @@
+// Fault injection for the simulated fabric.
+//
+// The paper's position (section 2.2) is that the *compiler* guarantees
+// communication is well-formed, so the machine model is perfectly
+// reliable. Production data-movement systems are validated the other way
+// around: the transport is stressed with dropped, duplicated, delayed and
+// reordered messages, and the stack on top must either mask the fault or
+// fail loudly. A FaultPlan describes such a stress configuration; the
+// FaultInjector applies it inside Fabric::send, so every program written
+// against the runtime — jacobi, cannon, fft3d, the task farm — runs under
+// faults unmodified.
+//
+// Determinism: decisions are drawn from a counter-based PRNG keyed on
+// (plan seed, source pid, per-source send ordinal). A processor's send
+// sequence is its program order, so the same plan yields the same fault
+// decisions for every message on every run, regardless of how the OS
+// schedules the SPMD threads.
+//
+// Fault semantics:
+//   * drop      — the message is charged to the sender and then discarded.
+//                 Lossy: the matching receive never completes (the hang
+//                 watchdog converts that into a DeadlockError).
+//   * duplicate — the message is delivered twice carrying the same dupId;
+//                 the fabric's dedup layer guarantees exactly-once
+//                 *completion* (the twin is suppressed or purged), so
+//                 correct programs stay correct — this exercises the
+//                 queue-purging paths.
+//   * delay     — the message's virtual arrival time is pushed back,
+//                 perturbing unexpected-message accounting and awaited
+//                 clock synchronization. Non-lossy.
+//   * reorder   — the message is held back and released after the *next*
+//                 send from the same source (adjacent swap). Messages with
+//                 equal names never swap (per-name FIFO is preserved, the
+//                 MPI non-overtaking rule), so matching stays well-defined.
+//   * stall     — every send from a stalled endpoint pays a fixed extra
+//                 virtual delay (a slow NIC).
+//   * crash     — sends from a crash endpoint throw FaultAbort once the
+//                 configured send count is exceeded (a died processor).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "xdp/net/message.hpp"
+
+namespace xdp::net {
+
+/// One stress configuration. Probabilities are per message, in [0, 1].
+struct FaultPlan {
+  std::uint64_t seed = 1;     ///< decision-stream seed
+
+  double dropProb = 0.0;      ///< P(message silently discarded)   — lossy
+  double dupProb = 0.0;       ///< P(message delivered twice)
+  double delayProb = 0.0;     ///< P(virtual delivery delay added)
+  double maxDelay = 0.0;      ///< delay drawn uniformly from [0, maxDelay)
+  double reorderProb = 0.0;   ///< P(message held past the next send)
+
+  std::vector<int> stallPids; ///< endpoints with a slow NIC
+  double stallDelay = 0.0;    ///< extra virtual delay per stalled send
+
+  std::vector<int> crashPids;        ///< endpoints that die mid-run — lossy
+  std::uint64_t crashAfterSends = 0; ///< sends completed before the crash
+
+  /// A lossy plan can legitimately leave unmatched receives / undelivered
+  /// messages behind, so the runtime's end-of-run usage checks are waived.
+  bool lossy() const { return dropProb > 0.0 || !crashPids.empty(); }
+};
+
+/// Counters of what the injector actually did (whole-fabric totals).
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;             ///< extra copies created
+  std::uint64_t suppressedDuplicates = 0;   ///< copies dedup'd at delivery
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;              ///< messages held back
+  std::uint64_t stalled = 0;
+  std::uint64_t crashed = 0;                ///< endpoints that threw FaultAbort
+};
+
+/// Per-fabric fault state. All methods are called by the Fabric with its
+/// lock held; the injector itself does no locking.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int nprocs);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  FaultStats& stats() { return stats_; }
+
+  /// Per-message fate, decided deterministically from (seed, src, ordinal).
+  struct Outcome {
+    bool drop = false;
+    bool duplicate = false;
+    bool hold = false;        ///< reorder: park until the next send from src
+    double extraDelay = 0.0;  ///< virtual-time delay (delay and/or stall)
+  };
+  Outcome classify(int src);
+
+  /// True when this send must abort with FaultAbort (endpoint crash).
+  bool crashNow(int src);
+
+  /// Fresh nonzero id tagging a duplicated original/copy pair.
+  std::uint64_t newDupId() { return nextDupId_++; }
+
+  // --- reorder holdback (at most one held message per source) -----------
+  struct Held {
+    Message msg;
+    std::optional<int> dest;  ///< original route (nullopt = rendezvous)
+  };
+  bool hasHeld(int src) const;
+  const Name& heldName(int src) const;
+  void hold(int src, Message msg, std::optional<int> dest);
+  Held takeHeld(int src);
+  /// Release every held message, lowest source pid first.
+  std::vector<Held> takeAllHeld();
+  std::size_t heldCount() const { return heldCount_; }
+
+ private:
+  FaultPlan plan_;
+  FaultStats stats_;
+  std::vector<char> stalled_;             // by pid
+  std::vector<char> crashy_;              // by pid
+  std::vector<std::uint64_t> seq_;        // per-source decision ordinal
+  std::vector<std::uint64_t> sendCount_;  // per-source sends (for crash)
+  std::vector<std::optional<Held>> held_;
+  std::size_t heldCount_ = 0;
+  std::uint64_t nextDupId_ = 1;
+};
+
+/// RAII default plan: every Fabric constructed while a FaultScope is alive
+/// picks the plan up, which is how existing apps (whose runJacobi-style
+/// drivers build their own Runtime) run under faults unmodified:
+///
+///   net::FaultScope faults(plan);
+///   auto r = apps::runJacobi(cfg);   // fabric inside runs under `plan`
+///
+/// Scopes nest; destruction restores the previous plan.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  std::optional<FaultPlan> prev_;
+};
+
+/// The plan installed by the innermost live FaultScope, if any.
+std::optional<FaultPlan> currentGlobalFaultPlan();
+
+}  // namespace xdp::net

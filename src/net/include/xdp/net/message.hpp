@@ -49,6 +49,10 @@ struct Message {
   int src = -1;
   std::vector<std::byte> payload;  ///< element values in Fortran order
   double arrival = 0.0;            ///< virtual time the message lands
+  /// Nonzero only on fault-injected duplicated messages: original and copy
+  /// carry the same id, and the fabric completes at most one of the pair
+  /// (exactly-once delivery over an at-least-once transport).
+  std::uint64_t dupId = 0;
 };
 
 }  // namespace xdp::net

@@ -1,16 +1,22 @@
 // SPMD execution: "the program will be loaded onto every processor of the
 // target machine that is assigned to the program" (paper section 1).
 // runSpmd launches the node program once per simulated processor, joins,
-// and rethrows the first failure.
+// and rethrows the failure(s).
 #pragma once
 
 #include <functional>
 
 namespace xdp::net {
 
-/// Run `node(pid)` on `nprocs` threads. If any node throws, every thread is
-/// still joined and the first exception (by pid) is rethrown. Deterministic
-/// memory visibility is guaranteed at the join.
+/// Run `node(pid)` on `nprocs` threads; every thread is always joined.
+/// Deterministic memory visibility is guaranteed at the join.
+///
+/// Failure handling: one failed node rethrows its exception unchanged.
+/// When several nodes fail, ALL failures are aggregated into one error
+/// whose message lists each pid and its what(); the aggregate is a
+/// DeadlockError (keeping the first diagnostic report) if any node
+/// deadlocked, a UsageError if every failure was a usage error, and a
+/// plain XdpError otherwise.
 void runSpmd(int nprocs, const std::function<void(int pid)>& node);
 
 }  // namespace xdp::net

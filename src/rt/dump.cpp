@@ -58,6 +58,78 @@ std::string dumpOwnerGrid(const SymbolDecl& decl) {
   return os.str();
 }
 
+namespace {
+
+void printName(std::ostream& os, const net::Name& n,
+               const std::vector<std::string>& symbolNames) {
+  os << "sym#" << n.symbol;
+  if (n.symbol >= 0 && static_cast<std::size_t>(n.symbol) < symbolNames.size())
+    os << " '" << symbolNames[static_cast<std::size_t>(n.symbol)] << "'";
+  os << " " << n.section.str();
+  for (const auto& s : n.rest) os << "+" << s.str();
+}
+
+}  // namespace
+
+std::string dumpDeadlock(const DeadlockDiagnostics& d) {
+  std::ostringstream os;
+  int blocked = 0, atBarrier = 0, finished = 0;
+  for (const auto& p : d.procs) {
+    switch (p.status) {
+      case DeadlockDiagnostics::ProcStatus::Finished: ++finished; break;
+      case DeadlockDiagnostics::ProcStatus::BlockedAwait: ++blocked; break;
+      case DeadlockDiagnostics::ProcStatus::AtBarrier: ++atBarrier; break;
+    }
+  }
+  os << "=== XDP deadlock report ===\n";
+  os << "processors: " << d.procs.size() << " total, " << blocked
+     << " blocked in await, " << atBarrier << " at an incomplete barrier, "
+     << finished << " finished\n";
+  for (const auto& p : d.procs) {
+    os << "  p" << p.pid << ": ";
+    switch (p.status) {
+      case DeadlockDiagnostics::ProcStatus::Finished:
+        os << "finished";
+        break;
+      case DeadlockDiagnostics::ProcStatus::BlockedAwait:
+        os << "blocked await sym#" << p.sym;
+        if (!p.symName.empty()) os << " '" << p.symName << "'";
+        os << " section=" << p.section;
+        break;
+      case DeadlockDiagnostics::ProcStatus::AtBarrier:
+        os << "waiting at barrier (" << d.fabric.barrierWaiters << " of "
+           << d.procs.size() << " arrived)";
+        break;
+    }
+    os << "\n";
+  }
+  os << "pending receives (" << d.fabric.pendingReceives.size() << "):\n";
+  for (const auto& r : d.fabric.pendingReceives) {
+    os << "  p" << r.pid << " <- ";
+    printName(os, r.name, d.symbolNames);
+    os << " kind=" << net::transferKindName(r.kind) << "\n";
+  }
+  os << "undelivered messages (" << d.fabric.undelivered.size() << "):\n";
+  for (const auto& m : d.fabric.undelivered) {
+    os << "  p" << m.src << " -> ";
+    if (m.dst < 0)
+      os << "matcher";
+    else
+      os << "p" << m.dst;
+    os << " ";
+    printName(os, m.name, d.symbolNames);
+    os << " kind=" << net::transferKindName(m.kind) << " bytes=" << m.bytes
+       << "\n";
+  }
+  if (d.fabric.heldFaults != 0)
+    os << "fault-injector holdbacks: " << d.fabric.heldFaults << "\n";
+  if (!d.symbolTables.empty()) {
+    os << "--- symbol tables of blocked processors ---\n";
+    for (const auto& t : d.symbolTables) os << t;
+  }
+  return os.str();
+}
+
 std::string dumpSegmentGrid(const SymbolDecl& decl, int pid) {
   XDP_CHECK(decl.rank() == 2, "segment grid rendering needs a rank-2 array");
   auto segs = dist::segmentsOf(decl.dist, pid, decl.segShape);

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "xdp/net/fabric.hpp"
 #include "xdp/rt/proc_table.hpp"
 
 namespace xdp::rt {
@@ -22,5 +24,28 @@ std::string dumpOwnerGrid(const SymbolDecl& decl);
 /// Figure 3 (right): the segments of `pid`'s local partition, one letter
 /// per segment, '.' for elements owned by other processors.
 std::string dumpSegmentGrid(const SymbolDecl& decl, int pid);
+
+/// Everything the watchdog learned when it diagnosed a hang. Gathered by
+/// Runtime's monitor thread, rendered by dumpDeadlock, and carried (as the
+/// rendered report) inside the DeadlockError that fails the blocked waits.
+struct DeadlockDiagnostics {
+  enum class ProcStatus { Finished, BlockedAwait, AtBarrier };
+  struct ProcState {
+    int pid = -1;
+    ProcStatus status = ProcStatus::Finished;
+    int sym = -1;            ///< awaited symbol (BlockedAwait only)
+    std::string symName;     ///< its declared name
+    std::string section;     ///< awaited section, rendered
+  };
+  std::vector<ProcState> procs;
+  net::FabricSnapshot fabric;
+  std::vector<std::string> symbolNames;   ///< by symtab index
+  std::vector<std::string> symbolTables;  ///< dumpSymbolTable of blocked pids
+};
+
+/// One-screen, line-oriented deadlock report: blocked processors and what
+/// they await, unmatched receive names, undelivered message names, and the
+/// owning-section state of every blocked processor's symbol table.
+std::string dumpDeadlock(const DeadlockDiagnostics& d);
 
 }  // namespace xdp::rt

@@ -18,9 +18,12 @@
 // always fabric -> table (see Fabric docs).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "xdp/rt/symbol.hpp"
@@ -89,6 +92,27 @@ class ProcTable {
   /// Sum of currently owned elements over all symbols (storage footprint).
   std::size_t totalOwnedElems() const;
 
+  // --- hang diagnostics (used by the runtime watchdog) ------------------
+  /// What this processor's thread is blocked on, if anything. `blocked` is
+  /// true only when the thread is parked in await() AND the awaited
+  /// section is still transitional *right now* (re-checked under the
+  /// table lock), so a woken-but-not-yet-scheduled thread never reads as
+  /// blocked. `epoch` increments on every park/unpark; two observations
+  /// with equal epochs and blocked=true mean the thread never moved.
+  struct WaitState {
+    bool blocked = false;
+    int sym = -1;
+    Section section;
+    std::uint64_t epoch = 0;
+  };
+  WaitState waitState() const;
+
+  /// Fail the current await (and every later one on this table) with a
+  /// DeadlockError carrying `summary` and `report`. Called by the
+  /// watchdog once a deadlock is certain; sticky for this table's life.
+  void abortWaits(std::string summary,
+                  std::shared_ptr<const std::string> report);
+
  private:
   struct Pool {
     std::vector<std::byte> bytes;
@@ -127,9 +151,23 @@ class ProcTable {
   const bool debugChecks_;
   std::vector<SymbolDecl> decls_;
 
+  [[noreturn]] void throwAbortLocked(const char* where) const;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Entry> entries_;
+
+  // Watchdog state (wait_ guarded by mu_; epoch also readable lock-free).
+  struct CurrentWait {
+    bool parked = false;
+    int sym = -1;
+    Section section;
+  };
+  CurrentWait wait_;
+  std::atomic<std::uint64_t> waitEpoch_{0};
+  bool aborted_ = false;
+  std::string abortSummary_;
+  std::shared_ptr<const std::string> abortReport_;
 };
 
 }  // namespace xdp::rt

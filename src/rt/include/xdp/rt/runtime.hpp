@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "xdp/net/fabric.hpp"
@@ -33,7 +34,21 @@ struct RuntimeOptions {
   /// belt-and-braces configuration used by our tests.
   bool debugChecks = false;
   net::CostModel costModel{};
+  /// Hang watchdog window in wall-clock milliseconds. Within this window a
+  /// run in which every processor is blocked (await / blocked owner-send /
+  /// barrier) with no deliverable message is aborted: blocked waits fail
+  /// with a DeadlockError carrying a full diagnostic dump instead of the
+  /// process hanging forever. 0 disables the watchdog; -1 (default) reads
+  /// the XDP_WATCHDOG_MS environment variable, falling back to 10000.
+  int watchdogMs = -1;
+  /// Fault plan to install on the fabric at construction (fault injection
+  /// can also be enabled for unmodified drivers via net::FaultScope).
+  std::optional<net::FaultPlan> faultPlan;
 };
+
+/// The effective watchdog window: `configured` if >= 0, else
+/// XDP_WATCHDOG_MS from the environment, else 10000 ms.
+int resolveWatchdogMs(int configured);
 
 class Proc;
 
@@ -64,7 +79,11 @@ class Runtime {
   const std::vector<SymbolDecl>& decls() const { return decls_; }
 
   /// Run the node program on every simulated processor; joins before
-  /// returning and rethrows the first node failure.
+  /// returning. Node failures are rethrown (aggregated across nodes, see
+  /// net::runSpmd); a diagnosed hang surfaces as a DeadlockError. Match
+  /// state is cleared at region entry, and under debugChecks the region
+  /// must end with no undelivered message and no unmatched receive
+  /// (waived when a lossy fault plan is installed).
   void run(const std::function<void(Proc&)>& node);
 
   /// The per-processor table of the most recent/current run (valid during

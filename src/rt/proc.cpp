@@ -17,7 +17,7 @@ Section Proc::pointSection(const Point& p) {
 }
 
 net::Name Proc::nameOf(int sym, const Section& s) const {
-  return net::Name{sym, s};
+  return net::Name{sym, s, {}};
 }
 
 bool Proc::iown(int sym, const Section& s) const {

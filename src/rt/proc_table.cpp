@@ -162,11 +162,50 @@ bool ProcTable::accessible(int sym, const Section& s) const {
 bool ProcTable::await(int sym, const Section& s, double* arrival) {
   std::unique_lock lk(mu_);
   while (true) {
+    if (aborted_) throwAbortLocked("blocked in await");
     int st = stateOfLocked(sym, s, arrival);
     if (st < 0) return false;   // unowned: await returns false (Fig. 1)
     if (st == 1) return true;   // accessible
-    cv_.wait(lk);               // transitional: block
+    // Transitional: park. Publish what we wait on so the watchdog can tell
+    // a genuinely blocked processor from a running one.
+    wait_.parked = true;
+    wait_.sym = sym;
+    wait_.section = s;
+    waitEpoch_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait(lk);
+    wait_.parked = false;
+    waitEpoch_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ProcTable::WaitState ProcTable::waitState() const {
+  std::lock_guard lk(mu_);
+  WaitState w;
+  w.epoch = waitEpoch_.load(std::memory_order_relaxed);
+  if (!wait_.parked) return w;
+  // Re-derive blockedness from the actual table state: if the awaited
+  // section has become accessible (or unowned), the thread has a wake-up
+  // pending and is not stuck, however long the OS takes to schedule it.
+  if (stateOfLocked(wait_.sym, wait_.section, nullptr) != 0) return w;
+  w.blocked = true;
+  w.sym = wait_.sym;
+  w.section = wait_.section;
+  return w;
+}
+
+void ProcTable::abortWaits(std::string summary,
+                           std::shared_ptr<const std::string> report) {
+  std::lock_guard lk(mu_);
+  aborted_ = true;
+  abortSummary_ = std::move(summary);
+  abortReport_ = std::move(report);
+  cv_.notify_all();
+}
+
+void ProcTable::throwAbortLocked(const char* where) const {
+  throw DeadlockError(
+      abortSummary_ + " [p" + std::to_string(pid_) + " " + where + "]",
+      abortReport_ ? *abortReport_ : std::string());
 }
 
 Index ProcTable::mylb(int sym, const Section& s, int d) const {

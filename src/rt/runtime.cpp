@@ -1,13 +1,37 @@
 #include "xdp/rt/runtime.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
 #include "xdp/net/spmd.hpp"
+#include "xdp/rt/dump.hpp"
 #include "xdp/rt/proc.hpp"
 #include "xdp/support/check.hpp"
 
 namespace xdp::rt {
 
+int resolveWatchdogMs(int configured) {
+  if (configured >= 0) return configured;
+  if (const char* env = std::getenv("XDP_WATCHDOG_MS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0 && v <= 1000 * 1000 * 1000)
+      return static_cast<int>(v);
+  }
+  return 10000;
+}
+
 Runtime::Runtime(int nprocs, RuntimeOptions opts)
-    : nprocs_(nprocs), opts_(opts), fabric_(nprocs, opts.costModel) {}
+    : nprocs_(nprocs), opts_(opts), fabric_(nprocs, opts.costModel) {
+  if (opts_.faultPlan.has_value()) fabric_.setFaultPlan(*opts_.faultPlan);
+}
 
 Runtime::~Runtime() = default;
 
@@ -28,22 +52,181 @@ int Runtime::declareArray(std::string name, ElemType type, Section global,
   return decls_.back().index;
 }
 
+namespace {
+
+/// One watchdog observation of the whole machine. The machine is certainly
+/// deadlocked when every processor is accounted for as finished, genuinely
+/// blocked in an await (re-verified against table state under its lock),
+/// or an entrant of an incomplete barrier — then no thread can ever run
+/// again — and two observations a poll apart agree on every epoch (so no
+/// thread moved in between and the non-atomic multi-lock snapshot is
+/// consistent).
+struct QuiescenceSnapshot {
+  std::vector<ProcTable::WaitState> waits;  // by pid
+  std::vector<char> finished;               // by pid
+  int barrierWaiters = 0;
+  std::uint64_t barrierEpoch = 0;
+
+  int blockedCount() const {
+    int n = 0;
+    for (const auto& w : waits) n += w.blocked ? 1 : 0;
+    return n;
+  }
+  int finishedCount() const {
+    int n = 0;
+    for (char f : finished) n += f ? 1 : 0;
+    return n;
+  }
+  bool quiescent(int nprocs) const {
+    const int blocked = blockedCount() + barrierWaiters;
+    return blocked > 0 && blocked + finishedCount() == nprocs;
+  }
+  static bool stable(const QuiescenceSnapshot& a, const QuiescenceSnapshot& b) {
+    if (a.barrierWaiters != b.barrierWaiters ||
+        a.barrierEpoch != b.barrierEpoch)
+      return false;
+    for (std::size_t i = 0; i < a.waits.size(); ++i) {
+      if (a.waits[i].blocked != b.waits[i].blocked ||
+          a.waits[i].epoch != b.waits[i].epoch ||
+          a.finished[i] != b.finished[i])
+        return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
 void Runtime::run(const std::function<void(Proc&)>& node) {
-  // Drop any match state leaked by a previous (buggy) run so stale
-  // completion callbacks can never touch the fresh tables.
+  // Region hygiene: drop any match state leaked by a previous (buggy or
+  // faulted) run so stale completion callbacks and leaked receives can
+  // never touch the fresh tables, and clear a previous watchdog abort.
+  fabric_.clearAbort();
   fabric_.clearMatchState();
   tables_.clear();
   tables_.resize(static_cast<std::size_t>(nprocs_));
   for (int p = 0; p < nprocs_; ++p)
     tables_[static_cast<std::size_t>(p)] =
         std::make_unique<ProcTable>(p, decls_, opts_.debugChecks);
-  net::runSpmd(nprocs_, [&](int pid) {
-    Proc proc(*this, pid);
-    node(proc);
-  });
-  if (opts_.debugChecks && fabric_.undeliveredCount() != 0) {
-    XDP_USAGE_FAIL("SPMD region ended with undelivered messages: a send had "
-                   "no matching receive");
+
+  const int watchdogMs = resolveWatchdogMs(opts_.watchdogMs);
+  auto finished = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(nprocs_));
+
+  std::mutex wdMu;
+  std::condition_variable wdCv;
+  bool wdStop = false;
+
+  auto gather = [&] {
+    QuiescenceSnapshot s;
+    s.waits.reserve(static_cast<std::size_t>(nprocs_));
+    s.finished.reserve(static_cast<std::size_t>(nprocs_));
+    for (int p = 0; p < nprocs_; ++p) {
+      s.finished.push_back(
+          finished[static_cast<std::size_t>(p)].load() ? 1 : 0);
+      s.waits.push_back(tables_[static_cast<std::size_t>(p)]->waitState());
+    }
+    s.barrierWaiters = fabric_.barrierWaiters();
+    s.barrierEpoch = fabric_.barrierEpoch();
+    return s;
+  };
+
+  auto fireWatchdog = [&](const QuiescenceSnapshot& snap) {
+    DeadlockDiagnostics diag;
+    for (const auto& d : decls_) diag.symbolNames.push_back(d.name);
+    for (int p = 0; p < nprocs_; ++p) {
+      const auto& w = snap.waits[static_cast<std::size_t>(p)];
+      DeadlockDiagnostics::ProcState ps;
+      ps.pid = p;
+      if (w.blocked) {
+        ps.status = DeadlockDiagnostics::ProcStatus::BlockedAwait;
+        ps.sym = w.sym;
+        ps.symName = decls_[static_cast<std::size_t>(w.sym)].name;
+        ps.section = w.section.str();
+        diag.symbolTables.push_back(
+            dumpSymbolTable(*tables_[static_cast<std::size_t>(p)]));
+      } else if (snap.finished[static_cast<std::size_t>(p)]) {
+        ps.status = DeadlockDiagnostics::ProcStatus::Finished;
+      } else {
+        // Quiescence accounting says every non-finished, non-awaiting
+        // processor is an entrant of the incomplete barrier.
+        ps.status = DeadlockDiagnostics::ProcStatus::AtBarrier;
+      }
+      diag.procs.push_back(std::move(ps));
+    }
+    diag.fabric = fabric_.snapshot();
+
+    std::ostringstream sum;
+    sum << "XDP deadlock detected by watchdog: "
+        << (snap.blockedCount() + snap.barrierWaiters) << " of " << nprocs_
+        << " processors blocked with no deliverable message";
+    auto report = std::make_shared<const std::string>(dumpDeadlock(diag));
+    for (auto& t : tables_) t->abortWaits(sum.str(), report);
+    fabric_.abortBlockedOps(sum.str(), report);
+  };
+
+  std::thread watchdog;
+  if (watchdogMs > 0) {
+    const auto poll =
+        std::chrono::milliseconds(std::clamp(watchdogMs / 8, 1, 200));
+    watchdog = std::thread([&, poll] {
+      std::optional<QuiescenceSnapshot> prev;
+      std::unique_lock lk(wdMu);
+      while (!wdCv.wait_for(lk, poll, [&] { return wdStop; })) {
+        lk.unlock();
+        QuiescenceSnapshot snap = gather();
+        if (!snap.quiescent(nprocs_)) {
+          prev.reset();
+        } else if (fabric_.flushHeldFaults() != 0) {
+          // Reordering holdbacks were still parked; delivering them may
+          // unblock the machine, so this round does not count.
+          prev.reset();
+        } else if (prev.has_value() &&
+                   QuiescenceSnapshot::stable(*prev, snap)) {
+          fireWatchdog(snap);
+          return;
+        } else {
+          prev = std::move(snap);
+        }
+        lk.lock();
+      }
+    });
+  }
+
+  std::exception_ptr failure;
+  try {
+    net::runSpmd(nprocs_, [&](int pid) {
+      struct FinishGuard {
+        std::atomic<bool>& flag;
+        ~FinishGuard() { flag.store(true); }
+      } guard{finished[static_cast<std::size_t>(pid)]};
+      Proc proc(*this, pid);
+      node(proc);
+    });
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard lk(wdMu);
+      wdStop = true;
+    }
+    wdCv.notify_all();
+    watchdog.join();
+  }
+  fabric_.flushHeldFaults();
+  if (failure) std::rethrow_exception(failure);
+
+  if (opts_.debugChecks && !fabric_.faultPlanLossy()) {
+    if (fabric_.undeliveredCount() != 0) {
+      XDP_USAGE_FAIL("SPMD region ended with undelivered messages: a send "
+                     "had no matching receive");
+    }
+    if (fabric_.pendingReceiveCount() != 0) {
+      XDP_USAGE_FAIL("SPMD region ended with unmatched posted receives: a "
+                     "receive had no matching send");
+    }
   }
 }
 

@@ -20,17 +20,52 @@
 
 namespace xdp {
 
-/// Error thrown on violated implementation preconditions.
-class Error : public std::runtime_error {
+/// Root of the XDP exception hierarchy. Every error the fabric, runtime
+/// or compiler raises derives from this, so callers can catch one type.
+class XdpError : public std::runtime_error {
  public:
-  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+  explicit XdpError(std::string what) : std::runtime_error(std::move(what)) {}
 };
+
+/// Historical name for the base error (implementation-precondition
+/// violations throw it directly).
+using Error = XdpError;
 
 /// Error thrown (in debug-checks mode) when a program violates the XDP
 /// usage rules of Figure 1 — e.g. reading a transitional section.
-class UsageError : public Error {
+class UsageError : public XdpError {
  public:
-  explicit UsageError(std::string what) : Error(std::move(what)) {}
+  explicit UsageError(std::string what) : XdpError(std::move(what)) {}
+};
+
+/// Error thrown out of blocked awaits / barrier waits when the runtime's
+/// hang watchdog has diagnosed a deadlock: every processor is blocked and
+/// no message in the fabric can complete any posted receive. Carries a
+/// structured multi-line report (one line per fact: blocked processors,
+/// pending receives, undelivered messages, section ownership states).
+class DeadlockError : public XdpError {
+ public:
+  DeadlockError(const std::string& summary, std::string report)
+      : XdpError(report.empty() ? summary : summary + "\n" + report),
+        summary_(summary),
+        report_(std::move(report)) {}
+
+  /// One-line description ("XDP deadlock: 2 processors blocked ...").
+  const std::string& summary() const { return summary_; }
+  /// The full diagnostic dump (see xdp::rt::dumpDeadlock for the format).
+  const std::string& report() const { return report_; }
+
+ private:
+  std::string summary_;
+  std::string report_;
+};
+
+/// Error thrown by the fault injector when a simulated endpoint crash
+/// fires (FaultPlan::crashPids): the endpoint's send aborts its node
+/// program, as a died-mid-run processor would.
+class FaultAbort : public XdpError {
+ public:
+  explicit FaultAbort(std::string what) : XdpError(std::move(what)) {}
 };
 
 namespace detail {
