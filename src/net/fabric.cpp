@@ -6,6 +6,33 @@
 
 #include "xdp/support/check.hpp"
 
+// Rendezvous protocol (two locks, never held together)
+// ----------------------------------------------------
+// The matcher lock serializes the *pairing decision* for unspecified
+// sends; an endpoint lock serializes *completion* at that endpoint. A
+// matching message/receive pair can therefore never be lost:
+//
+//   * postReceive first posts the receive at its endpoint (under the
+//     endpoint lock), then — under the matcher lock — either registers
+//     interest or takes a parked message; it never leaves the matcher
+//     critical section unpublished and unmatched.
+//   * a rendezvous send — under the matcher lock — either takes a
+//     registered interest or parks its message; same invariant.
+//
+// Because completion happens after the pairing decision, an interest
+// entry can be *stale*: the receive it names may have been completed by
+// a direct send in between. Staleness is detected when the completion
+// step finds no pending receive with the entry's id; the sender then
+// simply retries the next matching entry (and the direct-delivery path
+// cancels the stale interest itself, so entries do not accumulate).
+//
+// Exactly-once for fault-injected duplicates moves to a leaf lock
+// (dupMu_): the twin-suppression test-and-mark runs at every completion
+// attempt and at every park, so no interleaving can complete both copies
+// or strand a suppressed copy in a queue (a parked copy whose twin
+// completes afterwards is purged under the queue's own lock, which the
+// purge acquires after the completion marked the pair done).
+
 namespace xdp::net {
 
 const char* transferKindName(TransferKind k) {
@@ -39,38 +66,57 @@ NetStats& NetStats::operator+=(const NetStats& o) {
 Fabric::Fabric(int nprocs, CostModel model)
     : nprocs_(nprocs), model_(model), eps_(static_cast<std::size_t>(nprocs)) {
   XDP_CHECK(nprocs >= 1, "fabric needs at least one endpoint");
-  if (auto plan = currentGlobalFaultPlan())
+  if (auto plan = currentGlobalFaultPlan()) {
     injector_ = std::make_unique<FaultInjector>(*plan, nprocs_);
+    faultsActive_.store(true, std::memory_order_release);
+  }
 }
 
 Fabric::~Fabric() = default;
 
+void Fabric::checkPid(int pid, const char* what) const {
+  if (pid < 0 || pid >= nprocs_) {
+    std::ostringstream os;
+    os << what << ": pid " << pid << " out of range [0, " << nprocs_ << ")";
+    XDP_USAGE_FAIL(os.str());
+  }
+}
+
 double Fabric::clock(int pid) const {
-  std::lock_guard lk(mu_);
-  return eps_[static_cast<std::size_t>(pid)].clock;
+  checkPid(pid, "clock");
+  const Endpoint& e = ep(pid);
+  std::lock_guard lk(e.mu);
+  return e.clock;
 }
 
 void Fabric::advance(int pid, double dt) {
-  std::lock_guard lk(mu_);
-  eps_[static_cast<std::size_t>(pid)].clock += dt;
+  checkPid(pid, "advance");
+  Endpoint& e = ep(pid);
+  std::lock_guard lk(e.mu);
+  e.clock += dt;
 }
 
 void Fabric::syncClock(int pid, double t) {
-  std::lock_guard lk(mu_);
-  auto& c = eps_[static_cast<std::size_t>(pid)].clock;
-  c = std::max(c, t);
+  checkPid(pid, "syncClock");
+  Endpoint& e = ep(pid);
+  std::lock_guard lk(e.mu);
+  e.clock = std::max(e.clock, t);
 }
 
 double Fabric::makespan() const {
-  std::lock_guard lk(mu_);
   double m = 0.0;
-  for (const auto& ep : eps_) m = std::max(m, ep.clock);
+  for (const auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    m = std::max(m, e.clock);
+  }
   return m;
 }
 
 void Fabric::resetClocks() {
-  std::lock_guard lk(mu_);
-  for (auto& ep : eps_) ep.clock = 0.0;
+  for (auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    e.clock = 0.0;
+  }
 }
 
 bool Fabric::matches(const Name& a, TransferKind ka, const Name& b,
@@ -78,171 +124,252 @@ bool Fabric::matches(const Name& a, TransferKind ka, const Name& b,
   return ka == kb && a == b;
 }
 
-void Fabric::completeLocked(Endpoint& ep, const PendingReceive& pr,
-                            Message msg) {
+bool Fabric::dupSuppressed(const Message& msg) {
+  if (msg.dupId == 0) return false;
+  std::lock_guard lk(dupMu_);
+  if (completedDups_.count(msg.dupId) == 0) return false;
+  dupSuppressedCount_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Fabric::tryCompleteLocked(Endpoint& e, const PendingReceive& pr,
+                               Message msg) {
   if (msg.dupId != 0) {
-    // First of a duplicated pair to complete wins; make sure the twin can
-    // never complete too (exactly-once semantics).
-    completedDups_.insert(msg.dupId);
-    purgeDuplicateLocked(msg.dupId);
+    // First of a duplicated pair to get here wins; marking the pair done
+    // under dupMu_ makes sure the twin can never complete too
+    // (exactly-once semantics). The loser is counted and discarded.
+    std::lock_guard lk(dupMu_);
+    if (!completedDups_.insert(msg.dupId).second) {
+      dupSuppressedCount_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
   }
-  ep.stats.messagesReceived += 1;
-  ep.stats.bytesReceived += msg.payload.size();
+  e.stats.messagesReceived += 1;
+  e.stats.bytesReceived += msg.payload.size();
   // Unexpected-message criterion in *virtual* time: the message landed
   // before the receive was posted, so the transport buffered it and the
   // completion pays an extra copy — receiver CPU time, so it accumulates
   // on the receiver's clock, and the data only becomes usable once the
   // copy is done. Judged on deterministic clocks, not on real thread
-  // interleaving.
+  // scheduling.
   if (msg.arrival < pr.postClock) {
-    ep.stats.unexpectedMessages += 1;
+    e.stats.unexpectedMessages += 1;
     const double copy = model_.unexpectedCost(msg.payload.size());
-    ep.clock += copy;
+    e.clock += copy;
     msg.arrival = pr.postClock + copy;
   }
   pr.fn(msg);
+  return true;
 }
 
-void Fabric::deliverLocked(int dst, Message msg) {
-  auto& ep = eps_[static_cast<std::size_t>(dst)];
-  for (auto it = ep.pending.begin(); it != ep.pending.end(); ++it) {
-    if (!matches(it->name, it->kind, msg.name, msg.kind)) continue;
-    PendingReceive pr = std::move(*it);
-    ep.pending.erase(it);
-    // Drop the matcher interest registered for this receive, if any.
-    for (auto mit = matcherRecvs_.begin(); mit != matcherRecvs_.end(); ++mit) {
-      if (mit->id == pr.id) {
-        matcherRecvs_.erase(mit);
+void Fabric::purgeDuplicate(std::uint64_t dupId) {
+  auto drop = [&](std::deque<Message>& q) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->dupId == dupId) {
+        q.erase(it);
+        dupSuppressedCount_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  };
+  {
+    std::lock_guard mk(matcherMu_);
+    if (drop(matcherMsgs_)) return;
+  }
+  for (auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    if (drop(e.unexpected)) return;
+  }
+}
+
+void Fabric::deliverDirect(int dst, Message msg) {
+  Endpoint& e = ep(dst);
+  const std::uint64_t dupId = msg.dupId;
+  ReceiveId cancelId = 0;
+  bool completed = false;
+  {
+    std::lock_guard lk(e.mu);
+    bool consumed = false;
+    for (auto it = e.pending.begin(); it != e.pending.end(); ++it) {
+      if (!matches(it->name, it->kind, msg.name, msg.kind)) continue;
+      if (tryCompleteLocked(e, *it, std::move(msg))) {
+        cancelId = it->id;
+        e.pending.erase(it);
+        completed = true;
+      }
+      // On suppression the receive stays posted (its real message is the
+      // twin that already completed elsewhere or is still in flight for
+      // another receive); this copy is simply gone.
+      consumed = true;
+      break;
+    }
+    // Park-or-suppress under the endpoint lock: a copy whose twin
+    // completes after this check is removed by that completion's purge,
+    // which takes e.mu after us.
+    if (!consumed && !dupSuppressed(msg)) e.unexpected.push_back(std::move(msg));
+  }
+  if (cancelId != 0) {
+    // The completed receive may have registered rendezvous interest;
+    // retire it so the matcher queue does not accumulate stale entries
+    // (a rendezvous send that races us retires it the same way).
+    std::lock_guard mk(matcherMu_);
+    for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end(); ++it) {
+      if (it->id == cancelId) {
+        matcherRecvs_.erase(it);
         break;
       }
     }
-    completeLocked(ep, pr, std::move(msg));
+  }
+  if (completed && dupId != 0) purgeDuplicate(dupId);
+}
+
+void Fabric::routeRendezvous(Message msg) {
+  if (dupSuppressed(msg)) return;  // twin already completed a receive
+  for (;;) {
+    std::optional<MatcherEntry> entry;
+    {
+      std::lock_guard mk(matcherMu_);
+      // FCFS: hand to the first registered receive interest with this name.
+      for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end(); ++it) {
+        if (matches(it->name, it->kind, msg.name, msg.kind)) {
+          entry = *it;
+          matcherRecvs_.erase(it);
+          break;
+        }
+      }
+      if (!entry.has_value()) {
+        // Park-or-suppress inside the matcher critical section (same
+        // reasoning as the unexpected-queue park in deliverDirect).
+        if (!dupSuppressed(msg)) matcherMsgs_.push_back(std::move(msg));
+        return;
+      }
+    }
+    const std::uint64_t dupId = msg.dupId;
+    Endpoint& e = ep(entry->pid);
+    bool completed = false;
+    bool suppressed = false;
+    {
+      std::lock_guard lk(e.mu);
+      for (auto it = e.pending.begin(); it != e.pending.end(); ++it) {
+        if (it->id != entry->id) continue;
+        if (tryCompleteLocked(e, *it, std::move(msg))) {
+          e.pending.erase(it);
+          completed = true;
+        } else {
+          suppressed = true;
+        }
+        break;
+      }
+    }
+    if (completed) {
+      if (dupId != 0) purgeDuplicate(dupId);
+      return;
+    }
+    if (suppressed) {
+      // The twin won the completion race while we held the entry; the
+      // receive is still live, so restore its interest where it was
+      // (front keeps it first among same-name entries).
+      std::lock_guard mk(matcherMu_);
+      matcherRecvs_.push_front(*entry);
+      return;
+    }
+    // Stale entry: the receive was completed by a direct send after
+    // registering interest. Discard it and try the next waiter.
+  }
+}
+
+void Fabric::route(Message msg, std::optional<int> dest) {
+  if (dest.has_value()) {
+    deliverDirect(*dest, std::move(msg));
     return;
   }
-  ep.unexpected.push_back(std::move(msg));
+  routeRendezvous(std::move(msg));
 }
 
 void Fabric::send(int src, const Name& name, TransferKind kind,
                   std::vector<std::byte> payload, std::optional<int> dest) {
-  std::lock_guard lk(mu_);
-  XDP_CHECK(src >= 0 && src < nprocs_, "send: bad source pid");
-  auto& sep = eps_[static_cast<std::size_t>(src)];
+  checkPid(src, "send source");
+  if (dest.has_value()) checkPid(*dest, "send destination");
   const std::size_t bytes = payload.size();
-  sep.clock += model_.sendCost(bytes);
-  sep.stats.messagesSent += 1;
-  sep.stats.bytesSent += bytes;
-  if (kind != TransferKind::Data) sep.stats.ownershipTransfers += 1;
 
   Message msg;
   msg.name = name;
   msg.kind = kind;
   msg.src = src;
   msg.payload = std::move(payload);
-  msg.arrival = sep.clock + model_.latency;
-
-  if (dest.has_value()) {
-    XDP_CHECK(*dest >= 0 && *dest < nprocs_, "send: bad destination pid");
-    sep.stats.directSends += 1;
-  } else {
-    sep.stats.rendezvousSends += 1;
-    msg.arrival += model_.matchHop;  // extra control hop via the matchmaker
-  }
-  if (injector_) {
-    faultSendLocked(src, std::move(msg), dest);
-    return;
-  }
-  routeLocked(std::move(msg), dest);
-}
-
-void Fabric::routeLocked(Message msg, std::optional<int> dest) {
-  if (msg.dupId != 0 && completedDups_.count(msg.dupId) != 0) {
-    // Its twin already completed a receive; a real transport's sequence
-    // numbers would detect and discard this copy on arrival.
-    injector_->stats().suppressedDuplicates += 1;
-    return;
-  }
-  if (dest.has_value()) {
-    deliverLocked(*dest, std::move(msg));
-    return;
-  }
-  // FCFS: hand to the first registered receive interest with this name.
-  for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end(); ++it) {
-    if (matches(it->name, it->kind, msg.name, msg.kind)) {
-      int pid = it->pid;
-      // deliverLocked erases the interest entry (by id) and the pending
-      // receive; erase the interest here first to keep iterators simple.
-      deliverLocked(pid, std::move(msg));
-      return;
+  {
+    Endpoint& s = ep(src);
+    std::lock_guard lk(s.mu);
+    s.clock += model_.sendCost(bytes);
+    s.stats.messagesSent += 1;
+    s.stats.bytesSent += bytes;
+    if (kind != TransferKind::Data) s.stats.ownershipTransfers += 1;
+    msg.arrival = s.clock + model_.latency;
+    if (dest.has_value()) {
+      s.stats.directSends += 1;
+    } else {
+      s.stats.rendezvousSends += 1;
+      msg.arrival += model_.matchHop;  // extra control hop via the matchmaker
     }
   }
-  matcherMsgs_.push_back(std::move(msg));
-}
-
-void Fabric::faultSendLocked(int src, Message msg, std::optional<int> dest) {
-  FaultInjector& in = *injector_;
-  if (in.crashNow(src)) {
-    std::ostringstream os;
-    os << "fault injection: endpoint p" << src << " crashed (plan allows "
-       << in.plan().crashAfterSends << " sends)";
-    throw FaultAbort(os.str());
-  }
-  const FaultInjector::Outcome out = in.classify(src);
-  msg.arrival += out.extraDelay;
-
-  // Never let two same-name messages from one source overtake each other
-  // (MPI's non-overtaking rule): release a held twin-channel message first.
-  if (in.hasHeld(src) && in.heldName(src) == msg.name) {
-    FaultInjector::Held h = in.takeHeld(src);
-    routeLocked(std::move(h.msg), h.dest);
-  }
-  if (out.drop) return;  // sender paid for it; the fabric lost it
-
-  std::optional<Message> dup;
-  if (out.duplicate) {
-    msg.dupId = in.newDupId();
-    dup = msg;  // deep copy, including the shared dupId
-  }
-  if (out.hold && !in.hasHeld(src)) {
-    in.hold(src, std::move(msg), dest);
-    if (dup.has_value()) routeLocked(std::move(*dup), dest);
+  if (faultsActive_.load(std::memory_order_acquire)) {
+    faultSend(src, std::move(msg), dest);
     return;
   }
-  routeLocked(std::move(msg), dest);
-  if (dup.has_value()) routeLocked(std::move(*dup), dest);
-  if (in.hasHeld(src)) {
-    // This send releases the previously held message *after* the new one:
-    // the adjacent pair has been reordered.
-    FaultInjector::Held h = in.takeHeld(src);
-    routeLocked(std::move(h.msg), h.dest);
-  }
+  route(std::move(msg), dest);
 }
 
-std::size_t Fabric::flushHeldLocked(int src) {
-  if (!injector_) return 0;
-  std::vector<FaultInjector::Held> due;
-  if (src < 0) {
-    due = injector_->takeAllHeld();
-  } else if (injector_->hasHeld(src)) {
-    due.push_back(injector_->takeHeld(src));
-  }
-  for (auto& h : due) routeLocked(std::move(h.msg), h.dest);
-  return due.size();
-}
+void Fabric::faultSend(int src, Message msg, std::optional<int> dest) {
+  // Decide every fate under faultMu_, releasing it before any routing so
+  // the injector lock is never held together with endpoint/matcher locks.
+  // `out` preserves the required delivery order.
+  std::vector<std::pair<Message, std::optional<int>>> out;
+  {
+    std::lock_guard fk(faultMu_);
+    if (!injector_) {
+      out.emplace_back(std::move(msg), dest);
+    } else {
+      FaultInjector& in = *injector_;
+      if (in.crashNow(src)) {
+        std::ostringstream os;
+        os << "fault injection: endpoint p" << src << " crashed (plan allows "
+           << in.plan().crashAfterSends << " sends)";
+        throw FaultAbort(os.str());
+      }
+      const FaultInjector::Outcome o = in.classify(src);
+      msg.arrival += o.extraDelay;
 
-void Fabric::purgeDuplicateLocked(std::uint64_t dupId) {
-  auto drop = [&](std::deque<Message>& q) {
-    for (auto it = q.begin(); it != q.end(); ++it) {
-      if (it->dupId == dupId) {
-        q.erase(it);
-        injector_->stats().suppressedDuplicates += 1;
-        return true;
+      // Never let two same-name messages from one source overtake each
+      // other (MPI's non-overtaking rule): release a held twin-channel
+      // message first.
+      if (in.hasHeld(src) && in.heldName(src) == msg.name) {
+        FaultInjector::Held h = in.takeHeld(src);
+        out.emplace_back(std::move(h.msg), h.dest);
+      }
+      if (!o.drop) {  // on drop: sender paid for it; the fabric lost it
+        std::optional<Message> dup;
+        if (o.duplicate) {
+          msg.dupId = in.newDupId();
+          dup = msg;  // deep copy, including the shared dupId
+        }
+        if (o.hold && !in.hasHeld(src)) {
+          in.hold(src, std::move(msg), dest);
+          if (dup.has_value()) out.emplace_back(std::move(*dup), dest);
+        } else {
+          out.emplace_back(std::move(msg), dest);
+          if (dup.has_value()) out.emplace_back(std::move(*dup), dest);
+          if (in.hasHeld(src)) {
+            // This send releases the previously held message *after* the
+            // new one: the adjacent pair has been reordered.
+            FaultInjector::Held h = in.takeHeld(src);
+            out.emplace_back(std::move(h.msg), h.dest);
+          }
+        }
       }
     }
-    return false;
-  };
-  if (drop(matcherMsgs_)) return;
-  for (auto& ep : eps_)
-    if (drop(ep.unexpected)) return;
+  }
+  for (auto& [m, d] : out) route(std::move(m), d);
 }
 
 void Fabric::sendToSet(int src, const Name& name, TransferKind kind,
@@ -254,46 +381,111 @@ void Fabric::sendToSet(int src, const Name& name, TransferKind kind,
 
 ReceiveId Fabric::postReceive(int pid, const Name& name, TransferKind kind,
                               CompletionFn fn) {
-  std::lock_guard lk(mu_);
-  XDP_CHECK(pid >= 0 && pid < nprocs_, "postReceive: bad pid");
-  auto& ep = eps_[static_cast<std::size_t>(pid)];
-  const ReceiveId id = nextId_++;
-  PendingReceive pr{id, name, kind, std::move(fn), ep.clock};
+  checkPid(pid, "postReceive");
+  Endpoint& e = ep(pid);
+  const ReceiveId id = nextId_.fetch_add(1, std::memory_order_relaxed);
 
-  // A directly-addressed message may already have arrived (physically);
-  // whether it counts as "unexpected" is decided on virtual clocks inside
-  // completeLocked.
-  for (auto it = ep.unexpected.begin(); it != ep.unexpected.end(); ++it) {
-    if (matches(name, kind, it->name, it->kind)) {
-      Message msg = std::move(*it);
-      ep.unexpected.erase(it);
-      completeLocked(ep, pr, std::move(msg));
+  // Phase 1 (endpoint lock): complete from the unexpected queue, or post
+  // the receive so a concurrent direct send can find it.
+  {
+    bool done = false;
+    std::uint64_t purgeId = 0;
+    {
+      std::lock_guard lk(e.mu);
+      PendingReceive pr{id, name, kind, std::move(fn), e.clock};
+      for (auto it = e.unexpected.begin(); it != e.unexpected.end();) {
+        if (!matches(name, kind, it->name, it->kind)) {
+          ++it;
+          continue;
+        }
+        // A directly-addressed message may already have arrived
+        // (physically); whether it counts as "unexpected" is decided on
+        // virtual clocks inside tryCompleteLocked.
+        const std::uint64_t dupId = it->dupId;
+        Message msg = std::move(*it);
+        it = e.unexpected.erase(it);
+        if (tryCompleteLocked(e, pr, std::move(msg))) {
+          done = true;
+          purgeId = dupId;
+          break;
+        }
+        // Suppressed duplicate dropped from the queue; keep scanning.
+      }
+      if (!done) e.pending.push_back(std::move(pr));
+    }
+    if (done) {
+      if (purgeId != 0) purgeDuplicate(purgeId);
       return id;
     }
   }
-  // An unspecified send may be parked at the matchmaker.
-  for (auto it = matcherMsgs_.begin(); it != matcherMsgs_.end(); ++it) {
-    if (matches(name, kind, it->name, it->kind)) {
-      Message msg = std::move(*it);
-      matcherMsgs_.erase(it);
-      completeLocked(ep, pr, std::move(msg));
+
+  // Phase 2 (matcher lock): pair with a parked unspecified send, or
+  // register interest. The pairing decision is serialized by matcherMu_;
+  // completion happens afterwards under the endpoint lock and re-routes
+  // the message if a direct send completed this receive in between.
+  for (;;) {
+    std::optional<Message> paired;
+    {
+      std::lock_guard mk(matcherMu_);
+      for (auto it = matcherMsgs_.begin(); it != matcherMsgs_.end(); ++it) {
+        if (matches(name, kind, it->name, it->kind)) {
+          paired = std::move(*it);
+          matcherMsgs_.erase(it);
+          break;
+        }
+      }
+      if (!paired.has_value()) {
+        matcherRecvs_.push_back(MatcherEntry{id, pid, name, kind});
+        return id;
+      }
+    }
+    const std::uint64_t dupId = paired->dupId;
+    bool completed = false;
+    bool stale = true;
+    {
+      std::lock_guard lk(e.mu);
+      for (auto it = e.pending.begin(); it != e.pending.end(); ++it) {
+        if (it->id != id) continue;
+        stale = false;
+        if (tryCompleteLocked(e, *it, std::move(*paired))) {
+          e.pending.erase(it);
+          completed = true;
+        }
+        // else: suppressed duplicate; the receive stays pending and we
+        // retry the matcher for another parked message.
+        break;
+      }
+    }
+    if (completed) {
+      if (dupId != 0) purgeDuplicate(dupId);
+      return id;
+    }
+    if (stale) {
+      // A direct send completed this receive between phases; the parked
+      // message we took must go back into rendezvous circulation.
+      routeRendezvous(std::move(*paired));
       return id;
     }
   }
-  // Nothing yet: post locally and register interest with the matchmaker.
-  ep.pending.push_back(std::move(pr));
-  matcherRecvs_.push_back(MatcherEntry{id, pid, name, kind});
-  return id;
 }
 
 void Fabric::barrier(int pid) {
+  checkPid(pid, "barrier");
+  // A processor entering a barrier will not send again until released;
+  // anything the injector held back for it must land now.
+  if (faultsActive_.load(std::memory_order_acquire)) {
+    std::optional<FaultInjector::Held> due;
+    {
+      std::lock_guard fk(faultMu_);
+      if (injector_ && injector_->hasHeld(pid)) due = injector_->takeHeld(pid);
+    }
+    if (due.has_value()) route(std::move(due->msg), due->dest);
+  }
   double myClock;
   {
-    std::lock_guard lk(mu_);
-    myClock = eps_[static_cast<std::size_t>(pid)].clock;
-    // A processor entering a barrier will not send again until released;
-    // anything the injector held back for it must land now.
-    if (injector_) flushHeldLocked(pid);
+    Endpoint& e = ep(pid);
+    std::lock_guard lk(e.mu);
+    myClock = e.clock;
   }
   std::unique_lock lk(barrierMu_);
   if (aborted_)
@@ -306,11 +498,12 @@ void Fabric::barrier(int pid) {
     barrierCount_ = 0;
     double release = barrierMax_ + model_.barrierCost;
     barrierMax_ = 0.0;
-    {
-      // Lock order barrierMu_ -> mu_ is taken only here; barrier entrants
-      // never hold mu_ when acquiring barrierMu_, so this cannot deadlock.
-      std::lock_guard g(mu_);
-      for (auto& ep : eps_) ep.clock = std::max(ep.clock, release);
+    // Lock order barrierMu_ -> endpoint is taken only here; barrier
+    // entrants never hold an endpoint lock when acquiring barrierMu_, so
+    // this cannot deadlock.
+    for (auto& e : eps_) {
+      std::lock_guard g(e.mu);
+      e.clock = std::max(e.clock, release);
     }
     ++barrierGen_;
     barrierCv_.notify_all();
@@ -324,110 +517,159 @@ void Fabric::barrier(int pid) {
 }
 
 NetStats Fabric::stats(int pid) const {
-  std::lock_guard lk(mu_);
-  return eps_[static_cast<std::size_t>(pid)].stats;
+  checkPid(pid, "stats");
+  const Endpoint& e = ep(pid);
+  std::lock_guard lk(e.mu);
+  return e.stats;
 }
 
 NetStats Fabric::totalStats() const {
-  std::lock_guard lk(mu_);
   NetStats total;
-  for (const auto& ep : eps_) total += ep.stats;
+  for (const auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    total += e.stats;
+  }
   return total;
 }
 
 void Fabric::resetStats() {
-  std::lock_guard lk(mu_);
-  for (auto& ep : eps_) ep.stats = NetStats{};
+  for (auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    e.stats = NetStats{};
+  }
 }
 
 std::size_t Fabric::undeliveredCount() const {
-  std::lock_guard lk(mu_);
-  std::size_t n = matcherMsgs_.size();
-  for (const auto& ep : eps_) n += ep.unexpected.size();
+  std::size_t n = 0;
+  {
+    std::lock_guard mk(matcherMu_);
+    n += matcherMsgs_.size();
+  }
+  for (const auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    n += e.unexpected.size();
+  }
   return n;
 }
 
 std::size_t Fabric::pendingReceiveCount() const {
-  std::lock_guard lk(mu_);
   std::size_t n = 0;
-  for (const auto& ep : eps_) n += ep.pending.size();
+  for (const auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    n += e.pending.size();
+  }
   return n;
 }
 
 void Fabric::clearMatchState() {
-  std::lock_guard lk(mu_);
-  matcherMsgs_.clear();
-  matcherRecvs_.clear();
-  for (auto& ep : eps_) {
-    ep.unexpected.clear();
-    ep.pending.clear();
+  {
+    std::lock_guard mk(matcherMu_);
+    matcherMsgs_.clear();
+    matcherRecvs_.clear();
   }
-  completedDups_.clear();
+  for (auto& e : eps_) {
+    std::lock_guard lk(e.mu);
+    e.unexpected.clear();
+    e.pending.clear();
+  }
+  {
+    std::lock_guard dk(dupMu_);
+    completedDups_.clear();
+  }
+  std::lock_guard fk(faultMu_);
   if (injector_) injector_->takeAllHeld();  // discard, not deliver
 }
 
 void Fabric::setFaultPlan(const FaultPlan& plan) {
-  std::lock_guard lk(mu_);
-  if (injector_) flushHeldLocked(-1);
-  injector_ = std::make_unique<FaultInjector>(plan, nprocs_);
+  std::vector<FaultInjector::Held> due;
+  {
+    std::lock_guard fk(faultMu_);
+    if (injector_) due = injector_->takeAllHeld();
+    injector_ = std::make_unique<FaultInjector>(plan, nprocs_);
+    dupSuppressedCount_.store(0, std::memory_order_relaxed);
+    faultsActive_.store(true, std::memory_order_release);
+  }
+  for (auto& h : due) route(std::move(h.msg), h.dest);
 }
 
 void Fabric::clearFaultPlan() {
-  std::lock_guard lk(mu_);
-  if (!injector_) return;
-  flushHeldLocked(-1);
-  injector_.reset();
+  std::vector<FaultInjector::Held> due;
+  {
+    std::lock_guard fk(faultMu_);
+    if (!injector_) return;
+    due = injector_->takeAllHeld();
+    injector_.reset();
+    faultsActive_.store(false, std::memory_order_release);
+  }
+  for (auto& h : due) route(std::move(h.msg), h.dest);
 }
 
 bool Fabric::hasFaultPlan() const {
-  std::lock_guard lk(mu_);
+  std::lock_guard fk(faultMu_);
   return injector_ != nullptr;
 }
 
 bool Fabric::faultPlanLossy() const {
-  std::lock_guard lk(mu_);
+  std::lock_guard fk(faultMu_);
   return injector_ != nullptr && injector_->plan().lossy();
 }
 
 FaultStats Fabric::faultStats() const {
-  std::lock_guard lk(mu_);
-  return injector_ ? injector_->stats() : FaultStats{};
+  std::lock_guard fk(faultMu_);
+  if (!injector_) return FaultStats{};
+  FaultStats s = injector_->stats();
+  s.suppressedDuplicates +=
+      dupSuppressedCount_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::size_t Fabric::flushHeldFaults() {
-  std::lock_guard lk(mu_);
-  return flushHeldLocked(-1);
+  std::vector<FaultInjector::Held> due;
+  {
+    std::lock_guard fk(faultMu_);
+    if (injector_) due = injector_->takeAllHeld();
+  }
+  for (auto& h : due) route(std::move(h.msg), h.dest);
+  return due.size();
 }
 
 std::size_t Fabric::heldFaultCount() const {
-  std::lock_guard lk(mu_);
+  std::lock_guard fk(faultMu_);
   return injector_ ? injector_->heldCount() : 0;
 }
 
 FabricSnapshot Fabric::snapshot() const {
   FabricSnapshot snap;
   {
-    std::lock_guard lk(mu_);
-    for (const auto& ep : eps_) {
-      for (const auto& pr : ep.pending) {
-        // Attribute the receive to its endpoint via the matcher registry
-        // when present; endpoints are scanned in pid order anyway.
+    // All endpoint locks at once, ascending pid order, so the pending /
+    // unexpected picture is a single consistent cut across endpoints.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(eps_.size());
+    for (const auto& e : eps_) locks.emplace_back(e.mu);
+    for (std::size_t p = 0; p < eps_.size(); ++p) {
+      const Endpoint& e = eps_[p];
+      for (const auto& pr : e.pending) {
         FabricSnapshot::RecvInfo r;
-        r.pid = static_cast<int>(&ep - eps_.data());
+        r.pid = static_cast<int>(p);
         r.name = pr.name;
         r.kind = pr.kind;
         snap.pendingReceives.push_back(std::move(r));
       }
-      for (const auto& m : ep.unexpected) {
+      for (const auto& m : e.unexpected) {
         snap.undelivered.push_back(FabricSnapshot::MsgInfo{
-            m.src, static_cast<int>(&ep - eps_.data()), m.name, m.kind,
-            m.payload.size()});
+            m.src, static_cast<int>(p), m.name, m.kind, m.payload.size()});
       }
     }
+  }
+  {
+    std::lock_guard mk(matcherMu_);
     for (const auto& m : matcherMsgs_) {
       snap.undelivered.push_back(
           FabricSnapshot::MsgInfo{m.src, -1, m.name, m.kind, m.payload.size()});
     }
+  }
+  {
+    std::lock_guard fk(faultMu_);
     snap.heldFaults = injector_ ? injector_->heldCount() : 0;
   }
   {

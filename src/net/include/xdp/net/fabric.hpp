@@ -19,12 +19,36 @@
 //                 receives outstanding for the *same* name, and each
 //                 matching send is handed to the first waiter in line.
 //
-// Locking: one fabric-wide mutex guards all matching state. Completion
-// callbacks run while it is held and may take the destination symbol
-// table's lock (lock order: fabric -> symtab). Callers must never invoke
-// fabric operations while holding a symbol table lock.
+// Locking: the matching state is sharded so that P endpoints do not
+// serialize on one fabric-wide mutex.
+//
+//   * Each endpoint owns a mutex guarding its virtual clock, its traffic
+//     counters, its posted-but-unmatched receives and its
+//     unexpected-message queue. A direct send touches exactly two
+//     endpoint locks, one at a time: the sender's (accounting) and then
+//     the receiver's (delivery).
+//   * The rendezvous matcher (parked unspecified sends + registered
+//     receive interest) has its own mutex. An endpoint lock and the
+//     matcher lock are NEVER held together; cross-domain matching is a
+//     publish-then-complete protocol (see fabric.cpp, "Rendezvous
+//     protocol") that retries stale interest entries instead of taking
+//     both locks.
+//   * Leaf locks, each taken with at most one endpoint lock held and
+//     never while holding each other: the duplicate-suppression set
+//     (exactly-once bookkeeping for fault-injected duplicates). The fault
+//     injector's mutex and the barrier mutex are taken with no endpoint
+//     or matcher lock held; the barrier *release* path and snapshot()
+//     additionally take endpoint locks (barrier/snapshot -> endpoint,
+//     ascending pid order when more than one is held).
+//   * Completion callbacks run while the destination endpoint's lock is
+//     held and may take the destination symbol table's lock (lock order:
+//     endpoint -> symtab — the pre-shard fabric-state -> symtab order).
+//     Callers must never invoke fabric operations while holding a symbol
+//     table lock, and completion callbacks must never re-enter the
+//     fabric.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,8 +66,11 @@
 
 namespace xdp::net {
 
-/// Traffic counters, kept per endpoint. `read()` is only meaningful once
-/// the SPMD region has joined (or from the endpoint's own thread).
+/// Traffic counters, kept per endpoint. `read()`-style accessors
+/// (`Fabric::stats`, `Fabric::totalStats`) copy a whole endpoint's
+/// counters under that endpoint's lock, so they are safe — and internally
+/// consistent per endpoint — at any time, including mid-run from a
+/// monitoring thread.
 struct NetStats {
   std::uint64_t messagesSent = 0;
   std::uint64_t bytesSent = 0;
@@ -57,8 +84,9 @@ struct NetStats {
   NetStats& operator+=(const NetStats& o);
 };
 
-/// Invoked (under the fabric lock) when a posted receive is matched.
-/// The callback must copy the payload out and update runtime state.
+/// Invoked (under the destination endpoint's lock) when a posted receive
+/// is matched. The callback must copy the payload out and update runtime
+/// state; it must not call back into the fabric.
 using CompletionFn = std::function<void(const Message&)>;
 
 /// Identifies a posted receive, for cancellation of rendezvous interest.
@@ -96,12 +124,16 @@ class Fabric {
   const CostModel& model() const { return model_; }
 
   /// --- virtual time ---------------------------------------------------
+  /// All clock operations validate `pid` and throw UsageError on an
+  /// out-of-range value; they take only that endpoint's lock.
   double clock(int pid) const;
   void advance(int pid, double dt);
   /// clock(pid) = max(clock(pid), t) — used when a processor synchronizes
   /// on a message that arrived at virtual time t.
   void syncClock(int pid, double t);
-  /// Max clock over all endpoints (the modeled makespan).
+  /// Max clock over all endpoints (the modeled makespan). Endpoint locks
+  /// are taken one at a time; call after the region joined for an exact
+  /// figure.
   double makespan() const;
   void resetClocks();
 
@@ -131,6 +163,9 @@ class Fabric {
   void barrier(int pid);
 
   /// --- accounting -----------------------------------------------------
+  /// Safe to call at any time, including concurrently with traffic: each
+  /// endpoint's counters are copied under its own lock, so a mid-run read
+  /// never observes a torn per-endpoint snapshot.
   NetStats stats(int pid) const;
   NetStats totalStats() const;
   void resetStats();
@@ -168,6 +203,10 @@ class Fabric {
 
   /// --- hang diagnostics ------------------------------------------------
 
+  /// Takes every endpoint lock simultaneously, in ascending pid order,
+  /// so the per-endpoint picture (pending receives + unexpected queues)
+  /// is one consistent cut; matcher, injector and barrier state are read
+  /// immediately after under their own locks.
   FabricSnapshot snapshot() const;
   /// Entrants of the current *incomplete* barrier (0 when no barrier is in
   /// progress). Waiters of an already-released barrier do not count.
@@ -189,7 +228,11 @@ class Fabric {
     CompletionFn fn;
     double postClock = 0.0;  ///< receiver's virtual clock at post time
   };
+  /// One simulated processor's mailbox. Everything in it — including the
+  /// virtual clock and the stats — is guarded by `mu`, which is the lock
+  /// completion callbacks run under.
   struct Endpoint {
+    mutable std::mutex mu;
     std::deque<Message> unexpected;      // arrived before a receive posted
     std::deque<PendingReceive> pending;  // posted, not yet matched
     NetStats stats;
@@ -202,31 +245,50 @@ class Fabric {
     TransferKind kind;
   };
 
-  /// Deliver msg at dst: complete a pending receive or park as unexpected.
-  /// Caller holds mu_.
-  void deliverLocked(int dst, Message msg);
+  Endpoint& ep(int pid) { return eps_[static_cast<std::size_t>(pid)]; }
+  const Endpoint& ep(int pid) const {
+    return eps_[static_cast<std::size_t>(pid)];
+  }
+  /// Throws UsageError unless 0 <= pid < nprocs.
+  void checkPid(int pid, const char* what) const;
 
-  /// Route a (possibly fault-processed) message: suppress completed
-  /// duplicates, then deliver directly or via the matcher. Caller holds mu_.
-  void routeLocked(Message msg, std::optional<int> dest);
+  /// Route a message: deliver directly or via the rendezvous matcher.
+  /// No locks held on entry.
+  void route(Message msg, std::optional<int> dest);
+
+  /// Deliver msg at dst: complete a matching pending receive or park as
+  /// unexpected. Takes the dst endpoint lock, then (after releasing it)
+  /// cancels the completed receive's matcher interest, if any.
+  void deliverDirect(int dst, Message msg);
+
+  /// Rendezvous half of route(): hand the message to the first registered
+  /// receive interest with a matching name, retrying entries whose
+  /// receive was concurrently completed by a direct send, or park it at
+  /// the matcher. Never holds an endpoint lock and the matcher lock
+  /// together.
+  void routeRendezvous(Message msg);
+
+  /// Complete `pr` with `msg` under ep.mu (held by the caller), applying
+  /// the unexpected-message penalty when the message's (virtual) arrival
+  /// precedes the receive's (virtual) post time — a deterministic
+  /// criterion independent of real thread scheduling. Returns false —
+  /// completing nothing and consuming neither `pr` nor `msg` — iff `msg`
+  /// is a duplicate whose twin already completed (exactly-once).
+  bool tryCompleteLocked(Endpoint& e, const PendingReceive& pr, Message msg);
+
+  /// True iff this message is a fault-injected duplicate whose twin has
+  /// already completed a receive; counts the suppression. Any-lock-safe
+  /// (takes only dupMu_).
+  bool dupSuppressed(const Message& msg);
+
+  /// Remove the not-yet-completed twin of a completed duplicate from
+  /// every parking queue. No locks held on entry; takes the matcher lock
+  /// and endpoint locks one at a time.
+  void purgeDuplicate(std::uint64_t dupId);
 
   /// The fault-injected send path: crash, drop, duplicate, delay, hold.
-  /// Caller holds mu_; injector_ is non-null.
-  void faultSendLocked(int src, Message msg, std::optional<int> dest);
-
-  /// Release held-back messages (all sources, or just `src` if >= 0).
-  /// Returns the number released. Caller holds mu_.
-  std::size_t flushHeldLocked(int src);
-
-  /// Remove the not-yet-completed twin of a completed duplicate from every
-  /// parking queue. Caller holds mu_.
-  void purgeDuplicateLocked(std::uint64_t dupId);
-
-  /// Complete `pr` with `msg`, applying the unexpected-message penalty
-  /// when the message's (virtual) arrival precedes the receive's (virtual)
-  /// post time — a deterministic criterion independent of real thread
-  /// scheduling. Caller holds mu_.
-  void completeLocked(Endpoint& ep, const PendingReceive& pr, Message msg);
+  /// Decides fates under faultMu_, then routes with no lock held.
+  void faultSend(int src, Message msg, std::optional<int> dest);
 
   static bool matches(const Name& a, TransferKind ka, const Name& b,
                       TransferKind kb);
@@ -234,13 +296,31 @@ class Fabric {
   const int nprocs_;
   const CostModel model_;
 
-  mutable std::mutex mu_;
+  /// Endpoint shards. Sized once in the constructor; never resized, so
+  /// the embedded mutexes stay put.
   std::vector<Endpoint> eps_;
+
+  /// Rendezvous matcher: guards exactly matcherMsgs_ and matcherRecvs_.
+  mutable std::mutex matcherMu_;
   std::deque<Message> matcherMsgs_;        // unspecified sends, unmatched
   std::deque<MatcherEntry> matcherRecvs_;  // receive interest, FCFS
-  ReceiveId nextId_ = 1;
-  std::unique_ptr<FaultInjector> injector_;       // null = no faults
+
+  std::atomic<ReceiveId> nextId_{1};
+
+  /// Exactly-once bookkeeping for fault-injected duplicates. dupMu_ is a
+  /// leaf lock (may be taken under an endpoint lock; takes nothing).
+  mutable std::mutex dupMu_;
   std::unordered_set<std::uint64_t> completedDups_;
+  std::atomic<std::uint64_t> dupSuppressedCount_{0};
+
+  /// Fault injector. faultMu_ guards the injector pointer and all state
+  /// inside it; it is never held while an endpoint or matcher lock is
+  /// taken (fault fates are decided first, messages routed after).
+  /// faultsActive_ mirrors `injector_ != nullptr` so the no-plan send
+  /// path stays a single atomic load.
+  mutable std::mutex faultMu_;
+  std::unique_ptr<FaultInjector> injector_;       // null = no faults
+  std::atomic<bool> faultsActive_{false};
 
   // Reusable barrier.
   mutable std::mutex barrierMu_;

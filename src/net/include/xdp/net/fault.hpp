@@ -80,7 +80,9 @@ struct FaultStats {
 };
 
 /// Per-fabric fault state. All methods are called by the Fabric with its
-/// lock held; the injector itself does no locking.
+/// faultMu_ held (the injector has no lock of its own); the Fabric never
+/// holds faultMu_ while routing, so injector calls never nest inside
+/// endpoint or matcher critical sections.
 class FaultInjector {
  public:
   FaultInjector(FaultPlan plan, int nprocs);

@@ -61,6 +61,12 @@ namespace {
 /// again — and two observations a poll apart agree on every epoch (so no
 /// thread moved in between and the non-atomic multi-lock snapshot is
 /// consistent).
+///
+/// This stays sound with the sharded fabric: delivery is synchronous on
+/// the sending thread (send() returns only after the message completed a
+/// receive or was parked), so when every thread is blocked/finished there
+/// is no message in flight between endpoint shards that could still wake
+/// a blocked await — exactly as with the old fabric-wide lock.
 struct QuiescenceSnapshot {
   std::vector<ProcTable::WaitState> waits;  // by pid
   std::vector<char> finished;               // by pid

@@ -1,6 +1,7 @@
 #include "xdp/sections/triplet.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 
 #include "xdp/support/check.hpp"
@@ -27,12 +28,6 @@ constexpr Index floorDiv(Index a, Index b) {
   Index q = a / b;
   if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
   return q;
-}
-
-/// Euclidean remainder in [0, b).
-constexpr Index mod(Index a, Index b) {
-  Index r = a % b;
-  return r < 0 ? r + b : r;
 }
 
 }  // namespace
@@ -80,25 +75,37 @@ Triplet Triplet::intersect(const Triplet& a, const Triplet& b) {
   Index g = extGcd(a.stride_, b.stride_, x, y);
   Index diff = b.lb_ - a.lb_;
   if (diff % g != 0) return Triplet();  // progressions never meet
-  // One solution: i0 = x * (diff / g); combined stride m = lcm.
-  Index m = a.stride_ / g * b.stride_;
-  // Smallest common element: start from a.lb + i0*a.stride, then shift into
-  // [max(lb), ...] by multiples of m.
-  // Use __int128 to dodge overflow in the intermediate product.
-  __int128 cand128 =
-      static_cast<__int128>(a.lb_) +
-      static_cast<__int128>(x) * (diff / g) * a.stride_;
-  Index lo = std::max(a.lb_, b.lb_);
-  Index hi = std::min(a.ub_, b.ub_);
+  // Everything below runs in __int128: the combined stride m = lcm can
+  // exceed Index width even for representable inputs, and the Bezout
+  // product x * (diff/g) * stride overflows even __int128 unless i0 is
+  // first reduced modulo m / a.stride = b.stride / g (the solution is
+  // only defined mod that anyway).
+  const __int128 sa = a.stride_;
+  const __int128 sb = b.stride_;
+  const __int128 m = sa / g * sb;  // lcm(sa, sb) < 2^126
+  const __int128 q = sb / g;       // = m / sa
+  const __int128 i0 = static_cast<__int128>(x) % q *
+                      ((static_cast<__int128>(diff) / g) % q) % q;
+  const __int128 lo = std::max(a.lb_, b.lb_);
+  const __int128 hi = std::min(a.ub_, b.ub_);
   if (lo > hi) return Triplet();
-  // Reduce cand modulo m into the residue class, then find the first
-  // element >= lo.
-  __int128 rem128 = cand128 % m;
-  Index rem = static_cast<Index>(rem128 < 0 ? rem128 + m : rem128);
-  Index first = lo + mod(rem - lo, m);
+  // cand is one common element (|i0| < q keeps |i0*sa| < m); shift its
+  // residue class mod m to the first element >= lo.
+  const __int128 cand = static_cast<__int128>(a.lb_) + i0 * sa;
+  __int128 off = (cand - lo) % m;
+  if (off < 0) off += m;
+  const __int128 first = lo + off;
   if (first > hi) return Triplet();
-  Index last = first + floorDiv(hi - first, m) * m;
-  return Triplet(first, last, m);
+  const __int128 last = first + (hi - first) / m * m;
+  if (first == last)
+    return Triplet(static_cast<Index>(first), static_cast<Index>(first));
+  // Two or more common elements with their gap wider than Index only
+  // happens for ranges spanning more than 2^63; such a triplet has no
+  // representation, so reject it rather than return a corrupt one.
+  XDP_CHECK(m <= std::numeric_limits<Index>::max(),
+            "triplet intersection stride exceeds Index range");
+  return Triplet(static_cast<Index>(first), static_cast<Index>(last),
+                 static_cast<Index>(m));
 }
 
 std::vector<Triplet> Triplet::subtract(const Triplet& a, const Triplet& b) {

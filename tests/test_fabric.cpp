@@ -9,6 +9,7 @@
 
 #include "xdp/net/fabric.hpp"
 #include "xdp/net/spmd.hpp"
+#include "xdp/support/check.hpp"
 
 namespace xdp::net {
 namespace {
@@ -269,6 +270,35 @@ TEST(Fabric, ConcurrentSendsAndReceivesDontLoseMessages) {
   EXPECT_EQ(received, 4 * kPer);
   EXPECT_EQ(f.undeliveredCount(), 0u);
   EXPECT_EQ(f.pendingReceiveCount(), 0u);
+}
+
+// Regression: these used to index eps_[pid] unchecked, so a bad pid was
+// silent UB. Every pid-taking operation must reject it loudly instead.
+TEST(Fabric, OutOfRangePidThrowsUsageError) {
+  Fabric f(2);
+  EXPECT_THROW(f.clock(-1), UsageError);
+  EXPECT_THROW(f.clock(2), UsageError);
+  EXPECT_THROW(f.advance(-1, 1.0), UsageError);
+  EXPECT_THROW(f.advance(2, 1.0), UsageError);
+  EXPECT_THROW(f.syncClock(-1, 1.0), UsageError);
+  EXPECT_THROW(f.syncClock(2, 1.0), UsageError);
+  EXPECT_THROW(f.stats(-1), UsageError);
+  EXPECT_THROW(f.stats(2), UsageError);
+  EXPECT_THROW(f.barrier(-1), UsageError);
+  EXPECT_THROW(
+      f.send(-1, name(1, 0, 0), TransferKind::Data, bytes({1}), std::nullopt),
+      UsageError);
+  EXPECT_THROW(f.send(0, name(1, 0, 0), TransferKind::Data, bytes({1}), 2),
+               UsageError);
+  EXPECT_THROW(
+      f.postReceive(2, name(1, 0, 0), TransferKind::Data, [](const Message&) {}),
+      UsageError);
+  // The fabric must be unharmed: a full exchange still works.
+  f.send(0, name(1, 0, 0), TransferKind::Data, bytes({7}), 1);
+  int got = -1;
+  f.postReceive(1, name(1, 0, 0), TransferKind::Data,
+                [&](const Message& m) { got = static_cast<int>(m.payload[0]); });
+  EXPECT_EQ(got, 7);
 }
 
 TEST(Fabric, ClearMatchStateDropsEverything) {

@@ -150,5 +150,79 @@ TEST_P(SectionAlgebra, SegmentationIsAPartitionUnderRandomShapes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SectionAlgebra,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
 
+// --- near-INT64_MAX strides --------------------------------------------
+// Regression for the lcm overflow: intersect() used to compute the
+// combined stride a.stride/g * b.stride in Index width, so strides in the
+// 1e18 range produced a negative/garbage stride instead of the right
+// (often single-element or empty) result.
+
+TEST(SectionLargeStride, LcmOverflowsIndexButResultIsExact) {
+  const Index e18 = 1000000000000000000;  // 1e18
+  // a = {0, 3e18, 6e18, 9e18}, b = {0, 4e18, 8e18}; lcm = 12e18 > 2^63-1,
+  // so the only common element in range is 0.
+  Triplet a(0, 9 * e18, 3 * e18);
+  Triplet b(0, 8 * e18, 4 * e18);
+  EXPECT_EQ(Triplet::intersect(a, b), Triplet(0, 0));
+  EXPECT_EQ(Triplet::intersect(b, a), Triplet(0, 0));
+}
+
+TEST(SectionLargeStride, LargeLcmWithOffsetOrigins) {
+  const Index e18 = 1000000000000000000;
+  // Same huge lcm, origins shifted so the common element is not 0:
+  // a = 5 + {0, 3e18, 6e18, 9e18}, b = 5 + {0, 4e18, 8e18}.
+  Triplet a(5, 5 + 9 * e18, 3 * e18);
+  Triplet b(5, 5 + 8 * e18, 4 * e18);
+  EXPECT_EQ(Triplet::intersect(a, b), Triplet(5, 5));
+}
+
+TEST(SectionLargeStride, DisjointResiduesWithHugeStrides) {
+  const Index e18 = 1000000000000000000;
+  // gcd(3e18, 4e18) = 1e18 does not divide the origin gap of 1, so the
+  // progressions never meet; the old code could fabricate an element.
+  Triplet a(0, 9 * e18, 3 * e18);
+  Triplet b(1, 1 + 8 * e18, 4 * e18);
+  EXPECT_TRUE(Triplet::intersect(a, b).empty());
+}
+
+TEST(SectionLargeStride, HugeEqualStridesStayExact) {
+  const Index big = 4000000000000000000;  // 4e18
+  Triplet a(-big, big, big);  // {-4e18, 0, 4e18}
+  Triplet b(0, big, big);     // {0, 4e18}
+  EXPECT_EQ(Triplet::intersect(a, b), Triplet(0, big, big));
+}
+
+TEST(SectionLargeStride, NegativeOriginHugeLcm) {
+  const Index e18 = 1000000000000000000;
+  // a = {-4e18, 0, 4e18}, b = {-4e18, 2e18}; lcm(4e18, 6e18) = 12e18
+  // overflows Index, so the only common element is -4e18.
+  Triplet a(-4 * e18, 4 * e18, 4 * e18);
+  Triplet b(-4 * e18, 2 * e18, 6 * e18);
+  EXPECT_EQ(Triplet::intersect(a, b), Triplet(-4 * e18, -4 * e18));
+}
+
+TEST(SectionLargeStride, BruteForceAgreementWithBigStrideBase) {
+  // Property sweep where both strides are huge multiples of a common
+  // base: enumerate both sides (element counts stay tiny) and compare
+  // against the closed-form intersection.
+  Rng rng(777);
+  const Index base = 250000000000000000;  // 2.5e17
+  for (int iter = 0; iter < 200; ++iter) {
+    const Index sa = base * rng.range(1, 8);
+    const Index sb = base * rng.range(1, 8);
+    const Index la = base * rng.range(-3, 3);
+    const Index lb = base * rng.range(-3, 3);
+    Triplet a(la, la + sa * rng.range(0, 3), sa);
+    Triplet b(lb, lb + sb * rng.range(0, 3), sb);
+    std::set<Index> expect;
+    for (Index i = 0; i < a.count(); ++i)
+      for (Index j = 0; j < b.count(); ++j)
+        if (a.at(i) == b.at(j)) expect.insert(a.at(i));
+    Triplet got = Triplet::intersect(a, b);
+    std::set<Index> actual;
+    for (Index k = 0; k < got.count(); ++k) actual.insert(got.at(k));
+    EXPECT_EQ(actual, expect) << a << " ∩ " << b;
+  }
+}
+
 }  // namespace
 }  // namespace xdp::sec

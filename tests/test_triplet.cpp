@@ -173,5 +173,72 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TripletProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 11, 42, 99, 1234,
                                            987654321));
 
+// --- direct edge-case coverage (not just via property sweeps) ------------
+
+TEST(TripletEdge, DescendingEmptyWhenFirstBelowLast) {
+  EXPECT_TRUE(Triplet::descending(1, 9, -3).empty());
+  EXPECT_TRUE(Triplet::descending(-5, -1, -1).empty());
+  EXPECT_TRUE(Triplet::descending(0, 1, -7).empty());
+}
+
+TEST(TripletEdge, DescendingSingleElement) {
+  // first == last, and first > last with a stride overshooting last.
+  EXPECT_EQ(Triplet::descending(4, 4, -2), Triplet(4, 4));
+  EXPECT_EQ(Triplet::descending(5, 3, -9), Triplet(5, 5));
+}
+
+TEST(TripletEdge, DescendingNegativeBounds) {
+  // {-2, -5, -8} as an ascending set.
+  EXPECT_EQ(Triplet::descending(-2, -8, -3), Triplet(-8, -2, 3));
+  // Last not hit exactly: {-1, -4} (next would be -7 < -6).
+  EXPECT_EQ(Triplet::descending(-1, -6, -3), Triplet(-4, -1, 3));
+  // Straddling zero: {3, 0, -3, -6}.
+  EXPECT_EQ(Triplet::descending(3, -6, -3), Triplet(-6, 3, 3));
+}
+
+TEST(TripletEdge, CanonicalizeResetsStrideWhenSingle) {
+  // lb == ub directly.
+  EXPECT_EQ(Triplet(7, 7, 5).stride(), 1);
+  // ub snaps down to lb: 3:6:17 == {3}.
+  Triplet t(3, 6, 17);
+  EXPECT_EQ(t.ub(), 3);
+  EXPECT_EQ(t.stride(), 1);
+  EXPECT_EQ(t.count(), 1);
+}
+
+TEST(TripletEdge, CanonicalizeSnapsUbOntoTheProgression) {
+  Triplet t(2, 11, 4);  // {2, 6, 10}
+  EXPECT_EQ(t.ub(), 10);
+  EXPECT_EQ(t.count(), 3);
+}
+
+TEST(TripletEdge, CanonicalizeNegativeBoundsUseFloorSemantics) {
+  // {-7, -3, 1}: (ub - lb)/stride on negatives must not truncate upward.
+  Triplet t(-7, 3, 4);
+  EXPECT_EQ(t.ub(), 1);
+  EXPECT_EQ(t.count(), 3);
+  EXPECT_EQ(t.at(0), -7);
+  EXPECT_EQ(t.at(2), 1);
+  // Entirely negative range with a coarse stride: {-9, -4}.
+  Triplet u(-9, -1, 5);
+  EXPECT_EQ(u.ub(), -4);
+  EXPECT_EQ(u.count(), 2);
+}
+
+TEST(TripletEdge, EmptyFromInvertedBoundsIsCanonicalEmpty) {
+  Triplet t(5, -5, 3);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t, Triplet());
+  EXPECT_EQ(t.count(), 0);
+}
+
+TEST(TripletEdge, SubtractWithNegativeBoundsAndStride) {
+  // a = {-8, -5, -2, 1, 4}, b = {-5, 1} => a \ b = {-8, -2, 4}.
+  Triplet a(-8, 4, 3);
+  Triplet b(-5, 1, 6);
+  EXPECT_EQ(elems(Triplet::subtract(a, b)),
+            (std::set<Index>{-8, -2, 4}));
+}
+
 }  // namespace
 }  // namespace xdp::sec
