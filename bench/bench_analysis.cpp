@@ -1,0 +1,63 @@
+// Throughput of the static verifier (analysis::verifyProgram): abstract
+// statements per second over the section 2.2 vector-add program at growing
+// sizes, raw and after lowering (the lowered form has ~6x the statements
+// plus the send/receive matching work). The verifier runs once per
+// processor, so stmts/sec is the end-to-end figure a compile would see.
+//
+// Reported counters (per run):
+//   stmts       abstract statements interpreted across all processors
+//   stmts/s     verification throughput
+//   diags       diagnostics produced (0 on these programs)
+#include <benchmark/benchmark.h>
+
+#include "xdp/analysis/verifier.hpp"
+#include "xdp/apps/programs.hpp"
+#include "xdp/opt/passes.hpp"
+
+using namespace xdp;
+
+namespace {
+
+void runVerify(benchmark::State& state, const il::Program& prog) {
+  std::uint64_t stmts = 0;
+  std::size_t diags = 0;
+  for (auto _ : state) {
+    analysis::VerifyResult r = analysis::verifyProgram(prog);
+    benchmark::DoNotOptimize(r);
+    stmts += r.stmtsAnalyzed;
+    diags += r.diagnostics.size();
+  }
+  state.counters["stmts"] =
+      benchmark::Counter(static_cast<double>(stmts) /
+                         static_cast<double>(state.iterations()));
+  state.counters["stmts/s"] = benchmark::Counter(
+      static_cast<double>(stmts), benchmark::Counter::kIsRate);
+  state.counters["diags"] = benchmark::Counter(
+      static_cast<double>(diags) / static_cast<double>(state.iterations()));
+}
+
+void BM_VerifyVecAddRaw(benchmark::State& state) {
+  apps::VecAddConfig cfg =
+      apps::vecAddMisaligned(state.range(0), 4);
+  il::Program prog = apps::buildVecAdd(cfg);
+  runVerify(state, prog);
+}
+BENCHMARK(BM_VerifyVecAddRaw)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VerifyVecAddLowered(benchmark::State& state) {
+  apps::VecAddConfig cfg =
+      apps::vecAddMisaligned(state.range(0), 4);
+  il::Program prog = opt::lowerOwnerComputes(apps::buildVecAdd(cfg));
+  runVerify(state, prog);
+}
+BENCHMARK(BM_VerifyVecAddLowered)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VerifyFft3dStage1(benchmark::State& state) {
+  apps::Fft3dConfig cfg;
+  cfg.n = state.range(0);
+  il::Program prog = apps::buildFft3dStage1(cfg);
+  runVerify(state, prog);
+}
+BENCHMARK(BM_VerifyFft3dStage1)->Arg(8)->Arg(16);
+
+}  // namespace

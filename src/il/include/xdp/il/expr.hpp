@@ -28,6 +28,17 @@ using ExprPtr = std::shared_ptr<const Expr>;
 struct SectionExpr;
 using SectionExprPtr = std::shared_ptr<const SectionExpr>;
 
+/// Source position of a node in the textual dialect. Parser-produced nodes
+/// carry their defining token's position; builder-made nodes keep line 0
+/// (= unknown). Functional rewrites clone nodes wholesale, so locations
+/// survive the optimization pipeline and diagnostics on transformed
+/// programs still point at the originating source line.
+struct SrcLoc {
+  int line = 0;
+  int col = 0;
+  bool valid() const { return line > 0; }
+};
+
 enum class BinOp {
   Add, Sub, Mul, Div, Mod,
   Lt, Le, Gt, Ge, Eq, Ne,
@@ -70,6 +81,8 @@ struct Expr {
   int sym = -1;               // Elem + intrinsics: symbol index
   SectionExprPtr section;     // Elem (single point) + intrinsics (query)
   int dim = 0;                // MyLb / MyUb
+
+  SrcLoc loc;                 // not part of structural equality
 };
 
 // --- factories -----------------------------------------------------------

@@ -85,6 +85,9 @@ struct Stmt {
   ExprPtr bindHint;
 
   std::vector<std::pair<int, SectionExprPtr>> args;  // Kernel arguments
+
+  SrcLoc loc;                  // source position (see expr.hpp); line 0 =
+                               // unknown (builder-constructed statement)
 };
 
 // --- factories -----------------------------------------------------------

@@ -318,7 +318,23 @@ class Parser {
 
   // --- statements -------------------------------------------------------
 
+  /// Clone `node` with the given source position unless it already has one
+  /// (nested parse calls stamp their own nodes first).
+  template <typename T>
+  static std::shared_ptr<const T> stamped(std::shared_ptr<const T> node,
+                                          int line, int col) {
+    if (!node || node->loc.valid()) return node;
+    auto c = std::make_shared<T>(*node);
+    c->loc = SrcLoc{line, col};
+    return c;
+  }
+
   StmtPtr parseStmt() {
+    const int line = lex_.peek().line, col = lex_.peek().col;
+    return stamped(parseStmtUnstamped(), line, col);
+  }
+
+  StmtPtr parseStmtUnstamped() {
     const Token& t = lex_.peek();
     if (t.kind == Tok::Ident) {
       if (t.text == "do") return parseDo();
@@ -539,7 +555,10 @@ class Parser {
 
   // --- expressions ---------------------------------------------------------
 
-  ExprPtr parseExpr() { return parseExprContinuation(parseUnary(), 0); }
+  ExprPtr parseExpr() {
+    const int line = lex_.peek().line, col = lex_.peek().col;
+    return stamped(parseExprContinuation(parseUnary(), 0), line, col);
+  }
 
   ExprPtr parseExprContinuation(ExprPtr lhs, int minPrec = 0) {
     while (true) {
@@ -581,6 +600,11 @@ class Parser {
   }
 
   ExprPtr parseUnary() {
+    const int line = lex_.peek().line, col = lex_.peek().col;
+    return stamped(parseUnaryUnstamped(), line, col);
+  }
+
+  ExprPtr parseUnaryUnstamped() {
     if (lex_.peek().kind == Tok::Minus) {
       lex_.take();
       return neg(parseUnary());

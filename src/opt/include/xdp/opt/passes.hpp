@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "xdp/il/program.hpp"
+#include "xdp/support/check.hpp"
 
 namespace xdp::opt {
 
@@ -101,10 +102,36 @@ struct Pass {
 /// paper applies them in section 2.2.
 std::vector<Pass> standardPipeline();
 
+/// Thrown by PassManager::run in verifyEachPass mode when a pass's output
+/// has Figure-1 violations (analysis::verifyProgram errors) that its input
+/// did not have — i.e. the pass itself broke the program.
+class PassVerifyError : public XdpError {
+ public:
+  PassVerifyError(std::string passName, std::string report)
+      : XdpError("pass '" + passName +
+                 "' introduced section-state violations:\n" + report),
+        passName_(std::move(passName)),
+        report_(std::move(report)) {}
+
+  const std::string& passName() const { return passName_; }
+  /// The formatted diagnostics the pass introduced, one per line.
+  const std::string& report() const { return report_; }
+
+ private:
+  std::string passName_;
+  std::string report_;
+};
+
 class PassManager {
  public:
   PassManager& add(std::string name, PassFn fn);
   PassManager& add(const Pass& pass);
+
+  /// Run the static verifier (analysis::verifyProgram) on the output of
+  /// every pass and throw PassVerifyError on the first pass whose output
+  /// has verifier errors its input lacked. Pre-existing errors are not
+  /// blamed on the passes (the input program's author owns those).
+  PassManager& verifyEachPass(bool on = true);
 
   /// Apply all passes in order. If `trace` is non-null, the program is
   /// pretty-printed into it before the first pass and after each pass.
@@ -112,6 +139,7 @@ class PassManager {
 
  private:
   std::vector<Pass> passes_;
+  bool verify_ = false;
 };
 
 }  // namespace xdp::opt

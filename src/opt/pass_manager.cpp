@@ -1,8 +1,26 @@
+#include <set>
+
+#include "xdp/analysis/verifier.hpp"
 #include "xdp/il/printer.hpp"
 #include "xdp/opt/passes.hpp"
 #include "xdp/support/check.hpp"
 
 namespace xdp::opt {
+
+namespace {
+
+/// Stable identities of a program's verifier *errors*, for before/after
+/// comparison across a pass (statement pointers change; kind+message text
+/// identifies the violation).
+std::set<std::string> errorKeys(const analysis::VerifyResult& r) {
+  std::set<std::string> keys;
+  for (const analysis::Diagnostic& d : r.diagnostics)
+    if (d.severity == analysis::Severity::Error)
+      keys.insert(std::string(analysis::kindName(d.kind)) + "#" + d.message);
+  return keys;
+}
+
+}  // namespace
 
 PassManager& PassManager::add(std::string name, PassFn fn) {
   passes_.push_back(Pass{std::move(name), std::move(fn)});
@@ -14,6 +32,11 @@ PassManager& PassManager::add(const Pass& pass) {
   return *this;
 }
 
+PassManager& PassManager::verifyEachPass(bool on) {
+  verify_ = on;
+  return *this;
+}
+
 il::Program PassManager::run(const il::Program& prog,
                              std::string* trace) const {
   il::Program cur = prog;
@@ -21,12 +44,27 @@ il::Program PassManager::run(const il::Program& prog,
     *trace += "=== input ===\n";
     *trace += il::printProgram(cur);
   }
+  std::set<std::string> baseline;
+  if (verify_) baseline = errorKeys(analysis::verifyProgram(cur));
   for (const Pass& p : passes_) {
     cur = p.fn(cur);
     XDP_CHECK(cur.body != nullptr, "pass '" + p.name + "' dropped the body");
     if (trace) {
       *trace += "=== after " + p.name + " ===\n";
       *trace += il::printProgram(cur);
+    }
+    if (verify_) {
+      analysis::VerifyResult r = analysis::verifyProgram(cur);
+      std::string fresh;
+      for (const analysis::Diagnostic& d : r.diagnostics) {
+        if (d.severity != analysis::Severity::Error) continue;
+        std::string key =
+            std::string(analysis::kindName(d.kind)) + "#" + d.message;
+        if (baseline.count(key)) continue;
+        fresh += analysis::formatDiagnostic(cur, d);
+        fresh += '\n';
+      }
+      if (!fresh.empty()) throw PassVerifyError(p.name, fresh);
     }
   }
   return cur;

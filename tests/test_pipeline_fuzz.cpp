@@ -2,10 +2,14 @@
 // (random distributions, random affine-rhs expressions over several
 // arrays) are lowered and pushed through randomized pass orderings; every
 // variant must compute exactly the result of direct sequential evaluation.
+// The static verifier rides along as a second oracle: every stage that
+// executes correctly must also verify with zero errors, so a verifier
+// false positive (or a pass bug the runtime masks) fails here.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "xdp/analysis/verifier.hpp"
 #include "xdp/apps/programs.hpp"
 #include "xdp/il/printer.hpp"
 #include "xdp/opt/passes.hpp"
@@ -106,6 +110,10 @@ double expectedAt(const FuzzCase& fc, Index i) {
 
 void runAndCheck(const il::Program& prog, const FuzzCase& fc,
                  const char* stage) {
+  analysis::VerifyResult vr = analysis::verifyProgram(prog);
+  EXPECT_EQ(vr.errors(), 0u)
+      << stage << " seed " << fc.seed << ": verifier false positive\n"
+      << analysis::formatDiagnostics(prog, vr) << il::printProgram(prog);
   rt::RuntimeOptions opts;
   opts.debugChecks = true;
   Interpreter in(prog, opts);

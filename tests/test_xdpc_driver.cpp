@@ -1,0 +1,155 @@
+// End-to-end tests of the xdpc driver's exit-code contract and diagnostic
+// formatting: 0 = success, 1 = diagnostics or a compile/run failure,
+// 2 = usage error (bad flag, unknown pass, missing file operand). Runs the
+// real binary (XDPC_PATH) against the shipped programs and against seeded
+// defect programs written to a temp directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult runXdpc(const std::string& args) {
+  std::string cmd = std::string(XDPC_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunResult r;
+  char buf[4096];
+  while (pipe && std::fgets(buf, sizeof buf, pipe)) r.output += buf;
+  if (pipe) {
+    int status = pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return r;
+}
+
+std::string programPath(const std::string& name) {
+  return std::string(XDP_PROGRAMS_DIR) + "/" + name;
+}
+
+std::string writeTemp(const std::string& name, const std::string& text) {
+  std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(XdpcDriver, CleanProgramAnalyzesWithExitZero) {
+  RunResult r = runXdpc(programPath("vecadd.xdp") + " --analyze");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("0 errors"), std::string::npos) << r.output;
+}
+
+TEST(XdpcDriver, AnalyzeComposesWithThePipeline) {
+  RunResult r =
+      runXdpc(programPath("jacobi.xdp") + " --pipeline --analyze");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST(XdpcDriver, VerifyPassesExitsZeroOnCleanPrograms) {
+  RunResult r =
+      runXdpc(programPath("cannon.xdp") + " --pipeline --verify-passes");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("no introduced violations"), std::string::npos)
+      << r.output;
+}
+
+TEST(XdpcDriver, DefectiveProgramExitsOneWithFileLineDiagnostic) {
+  std::string path = writeTemp("xdpc_defect.xdp",
+                               "procs 2\n"
+                               "array A f64 [1:8] (BLOCK)\n"
+                               "\n"
+                               "fill(A[1:8])\n"
+                               "(mypid == 0) : { A[1:4] -> {1} }\n");
+  RunResult r = runXdpc(path + " --analyze");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find(path + ":5:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("unmatched-send"), std::string::npos) << r.output;
+}
+
+TEST(XdpcDriver, EachDiagnosticClassReportsItsKind) {
+  struct Case {
+    const char* kind;
+    const char* body;
+  };
+  const Case cases[] = {
+      {"unmatched-send", "(mypid == 0) : { A[1:4] -> {1} }\n"},
+      {"orphan-recv", "(mypid == 1) : { B[5:8] <- A[1:4]\nawait(B[5:8]) }\n"},
+      {"send-unowned",
+       "(mypid == 0) : { A[5:8] -> {1} }\n"
+       "(mypid == 1) : { B[5:8] <- A[5:8]\nawait(B[5:8]) }\n"},
+      {"double-ownership",
+       "(mypid == 0) : { A[1:4] => {1}\nA[1:4] => {1} }\n"
+       "(mypid == 1) : { A[1:4] <= }\n"},
+      {"not-accessible",
+       "(mypid == 0) : { A[1:4] -> {1} }\n"
+       "(mypid == 1) : { B[5:8] <- A[1:4]\nx = B[6]\nawait(B[5:8]) }\n"},
+      {"transfer-mismatch",
+       "(mypid == 0) : { A[1:4] -> {1} }\n"
+       "(mypid == 1) : { B[5:6] <- A[1:4]\nawait(B[5:6]) }\n"},
+  };
+  for (const Case& c : cases) {
+    std::string src = std::string("procs 2\n") +
+                      "array A f64 [1:8] (BLOCK)\n" +
+                      "array B f64 [1:8] (BLOCK)\n\n" +
+                      "fill(A[1:8], B[1:8])\n" + c.body;
+    std::string path =
+        writeTemp(std::string("xdpc_") + c.kind + ".xdp", src);
+    RunResult r = runXdpc(path + " --analyze");
+    EXPECT_EQ(r.exitCode, 1) << c.kind << "\n" << r.output;
+    EXPECT_NE(r.output.find(c.kind), std::string::npos)
+        << c.kind << "\n" << r.output;
+    EXPECT_NE(r.output.find(path + ":"), std::string::npos)
+        << c.kind << "\n" << r.output;
+  }
+}
+
+TEST(XdpcDriver, AwaitMismatchWarnsWithoutFailing) {
+  std::string path = writeTemp("xdpc_await.xdp",
+                               "procs 2\n"
+                               "array A f64 [1:8] (BLOCK)\n"
+                               "array B f64 [1:8] (BLOCK)\n\n"
+                               "fill(A[1:8], B[1:8])\n"
+                               "(mypid == 0) : { A[1:4] -> {1} }\n"
+                               "(mypid == 1) : {\n"
+                               "await(B[5:8])\n"
+                               "B[5:8] <- A[1:4]\n"
+                               "}\n");
+  RunResult r = runXdpc(path + " --analyze");
+  EXPECT_EQ(r.exitCode, 0) << r.output;  // warnings do not fail the build
+  EXPECT_NE(r.output.find("await-mismatch"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("warning:"), std::string::npos) << r.output;
+}
+
+TEST(XdpcDriver, UsageErrorsExitTwo) {
+  EXPECT_EQ(runXdpc("").exitCode, 2);
+  EXPECT_EQ(runXdpc("--analyze").exitCode, 2);  // no file operand
+  EXPECT_EQ(runXdpc(programPath("vecadd.xdp") + " --no-such-flag").exitCode,
+            2);
+  EXPECT_EQ(runXdpc(programPath("vecadd.xdp") + " --passes no-such-pass")
+                .exitCode,
+            2);
+}
+
+TEST(XdpcDriver, MissingFileExitsOne) {
+  RunResult r = runXdpc("/nonexistent/nope.xdp --analyze");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+}
+
+TEST(XdpcDriver, ParseErrorExitsOne) {
+  std::string path = writeTemp("xdpc_bad.xdp", "procs procs procs\n");
+  RunResult r = runXdpc(path + " --print");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+}
+
+}  // namespace

@@ -5,12 +5,17 @@
 // on the simulated SPMD machine.
 //
 //   xdpc prog.xdp --print                        # parse + pretty-print
+//   xdpc prog.xdp --analyze                      # static Figure-1 verifier
 //   xdpc prog.xdp --pipeline --print             # the standard pipeline
+//   xdpc prog.xdp --pipeline --verify-passes     # re-verify after each pass
 //   xdpc prog.xdp --passes lower-owner-computes,comm-binding --run
 //   xdpc prog.xdp --pipeline --run --trace       # per-pass program dumps
 //
 // --run registers the built-in kernels ("fill" with --seed, "fft1d") and
 // reports traffic and modeled-time statistics after the SPMD region.
+//
+// Exit codes: 0 = success, 1 = diagnostics reported or a compile/run
+// failure, 2 = usage error (bad flag, unknown pass, missing file).
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -18,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "xdp/analysis/verifier.hpp"
 #include "xdp/apps/fft.hpp"
 #include "xdp/apps/programs.hpp"
 #include "xdp/il/parser.hpp"
@@ -52,6 +58,13 @@ int usage(const char* argv0) {
                "  --pipeline         apply the standard pass pipeline\n"
                "  --passes a,b,c     apply the named passes in order\n"
                "  --list-passes      list available passes\n"
+               "  --analyze          statically verify the Figure-1 section-\n"
+               "                     state rules (after any passes applied);\n"
+               "                     exit 1 if errors are found\n"
+               "  --verify-passes    re-run the verifier after every pass and\n"
+               "                     fail on the pass that introduces a\n"
+               "                     violation (implies --pipeline if no\n"
+               "                     passes are named)\n"
                "  --run              execute on the simulated machine\n"
                "  --debug-checks     enforce the Figure-1 usage rules\n"
                "  --seed N           fill-kernel seed (default 42)\n"
@@ -66,7 +79,7 @@ int main(int argc, char** argv) {
   std::string file;
   std::vector<std::string> passNames;
   bool print = false, parseable = false, run = false, trace = false;
-  bool debugChecks = false;
+  bool debugChecks = false, analyze = false, verifyPasses = false;
   std::uint64_t seed = 42;
 
   auto reg = passRegistry();
@@ -77,6 +90,8 @@ int main(int argc, char** argv) {
     else if (arg == "--run") run = true;
     else if (arg == "--trace") trace = true;
     else if (arg == "--debug-checks") debugChecks = true;
+    else if (arg == "--analyze") analyze = true;
+    else if (arg == "--verify-passes") verifyPasses = true;
     else if (arg == "--pipeline") {
       for (const auto& p : opt::standardPipeline()) passNames.push_back(p.name);
     } else if (arg == "--passes") {
@@ -98,6 +113,16 @@ int main(int argc, char** argv) {
     }
   }
   if (file.empty()) return usage(argv[0]);
+  if (verifyPasses && passNames.empty()) {
+    for (const auto& p : opt::standardPipeline()) passNames.push_back(p.name);
+  }
+  for (const std::string& name : passNames) {
+    if (!reg.count(name)) {
+      std::fprintf(stderr, "xdpc: unknown pass '%s' (see --list-passes)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
 
   std::ifstream in(file);
   if (!in) {
@@ -109,18 +134,33 @@ int main(int argc, char** argv) {
 
   try {
     il::Program prog = il::parseProgram(buf.str());
-    for (const std::string& name : passNames) {
-      auto it = reg.find(name);
-      if (it == reg.end()) {
-        std::fprintf(stderr, "xdpc: unknown pass '%s' (see --list-passes)\n",
-                     name.c_str());
+    if (!passNames.empty()) {
+      opt::PassManager pm;
+      for (const std::string& name : passNames) pm.add(name, reg.at(name));
+      pm.verifyEachPass(verifyPasses);
+      std::string traceStr;
+      try {
+        prog = pm.run(prog, trace ? &traceStr : nullptr);
+      } catch (const opt::PassVerifyError& e) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(), e.what());
         return 1;
       }
-      prog = it->second(prog);
-      if (trace) {
-        std::printf("=== after %s ===\n%s\n", name.c_str(),
-                    il::printProgram(prog).c_str());
+      if (trace) std::printf("%s", traceStr.c_str());
+      if (verifyPasses) {
+        std::printf("xdpc: %zu passes verified: no introduced violations\n",
+                    passNames.size());
       }
+    }
+    if (analyze) {
+      analysis::VerifyResult r = analysis::verifyProgram(prog);
+      std::string report = analysis::formatDiagnostics(prog, r, file);
+      if (!report.empty()) std::fprintf(stderr, "%s", report.c_str());
+      std::printf("xdpc: analyzed %llu abstract statements: %zu errors, "
+                  "%zu warnings%s\n",
+                  static_cast<unsigned long long>(r.stmtsAnalyzed),
+                  r.errors(), r.count(analysis::Severity::Warning),
+                  r.exhaustive ? "" : " (not exhaustive)");
+      if (r.errors() > 0) return 1;
     }
     if (print && !trace) {
       il::PrintOptions po;
