@@ -1,0 +1,51 @@
+// Shared entry point for every XDP benchmark binary. Replaces
+// benchmark::benchmark_main so each run emits machine-readable results —
+// name, args/config, repetitions, ns/op, and rate counters — to
+// BENCH_<exe>.json alongside the usual console table. The JSON lands in
+// the working directory unless XDP_BENCH_JSON_DIR points elsewhere, so
+// before/after comparisons are a `diff`/`jq` away. An explicit
+// --benchmark_out on the command line wins over the default path.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string exeBaseName(const char* argv0) {
+  std::string s = argv0 ? argv0 : "bench";
+  const auto pos = s.find_last_of("/\\");
+  if (pos != std::string::npos) s = s.substr(pos + 1);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool haveOut = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) haveOut = true;
+
+  const char* dir = std::getenv("XDP_BENCH_JSON_DIR");
+  const std::string outFlag =
+      "--benchmark_out=" +
+      (dir && *dir ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+      exeBaseName(argc > 0 ? argv[0] : nullptr) + ".json";
+  const std::string fmtFlag = "--benchmark_out_format=json";
+
+  std::vector<char*> args(argv, argv + argc);
+  if (!haveOut) {
+    args.push_back(const_cast<char*>(outFlag.c_str()));
+    args.push_back(const_cast<char*>(fmtFlag.c_str()));
+  }
+  int nargs = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  benchmark::Initialize(&nargs, args.data());
+  if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -25,6 +26,10 @@ using sec::Section;
 
 /// Per-processor execution counters. `rulesEvaluated - rulesTrue` is the
 /// wasted guard work that ComputeRuleElimination removes (paper 2.4).
+/// The counters describe *logical* work: a guarded loop executed via the
+/// range-split fast path still reports one rule evaluation per iteration,
+/// so exact-count expectations are independent of how the loop ran; the
+/// fast-path counters below record what was actually saved.
 struct InterpStats {
   std::uint64_t rulesEvaluated = 0;
   std::uint64_t rulesTrue = 0;
@@ -33,7 +38,27 @@ struct InterpStats {
   std::uint64_t elemAssigns = 0;
   std::uint64_t kernelCalls = 0;
 
+  // --- ownership fast path -----------------------------------------------
+  /// Run-time table memo-cache hits on this processor (all state queries).
+  std::uint64_t guardCacheHits = 0;
+  /// Guarded loops executed by splitting the iteration space via
+  /// ownedRanges instead of evaluating the guard per iteration.
+  std::uint64_t rangeSplits = 0;
+  /// Per-iteration guard evaluations those splits replaced.
+  std::uint64_t guardedItersSaved = 0;
+
   InterpStats& operator+=(const InterpStats& o);
+};
+
+/// Interpreter-level execution switches (distinct from RuntimeOptions,
+/// which configure the simulated machine).
+struct InterpOptions {
+  /// When a loop body is a single guarded statement whose rule is
+  /// iown/accessible over a section affine in the loop variable, execute
+  /// the owned subranges unguarded via ProcTable::ownedRanges. Observable
+  /// only through InterpStats and speed; off reproduces the naive
+  /// guard-per-iteration schedule exactly.
+  bool splitGuardedLoops = true;
 };
 
 /// A computational kernel callable from IL (e.g. fft1D). Receives the
@@ -43,7 +68,8 @@ using KernelFn =
 
 class Interpreter {
  public:
-  explicit Interpreter(il::Program prog, rt::RuntimeOptions opts = {});
+  explicit Interpreter(il::Program prog, rt::RuntimeOptions opts = {},
+                       InterpOptions iopts = {});
 
   const il::Program& program() const { return prog_; }
   rt::Runtime& runtime() { return rt_; }
@@ -60,10 +86,27 @@ class Interpreter {
 
  private:
   friend class Exec;
+
+  // Universal scalars are interned to dense ids at construction (the IL
+  // tree is immutable, so every ScalarRef/ScalarAssign/For node can be
+  // resolved once); the executor then runs on a vector-backed environment
+  // instead of hashing names per access.
+  void internScalars();
+  int internName(const std::string& n);
+  int scalarIdOfExpr(const il::Expr* e) const;
+  int scalarIdOfStmt(const il::Stmt* s) const;
+  int numScalars() const { return static_cast<int>(scalarNames_.size()); }
+
   il::Program prog_;
   rt::Runtime rt_;
+  InterpOptions iopts_;
   std::map<std::string, KernelFn> kernels_;
   std::vector<InterpStats> stats_;
+
+  std::vector<std::string> scalarNames_;
+  std::unordered_map<std::string, int> scalarIdByName_;
+  std::unordered_map<const il::Expr*, int> exprScalarIds_;
+  std::unordered_map<const il::Stmt*, int> stmtScalarIds_;
 };
 
 }  // namespace xdp::interp

@@ -1,8 +1,9 @@
 #include "xdp/interp/interpreter.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <unordered_map>
+#include <unordered_set>
 
 #include "xdp/support/check.hpp"
 
@@ -32,6 +33,12 @@ Index asInt(const Value& v) {
   if (std::holds_alternative<Index>(v)) return std::get<Index>(v);
   if (std::holds_alternative<bool>(v)) return std::get<bool>(v) ? 1 : 0;
   double d = std::get<double>(v);
+  // Reject before llround: beyond int64 range (or NaN, which fails every
+  // comparison) the conversion is undefined behaviour, not a wrong value.
+  if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+    XDP_USAGE_FAIL("index value out of range (non-finite or beyond int64): " +
+                   std::to_string(d));
+  }
   Index i = static_cast<Index>(std::llround(d));
   XDP_CHECK(static_cast<double>(i) == d, "non-integral value in index context");
   return i;
@@ -59,6 +66,9 @@ InterpStats& InterpStats::operator+=(const InterpStats& o) {
   loopIterations += o.loopIterations;
   elemAssigns += o.elemAssigns;
   kernelCalls += o.kernelCalls;
+  guardCacheHits += o.guardCacheHits;
+  rangeSplits += o.rangeSplits;
+  guardedItersSaved += o.guardedItersSaved;
   return *this;
 }
 
@@ -66,7 +76,11 @@ InterpStats& InterpStats::operator+=(const InterpStats& o) {
 class Exec {
  public:
   Exec(Interpreter& in, rt::Proc& proc, InterpStats& stats)
-      : in_(in), proc_(proc), stats_(stats) {}
+      : in_(in),
+        proc_(proc),
+        stats_(stats),
+        env_(static_cast<std::size_t>(in.numScalars())),
+        def_(static_cast<std::size_t>(in.numScalars()), 0) {}
 
   void exec(const StmtPtr& s) {
     XDP_CHECK(s != nullptr, "executing null statement");
@@ -75,9 +89,12 @@ class Exec {
       case StmtKind::Block:
         for (const auto& c : s->stmts) exec(c);
         return;
-      case StmtKind::ScalarAssign:
-        env_[s->name] = evalValue(s->value);
+      case StmtKind::ScalarAssign: {
+        const int id = in_.scalarIdOfStmt(s.get());
+        env_[static_cast<std::size_t>(id)] = evalValue(s->value);
+        def_[static_cast<std::size_t>(id)] = 1;
         return;
+      }
       case StmtKind::ElemAssign: {
         stats_.elemAssigns += 1;
         Section pt = evalSection(s->sym, s->lhs);
@@ -91,9 +108,16 @@ class Exec {
         Index ub = asInt(evalValue(s->ub));
         Index step = s->step ? asInt(evalValue(s->step)) : 1;
         XDP_CHECK(step > 0, "loop step must be positive");
+        if (lb > ub) return;
+        const int var = in_.scalarIdOfStmt(s.get());
+        if (in_.iopts_.splitGuardedLoops &&
+            execSplitLoop(s, var, Triplet(lb, ub, step))) {
+          return;
+        }
         for (Index i = lb; i <= ub; i += step) {
           stats_.loopIterations += 1;
-          env_[s->name] = i;
+          env_[static_cast<std::size_t>(var)] = i;
+          def_[static_cast<std::size_t>(var)] = 1;
           exec(s->body);
         }
         return;
@@ -168,6 +192,309 @@ class Exec {
   }
 
  private:
+  // --- guarded-loop range splitting --------------------------------------
+  //
+  // The owner-computes lowering produces loops of the shape
+  //     do i = lb, ub { iown(A[a*i+b]) : { body } }
+  // where the guard is re-decided once per iteration although ownership is
+  // a property of whole index ranges. When the pattern is recognized (and
+  // the body provably cannot change the guard's answer mid-loop), the
+  // owned iterations are computed in ONE ownedRanges query and executed
+  // unguarded, in ascending order — identical observable behaviour, O(1)
+  // guard work. All legacy counters still report the logical per-iteration
+  // schedule (see InterpStats).
+
+  /// value = a * loopVar + b, with a and b already-evaluated constants.
+  struct AffineDim {
+    Index a = 0;
+    Index b = 0;
+  };
+
+  /// True iff `e` cannot reference the loop variable or any run-dependent
+  /// state — safe to evaluate once at split time. (Conservative: only the
+  /// arithmetic subset the lowered guards actually use.)
+  bool isPureInvariant(const ExprPtr& e, int var) {
+    switch (e->kind) {
+      case ExprKind::IntConst:
+      case ExprKind::MyPid:
+      case ExprKind::NProcs:
+        return true;
+      case ExprKind::ScalarRef:
+        return in_.scalarIdOfExpr(e.get()) != var;
+      case ExprKind::Neg:
+        return isPureInvariant(e->lhs, var);
+      case ExprKind::Bin:
+        switch (e->op) {
+          case il::BinOp::Add:
+          case il::BinOp::Sub:
+          case il::BinOp::Mul:
+          case il::BinOp::Div:
+          case il::BinOp::Mod:
+          case il::BinOp::Min:
+          case il::BinOp::Max:
+            return isPureInvariant(e->lhs, var) &&
+                   isPureInvariant(e->rhs, var);
+          default:
+            return false;
+        }
+      default:
+        return false;
+    }
+  }
+
+  /// Decompose `e` as a*var + b; evaluates the invariant parts (so this
+  /// must only run when the loop executes at least one iteration — the
+  /// naive schedule would evaluate them then too).
+  bool affineInVar(const ExprPtr& e, int var, AffineDim* out) {
+    if (e->kind == ExprKind::ScalarRef &&
+        in_.scalarIdOfExpr(e.get()) == var) {
+      out->a = 1;
+      out->b = 0;
+      return true;
+    }
+    if (isPureInvariant(e, var)) {
+      out->a = 0;
+      out->b = asInt(evalValue(e));
+      return true;
+    }
+    switch (e->kind) {
+      case ExprKind::Neg: {
+        AffineDim i;
+        if (!affineInVar(e->lhs, var, &i)) return false;
+        out->a = -i.a;
+        out->b = -i.b;
+        return true;
+      }
+      case ExprKind::Bin: {
+        if (e->op == il::BinOp::Add || e->op == il::BinOp::Sub) {
+          AffineDim l, r;
+          if (!affineInVar(e->lhs, var, &l) || !affineInVar(e->rhs, var, &r))
+            return false;
+          out->a = e->op == il::BinOp::Add ? l.a + r.a : l.a - r.a;
+          out->b = e->op == il::BinOp::Add ? l.b + r.b : l.b - r.b;
+          return true;
+        }
+        if (e->op == il::BinOp::Mul) {
+          // One side must be invariant (both-invariant was handled above).
+          const bool lInv = isPureInvariant(e->lhs, var);
+          const bool rInv = isPureInvariant(e->rhs, var);
+          if (!lInv && !rInv) return false;
+          AffineDim inner;
+          if (!affineInVar(lInv ? e->rhs : e->lhs, var, &inner)) return false;
+          const Index c = asInt(evalValue(lInv ? e->lhs : e->rhs));
+          out->a = inner.a * c;
+          out->b = inner.b * c;
+          return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  /// No blocking/awaiting expression anywhere in `e`.
+  bool exprSplitSafe(const ExprPtr& e) {
+    if (e == nullptr) return true;
+    if (e->kind == ExprKind::Await) return false;
+    if (e->lhs && !exprSplitSafe(e->lhs)) return false;
+    if (e->rhs && !exprSplitSafe(e->rhs)) return false;
+    if (e->section && !secSplitSafe(e->section)) return false;
+    return true;
+  }
+
+  bool secSplitSafe(const SectionExprPtr& se) {
+    if (se == nullptr) return true;
+    switch (se->kind) {
+      case SecExprKind::Literal:
+        for (const auto& t : se->dims) {
+          if (!exprSplitSafe(t.lb) || !exprSplitSafe(t.ub) ||
+              !exprSplitSafe(t.stride))
+            return false;
+        }
+        return true;
+      case SecExprKind::LocalPart:
+        return true;
+      case SecExprKind::OwnerPart:
+        return exprSplitSafe(se->pid);
+      case SecExprKind::Intersect:
+        return secSplitSafe(se->a) && secSplitSafe(se->b);
+    }
+    return false;
+  }
+
+  bool destSplitSafe(const DestSpec& d) {
+    for (const auto& e : d.pids)
+      if (!exprSplitSafe(e)) return false;
+    return secSplitSafe(d.section);
+  }
+
+  /// Mark every scalar id referenced under `e` in `frozen`.
+  void collectScalars(const ExprPtr& e, std::vector<char>& frozen) {
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::ScalarRef)
+      frozen[static_cast<std::size_t>(in_.scalarIdOfExpr(e.get()))] = 1;
+    if (e->lhs) collectScalars(e->lhs, frozen);
+    if (e->rhs) collectScalars(e->rhs, frozen);
+    if (e->section) collectScalarsSec(e->section, frozen);
+  }
+
+  void collectScalarsSec(const SectionExprPtr& se, std::vector<char>& frozen) {
+    if (se == nullptr) return;
+    for (const auto& t : se->dims) {
+      collectScalars(t.lb, frozen);
+      collectScalars(t.ub, frozen);
+      collectScalars(t.stride, frozen);
+    }
+    collectScalars(se->pid, frozen);
+    collectScalarsSec(se->a, frozen);
+    collectScalarsSec(se->b, frozen);
+  }
+
+  /// The body may run unguarded only if it cannot change what the guard
+  /// would have answered on a later iteration: no ownership transitions,
+  /// no receives, no blocking, no kernels (opaque), and no assignment to
+  /// the loop variable or any scalar the guard's section reads.
+  bool bodySplitSafe(const StmtPtr& st, const std::vector<char>& frozen) {
+    switch (st->kind) {
+      case StmtKind::Block:
+        return std::all_of(st->stmts.begin(), st->stmts.end(),
+                           [&](const StmtPtr& c) {
+                             return bodySplitSafe(c, frozen);
+                           });
+      case StmtKind::ScalarAssign:
+        return frozen[static_cast<std::size_t>(
+                   in_.scalarIdOfStmt(st.get()))] == 0 &&
+               exprSplitSafe(st->value);
+      case StmtKind::ElemAssign:
+        return secSplitSafe(st->lhs) && exprSplitSafe(st->rhs);
+      case StmtKind::For:
+        return frozen[static_cast<std::size_t>(
+                   in_.scalarIdOfStmt(st.get()))] == 0 &&
+               exprSplitSafe(st->lb) && exprSplitSafe(st->ub) &&
+               exprSplitSafe(st->step) && bodySplitSafe(st->body, frozen);
+      case StmtKind::Guarded:
+        return exprSplitSafe(st->rule) && bodySplitSafe(st->body, frozen);
+      case StmtKind::SendData:
+        // Plain data sends read values and talk to the fabric; they never
+        // touch this processor's ownership or pending-receive state.
+        return secSplitSafe(st->lhs) && destSplitSafe(st->dest);
+      case StmtKind::LocalCopy:
+        return secSplitSafe(st->lhs) && secSplitSafe(st->sec2);
+      case StmtKind::ComputeCost:
+        return exprSplitSafe(st->value);
+      case StmtKind::SendOwn:
+      case StmtKind::RecvOwn:
+      case StmtKind::RecvData:
+      case StmtKind::Await:
+      case StmtKind::Kernel:
+        return false;
+    }
+    return false;
+  }
+
+  /// Try to execute `do var = loop { guard : body }` via ownedRanges.
+  /// Returns false (having changed nothing) when the pattern or the
+  /// safety conditions do not hold.
+  bool execSplitLoop(const StmtPtr& s, int var, const Triplet& loop) {
+    // Unwrap single-statement blocks down to the guarded statement.
+    int unwrapDepth = 0;
+    StmtPtr g = s->body;
+    while (g->kind == StmtKind::Block && g->stmts.size() == 1) {
+      g = g->stmts.front();
+      ++unwrapDepth;
+    }
+    if (g->kind != StmtKind::Guarded) return false;
+    const ExprPtr& rule = g->rule;
+    if (rule->kind != ExprKind::Iown && rule->kind != ExprKind::Accessible)
+      return false;
+    const SectionExprPtr& se = rule->section;
+    if (se == nullptr || se->kind != SecExprKind::Literal) return false;
+
+    std::vector<AffineDim> dims;
+    bool anyVarying = false;
+    for (const auto& t : se->dims) {
+      if (t.ub != nullptr || t.stride != nullptr) return false;  // points only
+      AffineDim ad;
+      if (!affineInVar(t.lb, var, &ad)) return false;
+      anyVarying = anyVarying || ad.a != 0;
+      dims.push_back(ad);
+    }
+    if (dims.empty() || !anyVarying) return false;
+
+    std::vector<char> frozen(static_cast<std::size_t>(in_.numScalars()), 0);
+    frozen[static_cast<std::size_t>(var)] = 1;
+    collectScalars(rule, frozen);
+    if (!bodySplitSafe(g->body, frozen)) return false;
+
+    // The image of the whole iteration space under the affine subscripts.
+    std::vector<Triplet> qdims;
+    for (const AffineDim& ad : dims) {
+      if (ad.a == 0) {
+        qdims.emplace_back(ad.b);
+      } else if (ad.a > 0) {
+        qdims.emplace_back(ad.a * loop.lb() + ad.b, ad.a * loop.ub() + ad.b,
+                           ad.a * loop.stride());
+      } else {
+        qdims.emplace_back(ad.a * loop.ub() + ad.b, ad.a * loop.lb() + ad.b,
+                           -ad.a * loop.stride());
+      }
+    }
+    sec::RegionList owned = proc_.ownedRanges(
+        rule->sym, Section(qdims), rule->kind == ExprKind::Accessible);
+
+    // Pull each owned rectangle back to the loop iterations landing in it.
+    // Rectangles are disjoint and each iteration maps to one point, so the
+    // per-rectangle iteration sets are disjoint.
+    std::vector<Triplet> iterSets;
+    for (const Section& r : owned.sections()) {
+      Triplet it = loop;
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        if (dims[d].a == 0) continue;
+        it = Triplet::intersect(
+            it, r.dim(static_cast<int>(d))
+                    .affinePreimage(dims[d].a, dims[d].b));
+        if (it.empty()) break;
+      }
+      if (!it.empty()) iterSets.push_back(it);
+    }
+
+    const Index total = loop.count();
+    stats_.rangeSplits += 1;
+    stats_.guardedItersSaved += total;
+    // Logical schedule: every iteration ran, entered the body chain, and
+    // evaluated the guard (see InterpStats).
+    stats_.loopIterations += static_cast<std::uint64_t>(total);
+    stats_.stmtsExecuted +=
+        static_cast<std::uint64_t>(unwrapDepth + 1) *
+        static_cast<std::uint64_t>(total);
+    stats_.rulesEvaluated += static_cast<std::uint64_t>(total);
+
+    auto runIter = [&](Index i) {
+      stats_.rulesTrue += 1;
+      env_[static_cast<std::size_t>(var)] = i;
+      def_[static_cast<std::size_t>(var)] = 1;
+      exec(g->body);
+    };
+    if (iterSets.size() == 1) {
+      const Triplet& t = iterSets.front();
+      for (Index k = 0; k < t.count(); ++k) runIter(t.at(k));
+    } else if (!iterSets.empty()) {
+      // Interleaved strided sets: materialize and sort so iterations run
+      // in the ascending order the naive schedule uses.
+      std::vector<Index> all;
+      for (const Triplet& t : iterSets)
+        for (Index k = 0; k < t.count(); ++k) all.push_back(t.at(k));
+      std::sort(all.begin(), all.end());
+      for (Index i : all) runIter(i);
+    }
+    // The naive schedule assigns the variable on every (also unowned)
+    // iteration; leave it at the last logical value.
+    env_[static_cast<std::size_t>(var)] = loop.ub();
+    def_[static_cast<std::size_t>(var)] = 1;
+    return true;
+  }
+
   // --- expression evaluation -------------------------------------------
 
   bool evalRule(const ExprPtr& e) {
@@ -190,10 +517,11 @@ class Exec {
       case ExprKind::RealConst:
         return e->realVal;
       case ExprKind::ScalarRef: {
-        auto it = env_.find(e->name);
-        XDP_CHECK(it != env_.end(),
+        const auto id =
+            static_cast<std::size_t>(in_.scalarIdOfExpr(e.get()));
+        XDP_CHECK(def_[id] != 0,
                   "use of undefined universal scalar: " + e->name);
-        return it->second;
+        return env_[id];
       }
       case ExprKind::MyPid:
         return static_cast<Index>(proc_.mypid());
@@ -407,16 +735,98 @@ class Exec {
   Interpreter& in_;
   rt::Proc& proc_;
   InterpStats& stats_;
-  std::unordered_map<std::string, Value> env_;
+  std::vector<Value> env_;
+  std::vector<std::uint8_t> def_;
   int ruleDepth_ = 0;
 };
 
-Interpreter::Interpreter(il::Program prog, rt::RuntimeOptions opts)
+// --- scalar interning ------------------------------------------------------
+
+int Interpreter::internName(const std::string& n) {
+  auto [it, fresh] =
+      scalarIdByName_.emplace(n, static_cast<int>(scalarNames_.size()));
+  if (fresh) scalarNames_.push_back(n);
+  return it->second;
+}
+
+int Interpreter::scalarIdOfExpr(const il::Expr* e) const {
+  auto it = exprScalarIds_.find(e);
+  XDP_CHECK(it != exprScalarIds_.end(),
+            "scalar reference not interned (expression is not part of the "
+            "interpreted program)");
+  return it->second;
+}
+
+int Interpreter::scalarIdOfStmt(const il::Stmt* s) const {
+  auto it = stmtScalarIds_.find(s);
+  XDP_CHECK(it != stmtScalarIds_.end(),
+            "scalar binding not interned (statement is not part of the "
+            "interpreted program)");
+  return it->second;
+}
+
+void Interpreter::internScalars() {
+  // Walk the (immutable, possibly DAG-shaped) program once; `seen` keeps
+  // shared subtrees from being walked repeatedly.
+  std::unordered_set<const void*> seen;
+
+  std::function<void(const ExprPtr&)> walkExpr;
+  std::function<void(const SectionExprPtr&)> walkSec;
+  std::function<void(const StmtPtr&)> walkStmt;
+
+  walkExpr = [&](const ExprPtr& e) {
+    if (e == nullptr || !seen.insert(e.get()).second) return;
+    if (e->kind == ExprKind::ScalarRef)
+      exprScalarIds_[e.get()] = internName(e->name);
+    walkExpr(e->lhs);
+    walkExpr(e->rhs);
+    walkSec(e->section);
+  };
+
+  walkSec = [&](const SectionExprPtr& se) {
+    if (se == nullptr || !seen.insert(se.get()).second) return;
+    for (const auto& t : se->dims) {
+      walkExpr(t.lb);
+      walkExpr(t.ub);
+      walkExpr(t.stride);
+    }
+    walkExpr(se->pid);
+    walkSec(se->a);
+    walkSec(se->b);
+  };
+
+  walkStmt = [&](const StmtPtr& s) {
+    if (s == nullptr || !seen.insert(s.get()).second) return;
+    if (s->kind == StmtKind::ScalarAssign || s->kind == StmtKind::For)
+      stmtScalarIds_[s.get()] = internName(s->name);
+    for (const auto& c : s->stmts) walkStmt(c);
+    walkExpr(s->value);
+    walkSec(s->lhs);
+    walkExpr(s->rhs);
+    walkExpr(s->lb);
+    walkExpr(s->ub);
+    walkExpr(s->step);
+    walkStmt(s->body);
+    walkExpr(s->rule);
+    walkSec(s->sec2);
+    for (const auto& e : s->dest.pids) walkExpr(e);
+    walkSec(s->dest.section);
+    walkExpr(s->bindHint);
+    for (const auto& [sym, se] : s->args) walkSec(se);
+  };
+
+  walkStmt(prog_.body);
+}
+
+Interpreter::Interpreter(il::Program prog, rt::RuntimeOptions opts,
+                         InterpOptions iopts)
     : prog_(std::move(prog)),
       rt_(prog_.nprocs, opts),
+      iopts_(iopts),
       stats_(static_cast<std::size_t>(prog_.nprocs)) {
   for (const auto& a : prog_.arrays)
     rt_.declareArray(a.name, a.type, a.global, a.dist, a.segShape);
+  internScalars();
 }
 
 void Interpreter::registerKernel(std::string name, KernelFn fn) {
@@ -429,6 +839,12 @@ void Interpreter::run() {
     Exec ex(*this, proc, stats_[static_cast<std::size_t>(proc.mypid())]);
     ex.exec(prog_.body);
   });
+  // The run's tables are fresh per run(), so their lifetime hit counts are
+  // exactly this run's contribution.
+  for (int pid = 0; pid < prog_.nprocs; ++pid) {
+    stats_[static_cast<std::size_t>(pid)].guardCacheHits +=
+        rt_.table(pid).cacheStats().hits;
+  }
 }
 
 InterpStats Interpreter::stats(int pid) const {

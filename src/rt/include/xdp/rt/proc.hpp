@@ -46,6 +46,11 @@ class Proc {
   bool await(int sym, const Section& s);
   Index mylb(int sym, const Section& s, int d) const;
   Index myub(int sym, const Section& s, int d) const;
+  /// The owned (or, with `excludeTransitional`, accessible) sub-sections
+  /// of `s`, disjoint, from one indexed table pass. One call answers what
+  /// a per-element iown loop over `s` would.
+  sec::RegionList ownedRanges(int sym, const Section& s,
+                              bool excludeTransitional = false) const;
 
   // --- transfer statements ----------------------------------------------
   /// "E ->" / "E -> S": initiate a send of the name and value of `e`.

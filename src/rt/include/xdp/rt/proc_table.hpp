@@ -13,20 +13,39 @@
 // the compiler chooses (the language permits single elements; segments are
 // the efficiency mechanism).
 //
-// Thread-safety: all public methods lock the table. Fabric completion
+// Ownership fast path (DESIGN.md "Ownership fast path"): the paper's
+// iown() sits on the hot path of every owner-computes guard, so the table
+// keeps three accelerating structures per symbol:
+//   * a sorted dim-0 interval index over the segment descriptors, so
+//     coverage queries intersect O(log n + k) candidates instead of every
+//     segment;
+//   * an *ownership epoch*, bumped under the writer lock by every mutating
+//     transition (receive initiation/completion, ownership send/receive),
+//     which timestamps any derived result;
+//   * a small epoch-validated memo cache, so a repeated iown/accessible/
+//     await query on the same section is one atomic epoch compare.
+//
+// Thread-safety: reads (iown, accessible, the read half of await, mylb,
+// myub, readElems, introspection) take a shared lock; mutations take the
+// exclusive lock and bump the entry epoch before returning. Cache hits are
+// lock-free with respect to mu_ (see stateCached). Fabric completion
 // callbacks call back into beginReceive/completeReceive; the lock order is
 // always fabric -> table (see Fabric docs).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "xdp/rt/symbol.hpp"
+#include "xdp/sections/region_list.hpp"
 
 namespace xdp::rt {
 
@@ -57,6 +76,14 @@ class ProcTable {
   bool await(int sym, const Section& s, double* arrival = nullptr);
   Index mylb(int sym, const Section& s, int d) const;
   Index myub(int sym, const Section& s, int d) const;
+
+  /// The maximal owned sub-sections of `s`, as disjoint sections, computed
+  /// in one indexed pass (the query API behind interpreter guard
+  /// range-splitting). With `excludeTransitional`, sub-sections overlapped
+  /// by an uncompleted receive are removed, i.e. the result is the
+  /// *accessible* part of `s`.
+  sec::RegionList ownedRanges(int sym, const Section& s,
+                              bool excludeTransitional = false) const;
 
   // --- element access --------------------------------------------------
   /// Gather the owned elements of `s` into `out` (count()*elemSize bytes),
@@ -92,6 +119,13 @@ class ProcTable {
   /// Sum of currently owned elements over all symbols (storage footprint).
   std::size_t totalOwnedElems() const;
 
+  /// Memo-cache effectiveness over this table's lifetime (all symbols).
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  CacheStats cacheStats() const;
+
   // --- hang diagnostics (used by the runtime watchdog) ------------------
   /// What this processor's thread is blocked on, if anything. `blocked` is
   /// true only when the thread is parked in await() AND the awaited
@@ -123,6 +157,16 @@ class ProcTable {
     std::size_t allocate(std::size_t elems);
     void release(std::size_t offset, std::size_t elems);
   };
+  /// One memo slot: the state (and optionally arrival fold) of a query
+  /// section, valid while the entry epoch still equals `epoch`.
+  struct CacheSlot {
+    Section key;
+    std::uint64_t epoch = 0;
+    double arrival = 0.0;
+    std::int8_t state = 0;        // -1 unowned / 0 transitional / 1 accessible
+    bool valid = false;
+    bool hasArrival = false;      // arrival fold was computed for this fill
+  };
   struct Entry {
     std::vector<SegmentDesc> segs;
     /// Outstanding (initiated, uncompleted) receive sections. A section of
@@ -131,6 +175,22 @@ class ProcTable {
     /// each other the way coarse per-segment flags would.
     std::vector<Section> pendingRecvs;
     Pool pool;
+
+    // --- ownership fast path ------------------------------------------
+    /// Seg indices sorted by dim-0 lower bound, plus the running max of
+    /// dim-0 upper bound over that order: candidates overlapping a query
+    /// [qlb,qub] are a binary search plus a bounded backward walk.
+    std::vector<int> order;
+    std::vector<Index> prefixMaxUb;
+    /// Bumped (under the exclusive lock) by every mutation that can change
+    /// the answer of a state query: segs or pendingRecvs edits, arrival
+    /// updates. Readable lock-free.
+    std::atomic<std::uint64_t> epoch{0};
+    /// Leaf lock guarding the memo slots; never held together with mu_
+    /// acquisition (taken while holding mu_ on fills, alone on hits).
+    mutable std::mutex cacheMu;
+    mutable std::array<CacheSlot, 4> cache;
+    mutable int cacheHand = 0;
   };
 
   const Entry& entry(int sym) const;
@@ -138,11 +198,31 @@ class ProcTable {
 
   /// Coverage of `s` by this table's segments: -1 if some element unowned,
   /// 0 if owned but an uncompleted receive overlaps `s` (transitional),
-  /// 1 if accessible. Caller holds mu_.
+  /// 1 if accessible. Folds the max arrival only when `arrival` is
+  /// non-null. Caller holds mu_ (shared suffices).
   int stateOfLocked(int sym, const Section& s, double* arrival) const;
+
+  /// Cached state query: memo hit (lock-free w.r.t. mu_) or shared-locked
+  /// compute + fill. Returns the state; fills `*arrival` when non-null.
+  int stateCached(int sym, const Section& s, double* arrival) const;
+
+  /// Visit the segments that can intersect `s`, via the dim-0 index when
+  /// profitable. Caller holds mu_.
+  template <typename Fn>
+  void forEachCandidateLocked(const Entry& e, const Section& s,
+                              Fn&& fn) const;
+
+  /// Recompute `order`/`prefixMaxUb` after a segs mutation. Caller holds
+  /// mu_ exclusively.
+  static void rebuildIndexLocked(Entry& e);
 
   /// True iff an outstanding receive overlaps `s`. Caller holds mu_.
   static bool pendingOverlapsLocked(const Entry& e, const Section& s);
+
+  bool cacheLookup(const Entry& e, const Section& s, bool wantArrival,
+                   int* state, double* arrival) const;
+  void cacheStore(const Entry& e, const Section& s, std::uint64_t epoch,
+                  int state, bool hasArrival, double arrival) const;
 
   void readElemsLocked(const Entry& e, int sym, const Section& s,
                        std::byte* out) const;
@@ -153,9 +233,14 @@ class ProcTable {
 
   [[noreturn]] void throwAbortLocked(const char* where) const;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Entry> entries_;
+  mutable std::shared_mutex mu_;
+  std::condition_variable_any cv_;
+  /// Deque: entries hold atomics/mutexes (immovable) and references must
+  /// stay stable for the lock-free cache-hit path.
+  std::deque<Entry> entries_;
+
+  mutable std::atomic<std::uint64_t> cacheHits_{0};
+  mutable std::atomic<std::uint64_t> cacheMisses_{0};
 
   // Watchdog state (wait_ guarded by mu_; epoch also readable lock-free).
   struct CurrentWait {
@@ -165,7 +250,7 @@ class ProcTable {
   };
   CurrentWait wait_;
   std::atomic<std::uint64_t> waitEpoch_{0};
-  bool aborted_ = false;
+  std::atomic<bool> aborted_{false};
   std::string abortSummary_;
   std::shared_ptr<const std::string> abortReport_;
 };

@@ -49,6 +49,11 @@ Index Proc::myub(int sym, const Section& s, int d) const {
   return table().myub(sym, s, d);
 }
 
+sec::RegionList Proc::ownedRanges(int sym, const Section& s,
+                                  bool excludeTransitional) const {
+  return table().ownedRanges(sym, s, excludeTransitional);
+}
+
 void Proc::send(int sym, const Section& e,
                 std::optional<std::vector<int>> dests) {
   ProcTable& t = table();

@@ -8,6 +8,11 @@
 
 namespace xdp::rt {
 
+namespace {
+/// Below this many segments a linear scan beats the binary search setup.
+constexpr std::size_t kLinearScanThreshold = 8;
+}  // namespace
+
 const char* elemTypeName(ElemType t) {
   switch (t) {
     case ElemType::F64:
@@ -85,14 +90,59 @@ void ProcTable::Pool::release(std::size_t offset, std::size_t elems) {
   }
 }
 
+void ProcTable::rebuildIndexLocked(Entry& e) {
+  const std::size_t n = e.segs.size();
+  e.order.resize(n);
+  e.prefixMaxUb.resize(n);
+  for (std::size_t i = 0; i < n; ++i) e.order[i] = static_cast<int>(i);
+  if (n == 0) return;
+  // Rank-0 symbols (scalars) have at most one segment; the index is only
+  // consulted for rank >= 1 queries, where dim 0 is always present.
+  if (e.segs.front().bounds.rank() == 0) return;
+  std::sort(e.order.begin(), e.order.end(), [&](int a, int b) {
+    return e.segs[static_cast<std::size_t>(a)].bounds.dim(0).lb() <
+           e.segs[static_cast<std::size_t>(b)].bounds.dim(0).lb();
+  });
+  Index running = kMinInt;
+  for (std::size_t i = 0; i < n; ++i) {
+    running = std::max(
+        running, e.segs[static_cast<std::size_t>(e.order[i])].bounds.dim(0).ub());
+    e.prefixMaxUb[i] = running;
+  }
+}
+
+template <typename Fn>
+void ProcTable::forEachCandidateLocked(const Entry& e, const Section& s,
+                                       Fn&& fn) const {
+  const std::size_t n = e.segs.size();
+  if (s.rank() == 0 || n <= kLinearScanThreshold) {
+    for (const SegmentDesc& seg : e.segs) fn(seg);
+    return;
+  }
+  const Index qlb = s.dim(0).lb();
+  const Index qub = s.dim(0).ub();
+  // First position (in lb order) whose segment starts beyond the query;
+  // everything at or after it cannot overlap. Walk backwards from there
+  // until the running max upper bound drops below the query start —
+  // everything earlier cannot overlap either.
+  auto past = std::upper_bound(
+      e.order.begin(), e.order.end(), qub, [&](Index v, int idx) {
+        return v < e.segs[static_cast<std::size_t>(idx)].bounds.dim(0).lb();
+      });
+  for (auto j = static_cast<std::size_t>(past - e.order.begin()); j-- > 0;) {
+    if (e.prefixMaxUb[j] < qlb) break;
+    const SegmentDesc& seg = e.segs[static_cast<std::size_t>(e.order[j])];
+    if (seg.bounds.dim(0).ub() >= qlb) fn(seg);
+  }
+}
+
 ProcTable::ProcTable(int pid, const std::vector<SymbolDecl>& decls,
                      bool debugChecks)
     : pid_(pid), debugChecks_(debugChecks), decls_(decls) {
-  entries_.resize(decls_.size());
   for (std::size_t i = 0; i < decls_.size(); ++i) {
     const SymbolDecl& d = decls_[i];
     XDP_CHECK(d.index == static_cast<int>(i), "symbol index mismatch");
-    Entry& e = entries_[i];
+    Entry& e = entries_.emplace_back();
     e.pool.elemSz = elemSize(d.type);
     for (const Section& bounds :
          dist::segmentsOf(d.dist, pid, d.segShape)) {
@@ -103,6 +153,7 @@ ProcTable::ProcTable(int pid, const std::vector<SymbolDecl>& decls,
           e.pool.allocate(static_cast<std::size_t>(bounds.count()));
       e.segs.push_back(std::move(seg));
     }
+    rebuildIndexLocked(e);
   }
 }
 
@@ -131,41 +182,139 @@ bool ProcTable::pendingOverlapsLocked(const Entry& e, const Section& s) {
 
 int ProcTable::stateOfLocked(int sym, const Section& s,
                              double* arrival) const {
-  // The paper's iown() algorithm: intersect the query with every segment;
-  // since segments are disjoint, coverage holds iff the intersection
-  // cardinalities sum to the query cardinality. Accessibility is then a
-  // per-section property: no uncompleted receive may overlap the query.
+  // The paper's iown() algorithm: intersect the query with every segment
+  // that can overlap it; since segments are disjoint, coverage holds iff
+  // the intersection cardinalities sum to the query cardinality.
+  // Accessibility is then a per-section property: no uncompleted receive
+  // may overlap the query. The arrival fold is skipped unless asked for.
   const Entry& e = entry(sym);
   Index covered = 0;
   double maxArrival = 0.0;
-  for (const SegmentDesc& seg : e.segs) {
+  forEachCandidateLocked(e, s, [&](const SegmentDesc& seg) {
     Section i = Section::intersect(seg.bounds, s);
-    if (i.empty()) continue;
+    if (i.empty()) return;
     covered += i.count();
-    maxArrival = std::max(maxArrival, seg.arrival);
-  }
+    if (arrival != nullptr) maxArrival = std::max(maxArrival, seg.arrival);
+  });
   if (covered != s.count()) return -1;
   if (arrival != nullptr) *arrival = maxArrival;
+  if (e.pendingRecvs.empty()) return 1;  // common case: nothing in flight
   return pendingOverlapsLocked(e, s) ? 0 : 1;
 }
 
+bool ProcTable::cacheLookup(const Entry& e, const Section& s,
+                            bool wantArrival, int* state,
+                            double* arrival) const {
+  // Epoch-validated hit, lock-free w.r.t. mu_: slot contents are guarded
+  // by the leaf cacheMu; validity is "entry epoch still equals the epoch
+  // recorded at fill time". Mutators bump the epoch under the exclusive
+  // lock, so an equal epoch proves the cached answer is current (or
+  // linearizes immediately before an in-flight mutation, which is an
+  // equally legal serialization of the racing query).
+  const std::uint64_t cur = e.epoch.load(std::memory_order_acquire);
+  std::lock_guard lk(e.cacheMu);
+  for (const CacheSlot& slot : e.cache) {
+    if (!slot.valid || slot.epoch != cur) continue;
+    if (wantArrival && !slot.hasArrival) continue;
+    if (!(slot.key == s)) continue;
+    *state = slot.state;
+    if (arrival != nullptr && slot.hasArrival) *arrival = slot.arrival;
+    cacheHits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  cacheMisses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ProcTable::cacheStore(const Entry& e, const Section& s,
+                           std::uint64_t epoch, int state, bool hasArrival,
+                           double arrival) const {
+  std::lock_guard lk(e.cacheMu);
+  CacheSlot* victim = nullptr;
+  for (CacheSlot& slot : e.cache) {
+    if (slot.valid && slot.key == s) {
+      victim = &slot;  // refresh in place so hot keys never evict each other
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &e.cache[static_cast<std::size_t>(e.cacheHand)];
+    e.cacheHand = (e.cacheHand + 1) % static_cast<int>(e.cache.size());
+  }
+  victim->key = s;
+  victim->epoch = epoch;
+  victim->state = static_cast<std::int8_t>(state);
+  victim->hasArrival = hasArrival;
+  victim->arrival = arrival;
+  victim->valid = true;
+}
+
+int ProcTable::stateCached(int sym, const Section& s, double* arrival) const {
+  const Entry& e = entry(sym);
+  int st = 0;
+  if (cacheLookup(e, s, arrival != nullptr, &st, arrival)) return st;
+  std::shared_lock lk(mu_);
+  const std::uint64_t ep = e.epoch.load(std::memory_order_relaxed);
+  double arr = 0.0;
+  st = stateOfLocked(sym, s, arrival != nullptr ? &arr : nullptr);
+  if (arrival != nullptr) *arrival = arr;
+  cacheStore(e, s, ep, st, arrival != nullptr, arr);
+  return st;
+}
+
 bool ProcTable::iown(int sym, const Section& s) const {
-  std::lock_guard lk(mu_);
-  return stateOfLocked(sym, s, nullptr) >= 0;
+  return stateCached(sym, s, nullptr) >= 0;
 }
 
 bool ProcTable::accessible(int sym, const Section& s) const {
-  std::lock_guard lk(mu_);
-  return stateOfLocked(sym, s, nullptr) == 1;
+  return stateCached(sym, s, nullptr) == 1;
+}
+
+sec::RegionList ProcTable::ownedRanges(int sym, const Section& s,
+                                       bool excludeTransitional) const {
+  std::shared_lock lk(mu_);
+  const Entry& e = entry(sym);
+  std::vector<Section> pieces;
+  forEachCandidateLocked(e, s, [&](const SegmentDesc& seg) {
+    Section i = Section::intersect(seg.bounds, s);
+    if (!i.empty()) pieces.push_back(std::move(i));
+  });
+  // Segments are pairwise disjoint, so their intersections with `s` are
+  // too — RegionList can adopt them without re-diffing.
+  sec::RegionList out(std::move(pieces));
+  if (excludeTransitional && !out.empty()) {
+    for (const Section& p : e.pendingRecvs) {
+      if (p.rank() == s.rank()) out.subtract(p);
+    }
+  }
+  return out;
 }
 
 bool ProcTable::await(int sym, const Section& s, double* arrival) {
+  // Fast path: an epoch-valid memo of a decided state needs no lock and
+  // no park bookkeeping. A transitional memo falls through to the slow
+  // path, as does any abort (so the throw happens under the lock with the
+  // abort fields stable).
+  if (!aborted_.load(std::memory_order_acquire)) {
+    const Entry& e = entry(sym);
+    int st = 0;
+    if (cacheLookup(e, s, arrival != nullptr, &st, arrival) && st != 0) {
+      return st == 1;
+    }
+  }
   std::unique_lock lk(mu_);
+  Entry& e = entry(sym);
   while (true) {
-    if (aborted_) throwAbortLocked("blocked in await");
-    int st = stateOfLocked(sym, s, arrival);
-    if (st < 0) return false;   // unowned: await returns false (Fig. 1)
-    if (st == 1) return true;   // accessible
+    if (aborted_.load(std::memory_order_relaxed))
+      throwAbortLocked("blocked in await");
+    double arr = 0.0;
+    int st = stateOfLocked(sym, s, arrival != nullptr ? &arr : nullptr);
+    if (arrival != nullptr) *arrival = arr;
+    if (st != 0) {
+      cacheStore(e, s, e.epoch.load(std::memory_order_relaxed), st,
+                 arrival != nullptr, arr);
+      return st == 1;  // unowned: await returns false (Fig. 1)
+    }
     // Transitional: park. Publish what we wait on so the watchdog can tell
     // a genuinely blocked processor from a running one.
     wait_.parked = true;
@@ -179,7 +328,7 @@ bool ProcTable::await(int sym, const Section& s, double* arrival) {
 }
 
 ProcTable::WaitState ProcTable::waitState() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   WaitState w;
   w.epoch = waitEpoch_.load(std::memory_order_relaxed);
   if (!wait_.parked) return w;
@@ -196,9 +345,9 @@ ProcTable::WaitState ProcTable::waitState() const {
 void ProcTable::abortWaits(std::string summary,
                            std::shared_ptr<const std::string> report) {
   std::lock_guard lk(mu_);
-  aborted_ = true;
   abortSummary_ = std::move(summary);
   abortReport_ = std::move(report);
+  aborted_.store(true, std::memory_order_release);
   cv_.notify_all();
 }
 
@@ -208,27 +357,34 @@ void ProcTable::throwAbortLocked(const char* where) const {
       abortReport_ ? *abortReport_ : std::string());
 }
 
+ProcTable::CacheStats ProcTable::cacheStats() const {
+  CacheStats c;
+  c.hits = cacheHits_.load(std::memory_order_relaxed);
+  c.misses = cacheMisses_.load(std::memory_order_relaxed);
+  return c;
+}
+
 Index ProcTable::mylb(int sym, const Section& s, int d) const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   const Entry& e = entry(sym);
   Index best = kMaxInt;
-  for (const SegmentDesc& seg : e.segs) {
+  forEachCandidateLocked(e, s, [&](const SegmentDesc& seg) {
     Section i = Section::intersect(seg.bounds, s);
-    if (i.empty()) continue;
+    if (i.empty()) return;
     best = std::min(best, i.dim(d).lb());
-  }
+  });
   return best;
 }
 
 Index ProcTable::myub(int sym, const Section& s, int d) const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   const Entry& e = entry(sym);
   Index best = kMinInt;
-  for (const SegmentDesc& seg : e.segs) {
+  forEachCandidateLocked(e, s, [&](const SegmentDesc& seg) {
     Section i = Section::intersect(seg.bounds, s);
-    if (i.empty()) continue;
+    if (i.empty()) return;
     best = std::max(best, i.dim(d).ub());
-  }
+  });
   return best;
 }
 
@@ -243,9 +399,9 @@ void ProcTable::readElemsLocked(const Entry& e, int sym, const Section& s,
     XDP_USAGE_FAIL(os.str());
   }
   Index covered = 0;
-  for (const SegmentDesc& seg : e.segs) {
+  forEachCandidateLocked(e, s, [&](const SegmentDesc& seg) {
     Section i = Section::intersect(seg.bounds, s);
-    if (i.empty()) continue;
+    if (i.empty()) return;
     covered += i.count();
     const std::byte* base = e.pool.bytes.data() + seg.elemOffset * sz;
     i.forEach([&](const Point& p) {
@@ -253,7 +409,7 @@ void ProcTable::readElemsLocked(const Entry& e, int sym, const Section& s,
                   base + static_cast<std::size_t>(seg.bounds.fortranPos(p)) * sz,
                   sz);
     });
-  }
+  });
   if (debugChecks_ && covered != s.count()) {
     std::ostringstream os;
     os << "read of unowned elements: " << s.str() << " of '"
@@ -263,11 +419,16 @@ void ProcTable::readElemsLocked(const Entry& e, int sym, const Section& s,
 }
 
 void ProcTable::readElems(int sym, const Section& s, std::byte* out) const {
-  std::lock_guard lk(mu_);
+  // Shared lock: element bytes are only written by the owning processor's
+  // thread (writeElems) and by completeReceive, which takes the exclusive
+  // lock — so a shared-locked read never races a byte write it could see.
+  std::shared_lock lk(mu_);
   readElemsLocked(entry(sym), sym, s, out);
 }
 
 void ProcTable::writeElems(int sym, const Section& s, const std::byte* in) {
+  // Exclusive: scatters into pool bytes, which concurrent shared-locked
+  // readers (gather, monitoring) might otherwise observe mid-write.
   std::lock_guard lk(mu_);
   Entry& e = entry(sym);
   const std::size_t sz = e.pool.elemSz;
@@ -278,16 +439,16 @@ void ProcTable::writeElems(int sym, const Section& s, const std::byte* in) {
     XDP_USAGE_FAIL(os.str());
   }
   Index covered = 0;
-  for (SegmentDesc& seg : e.segs) {
+  forEachCandidateLocked(e, s, [&](const SegmentDesc& seg) {
     Section i = Section::intersect(seg.bounds, s);
-    if (i.empty()) continue;
+    if (i.empty()) return;
     covered += i.count();
     std::byte* base = e.pool.bytes.data() + seg.elemOffset * sz;
     i.forEach([&](const Point& p) {
       std::memcpy(base + static_cast<std::size_t>(seg.bounds.fortranPos(p)) * sz,
                   in + static_cast<std::size_t>(s.fortranPos(p)) * sz, sz);
     });
-  }
+  });
   if (debugChecks_ && covered != s.count()) {
     std::ostringstream os;
     os << "write to unowned elements: " << s.str() << " of '"
@@ -311,6 +472,7 @@ void ProcTable::beginReceive(int sym, const Section& s) {
     }
   }
   e.pendingRecvs.push_back(s);
+  e.epoch.fetch_add(1, std::memory_order_release);
 }
 
 void ProcTable::completeReceive(int sym, const Section& s,
@@ -319,9 +481,10 @@ void ProcTable::completeReceive(int sym, const Section& s,
   std::lock_guard lk(mu_);
   Entry& e = entry(sym);
   const std::size_t sz = e.pool.elemSz;
-  for (SegmentDesc& seg : e.segs) {
+  forEachCandidateLocked(e, s, [&](const SegmentDesc& cseg) {
+    auto& seg = const_cast<SegmentDesc&>(cseg);
     Section i = Section::intersect(seg.bounds, s);
-    if (i.empty()) continue;
+    if (i.empty()) return;
     if (payload != nullptr) {
       std::byte* base = e.pool.bytes.data() + seg.elemOffset * sz;
       i.forEach([&](const Point& p) {
@@ -331,7 +494,7 @@ void ProcTable::completeReceive(int sym, const Section& s,
       });
     }
     seg.arrival = std::max(seg.arrival, arrivalTime);
-  }
+  });
   // Retire exactly one outstanding receive for this section (several may
   // legally target the same name, per paper section 2.7).
   for (auto it = e.pendingRecvs.begin(); it != e.pendingRecvs.end(); ++it) {
@@ -340,6 +503,7 @@ void ProcTable::completeReceive(int sym, const Section& s,
       break;
     }
   }
+  e.epoch.fetch_add(1, std::memory_order_release);
   cv_.notify_all();
 }
 
@@ -397,6 +561,8 @@ std::vector<std::byte> ProcTable::takeOwnershipOut(int sym, const Section& s,
   e.segs = std::move(kept);
   e.segs.insert(e.segs.end(), std::make_move_iterator(added.begin()),
                 std::make_move_iterator(added.end()));
+  rebuildIndexLocked(e);
+  e.epoch.fetch_add(1, std::memory_order_release);
   cv_.notify_all();
   return payload;
 }
@@ -421,10 +587,12 @@ void ProcTable::beginOwnershipReceive(int sym, const Section& s) {
   seg.elemOffset = e.pool.allocate(static_cast<std::size_t>(s.count()));
   e.segs.push_back(std::move(seg));
   e.pendingRecvs.push_back(s);
+  rebuildIndexLocked(e);
+  e.epoch.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<SegmentDesc> ProcTable::segments(int sym) const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   const Entry& e = entry(sym);
   std::vector<SegmentDesc> out = e.segs;
   // Statuses are snapshots: a segment is transitional iff an uncompleted
@@ -437,12 +605,12 @@ std::vector<SegmentDesc> ProcTable::segments(int sym) const {
 }
 
 StorageStats ProcTable::storageStats(int sym) const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   return entry(sym).pool.stats;
 }
 
 std::size_t ProcTable::totalOwnedElems() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   std::size_t n = 0;
   for (const Entry& e : entries_) n += e.pool.stats.currentElems;
   return n;

@@ -64,6 +64,12 @@ class Triplet {
   /// callers that need bounded output should align strides first.
   static std::vector<Triplet> subtract(const Triplet& a, const Triplet& b);
 
+  /// The set { i : a*i + b ∈ this }, a != 0 — itself an arithmetic
+  /// progression, so the result is exact. This is how a subscript affine
+  /// in a loop variable is pulled back from an owned index range to the
+  /// loop iterations that touch it (interpreter guard range-splitting).
+  Triplet affinePreimage(Index a, Index b) const;
+
   /// True iff the two triplets denote the same index set.
   friend constexpr bool operator==(const Triplet& a, const Triplet& b) {
     return (a.empty() && b.empty()) ||

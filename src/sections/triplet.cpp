@@ -147,6 +147,28 @@ std::vector<Triplet> Triplet::subtract(const Triplet& a, const Triplet& b) {
   return out;
 }
 
+Triplet Triplet::affinePreimage(Index a, Index b) const {
+  XDP_CHECK(a != 0, "affinePreimage of a constant map is not a set of i");
+  if (empty()) return Triplet();
+  const Index mag = a > 0 ? a : -a;
+  // The image of Z under i -> a*i + b is the residue class b (mod |a|).
+  // Materialize its elements inside [lb_, ub_] as a triplet and intersect
+  // with this progression; every surviving value pulls back to exactly one
+  // integer i = (v - b) / a.
+  const Index first = b + floorDiv(lb_ - b + mag - 1, mag) * mag;
+  if (first > ub_) return Triplet();
+  Triplet image = intersect(Triplet(first, ub_, mag), *this);
+  if (image.empty()) return Triplet();
+  const Index iFromLow = (image.lb() - b) / a;
+  const Index iFromHigh = (image.ub() - b) / a;
+  if (image.count() == 1) return Triplet(iFromLow);
+  // image.stride is a multiple of |a| (all its elements share the residue
+  // class of b mod |a|), so the preimage stride is integral.
+  const Index istep = image.stride() / mag;
+  return a > 0 ? Triplet(iFromLow, iFromHigh, istep)
+               : Triplet(iFromHigh, iFromLow, istep);
+}
+
 std::ostream& operator<<(std::ostream& os, const Triplet& t) {
   if (t.empty()) return os << "<empty>";
   os << t.lb() << ":" << t.ub();

@@ -172,6 +172,28 @@ TEST(InterpEdge, NonIntegralIndexIsAnError) {
   EXPECT_THROW(in.run(), xdp::Error);
 }
 
+TEST(InterpEdge, OutOfRangeIndexIsAnError) {
+  // Doubles beyond int64 range must be rejected, not fed to llround (UB).
+  il::Program prog = base(
+      1, 4,
+      il::block({il::elemAssign(0, il::secPoint({il::realConst(1e300)}),
+                                il::realConst(0.0))}));
+  Interpreter in(prog, debug());
+  EXPECT_THROW(in.run(), xdp::UsageError);
+}
+
+TEST(InterpEdge, NonFiniteIndexIsAnError) {
+  il::Program prog = base(
+      1, 4,
+      il::block({il::elemAssign(
+          0,
+          il::secPoint({il::bin(il::BinOp::Div, il::realConst(0.0),
+                                il::realConst(0.0))}),  // NaN
+          il::realConst(0.0))}));
+  Interpreter in(prog, debug());
+  EXPECT_THROW(in.run(), xdp::UsageError);
+}
+
 TEST(InterpEdge, StatsResetWorks) {
   il::Program prog = base(
       2, 8,
