@@ -50,6 +50,13 @@ struct InterpStats {
   InterpStats& operator+=(const InterpStats& o);
 };
 
+/// Called by every executing processor at the top of each statement —
+/// the interpreter's step-accounting and cancellation points. Throwing
+/// aborts that processor's node program (the exception propagates out of
+/// Interpreter::run via the SPMD failure aggregation); xdp::serve hangs
+/// per-session step/memory/wall-time quota enforcement off it.
+using StepHook = std::function<void(rt::Proc&)>;
+
 /// Interpreter-level execution switches (distinct from RuntimeOptions,
 /// which configure the simulated machine).
 struct InterpOptions {
@@ -59,6 +66,9 @@ struct InterpOptions {
   /// only through InterpStats and speed; off reproduces the naive
   /// guard-per-iteration schedule exactly.
   bool splitGuardedLoops = true;
+  /// Per-statement hook (see StepHook); empty = no per-step overhead
+  /// beyond one branch.
+  StepHook stepHook;
 };
 
 /// A computational kernel callable from IL (e.g. fft1D). Receives the

@@ -84,6 +84,9 @@ class Exec {
 
   void exec(const StmtPtr& s) {
     XDP_CHECK(s != nullptr, "executing null statement");
+    // Step accounting / cancellation point: a quota or cancellation hook
+    // can abort this processor before the statement runs.
+    if (in_.iopts_.stepHook) in_.iopts_.stepHook(proc_);
     stats_.stmtsExecuted += 1;
     switch (s->kind) {
       case StmtKind::Block:

@@ -292,6 +292,9 @@ void Fabric::send(int src, const Name& name, TransferKind kind,
   checkPid(src, "send source");
   if (dest.has_value()) checkPid(*dest, "send destination");
   const std::size_t bytes = payload.size();
+  // Admission first, with no lock held and no state changed: a rejected
+  // send (quota throw) costs the fabric nothing.
+  if (sendHook_) sendHook_(src, bytes);
 
   Message msg;
   msg.name = name;
@@ -561,24 +564,36 @@ std::size_t Fabric::pendingReceiveCount() const {
   return n;
 }
 
-void Fabric::clearMatchState() {
+void Fabric::clearMatchState() { (void)drain(); }
+
+DrainReport Fabric::drain() {
+  DrainReport r;
   {
     std::lock_guard mk(matcherMu_);
+    r.unmatchedMessages += matcherMsgs_.size();
+    // Matcher interest entries mirror posted receives; the receive itself
+    // is counted once, at its endpoint below.
     matcherMsgs_.clear();
     matcherRecvs_.clear();
   }
   for (auto& e : eps_) {
     std::lock_guard lk(e.mu);
+    r.unmatchedMessages += e.unexpected.size();
+    r.unmatchedReceives += e.pending.size();
     e.unexpected.clear();
     e.pending.clear();
   }
   {
     std::lock_guard dk(dupMu_);
+    r.dupEntries = completedDups_.size();
     completedDups_.clear();
   }
   std::lock_guard fk(faultMu_);
-  if (injector_) injector_->takeAllHeld();  // discard, not deliver
+  if (injector_) r.heldFaults = injector_->takeAllHeld().size();  // discard
+  return r;
 }
+
+void Fabric::setSendHook(SendHook hook) { sendHook_ = std::move(hook); }
 
 void Fabric::setFaultPlan(const FaultPlan& plan) {
   std::vector<FaultInjector::Held> due;

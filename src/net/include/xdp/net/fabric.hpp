@@ -89,6 +89,29 @@ struct NetStats {
 /// state; it must not call back into the fabric.
 using CompletionFn = std::function<void(const Message&)>;
 
+/// Invoked at the top of every send (before any accounting or fault
+/// decision) with the source pid and payload size. Throwing aborts the
+/// send with no fabric state changed — the mechanism per-tenant traffic
+/// quotas hang off (see xdp::serve). Must not call back into the fabric.
+using SendHook = std::function<void(int src, std::size_t bytes)>;
+
+/// What a drain (session/region teardown) actually reclaimed, for
+/// hygiene reporting: nonzero counts after a *clean* run indicate leaked
+/// match state (an XDP usage error or a faulted session's residue).
+struct DrainReport {
+  std::size_t unmatchedMessages = 0;  ///< parked at matcher + unexpected
+  std::size_t unmatchedReceives = 0;  ///< posted, never completed
+  std::size_t heldFaults = 0;         ///< reorder holdbacks discarded
+  /// Duplicate-suppression entries reclaimed. Informational: a clean run
+  /// under duplicate faults legitimately accumulates these.
+  std::size_t dupEntries = 0;
+
+  /// Leaked state proper (excludes the informational dup bookkeeping).
+  std::size_t leaked() const {
+    return unmatchedMessages + unmatchedReceives + heldFaults;
+  }
+};
+
 /// Identifies a posted receive, for cancellation of rendezvous interest.
 using ReceiveId = std::uint64_t;
 
@@ -182,6 +205,18 @@ class Fabric {
   /// boundaries so a leaked receive can never fire into a later region).
   /// Also drops fault-injector holdbacks and duplicate-suppression state.
   void clearMatchState();
+
+  /// clearMatchState that reports what it reclaimed — the endpoint-drain
+  /// half of session teardown (xdp::serve). A session that ended cleanly
+  /// drains to an all-zero report; anything else is leaked state the
+  /// session left behind, now reclaimed.
+  DrainReport drain();
+
+  /// Install (or, with nullptr, remove) the send admission hook. NOT
+  /// thread-safe against in-flight sends: set it while no traffic is
+  /// running (before an SPMD region starts); thread creation publishes it
+  /// to the node threads.
+  void setSendHook(SendHook hook);
 
   /// --- fault injection -------------------------------------------------
 
@@ -295,6 +330,10 @@ class Fabric {
 
   const int nprocs_;
   const CostModel model_;
+
+  /// Send admission hook; set only while no traffic runs (see
+  /// setSendHook), read by every sending thread.
+  SendHook sendHook_;
 
   /// Endpoint shards. Sized once in the constructor; never resized, so
   /// the embedded mutexes stay put.

@@ -15,14 +15,26 @@ void runSpmd(int nprocs, const std::function<void(int pid)>& node) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
   threads.reserve(static_cast<std::size_t>(nprocs));
+  // Spawn-failure safety: if creating thread p fails (resource
+  // exhaustion under heavy multi-session load), the failure must be
+  // *collected* like any node failure — never propagated past joinable
+  // threads, where the vector's destructor would std::terminate and race
+  // the teardown of peers that may already have crashed. Unspawned nodes
+  // record the spawn error; everything that did start is always joined.
   for (int p = 0; p < nprocs; ++p) {
-    threads.emplace_back([&, p] {
-      try {
-        node(p);
-      } catch (...) {
-        errors[static_cast<std::size_t>(p)] = std::current_exception();
-      }
-    });
+    try {
+      threads.emplace_back([&, p] {
+        try {
+          node(p);
+        } catch (...) {
+          errors[static_cast<std::size_t>(p)] = std::current_exception();
+        }
+      });
+    } catch (...) {
+      for (int q = p; q < nprocs; ++q)
+        errors[static_cast<std::size_t>(q)] = std::current_exception();
+      break;
+    }
   }
   for (auto& t : threads) t.join();
 

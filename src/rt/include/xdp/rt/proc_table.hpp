@@ -119,6 +119,11 @@ class ProcTable {
   /// Sum of currently owned elements over all symbols (storage footprint).
   std::size_t totalOwnedElems() const;
 
+  /// Bytes currently resident (owned elements x element size, summed over
+  /// all symbols) — the figure per-session memory quotas are enforced
+  /// against (see xdp::serve::Quotas::maxResidentBytes).
+  std::size_t residentBytes() const;
+
   /// Memo-cache effectiveness over this table's lifetime (all symbols).
   struct CacheStats {
     std::uint64_t hits = 0;

@@ -38,9 +38,20 @@ struct RuntimeOptions {
   /// run in which every processor is blocked (await / blocked owner-send /
   /// barrier) with no deliverable message is aborted: blocked waits fail
   /// with a DeadlockError carrying a full diagnostic dump instead of the
-  /// process hanging forever. 0 disables the watchdog; -1 (default) reads
-  /// the XDP_WATCHDOG_MS environment variable, falling back to 10000.
+  /// process hanging forever. 0 disables the watchdog (set it — or
+  /// XDP_WATCHDOG_MS=0 — for debugger runs, where a paused process looks
+  /// quiescent only because nothing is scheduled); -1 (default) reads the
+  /// XDP_WATCHDOG_MS environment variable, falling back to 10000.
+  /// Detection is based on quiescence (every processor provably parked),
+  /// not elapsed time, so sanitizer slowdown cannot cause false
+  /// positives; under heavy slowdown raise the window only to reduce
+  /// polling overhead.
   int watchdogMs = -1;
+  /// Watchdog poll period in milliseconds. -1 (default) reads
+  /// XDP_WATCHDOG_POLL_MS, falling back to watchdogMs/8 clamped to
+  /// [1, 200] — raise it when polling itself is too intrusive (e.g.
+  /// hundreds of concurrent session runtimes under TSan).
+  int watchdogPollMs = -1;
   /// Fault plan to install on the fabric at construction (fault injection
   /// can also be enabled for unmodified drivers via net::FaultScope).
   std::optional<net::FaultPlan> faultPlan;
@@ -49,6 +60,11 @@ struct RuntimeOptions {
 /// The effective watchdog window: `configured` if >= 0, else
 /// XDP_WATCHDOG_MS from the environment, else 10000 ms.
 int resolveWatchdogMs(int configured);
+
+/// The effective watchdog poll period: `configured` if > 0, else
+/// XDP_WATCHDOG_POLL_MS from the environment, else watchdogMs/8 clamped
+/// to [1, 200] ms.
+int resolveWatchdogPollMs(int configured, int watchdogMs);
 
 class Proc;
 
@@ -63,6 +79,13 @@ class Runtime {
   int nprocs() const { return nprocs_; }
   net::Fabric& fabric() { return fabric_; }
   const RuntimeOptions& options() const { return opts_; }
+
+  /// Programmatic watchdog knob: override the construction-time window
+  /// for subsequent run() calls (same semantics as
+  /// RuntimeOptions::watchdogMs; 0 disables, -1 re-reads the
+  /// environment). Call between runs, not during one.
+  void setWatchdogMs(int ms) { watchdogMsOverride_ = ms; }
+  int effectiveWatchdogMs() const;
 
   /// Declare an exclusively-owned distributed array. Must be called before
   /// run(). Returns the symtab index.
@@ -93,6 +116,7 @@ class Runtime {
  private:
   const int nprocs_;
   const RuntimeOptions opts_;
+  std::optional<int> watchdogMsOverride_;
   net::Fabric fabric_;
   std::vector<SymbolDecl> decls_;
   std::vector<std::unique_ptr<ProcTable>> tables_;

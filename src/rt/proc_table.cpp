@@ -616,4 +616,12 @@ std::size_t ProcTable::totalOwnedElems() const {
   return n;
 }
 
+std::size_t ProcTable::residentBytes() const {
+  std::shared_lock lk(mu_);
+  std::size_t n = 0;
+  for (const Entry& e : entries_)
+    n += e.pool.stats.currentElems * e.pool.elemSz;
+  return n;
+}
+
 }  // namespace xdp::rt

@@ -17,15 +17,35 @@
 
 namespace xdp::rt {
 
+namespace {
+
+/// Parse a non-negative integer environment variable; nullopt when unset
+/// or malformed.
+std::optional<int> envInt(const char* name) {
+  const char* env = std::getenv(name);
+  if (!env) return std::nullopt;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end != env && *end == '\0' && v >= 0 && v <= 1000 * 1000 * 1000)
+    return static_cast<int>(v);
+  return std::nullopt;
+}
+
+}  // namespace
+
 int resolveWatchdogMs(int configured) {
   if (configured >= 0) return configured;
-  if (const char* env = std::getenv("XDP_WATCHDOG_MS")) {
-    char* end = nullptr;
-    long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 0 && v <= 1000 * 1000 * 1000)
-      return static_cast<int>(v);
-  }
+  if (auto v = envInt("XDP_WATCHDOG_MS")) return *v;
   return 10000;
+}
+
+int resolveWatchdogPollMs(int configured, int watchdogMs) {
+  if (configured > 0) return configured;
+  if (configured < 0) {
+    if (auto v = envInt("XDP_WATCHDOG_POLL_MS"); v.has_value() && *v > 0)
+      return *v;
+  }
+  return std::clamp(watchdogMs / 8, 1, 200);
 }
 
 Runtime::Runtime(int nprocs, RuntimeOptions opts)
@@ -34,6 +54,10 @@ Runtime::Runtime(int nprocs, RuntimeOptions opts)
 }
 
 Runtime::~Runtime() = default;
+
+int Runtime::effectiveWatchdogMs() const {
+  return resolveWatchdogMs(watchdogMsOverride_.value_or(opts_.watchdogMs));
+}
 
 int Runtime::declareArray(std::string name, ElemType type, Section global,
                           Distribution dist, SegmentShape segShape) {
@@ -115,7 +139,7 @@ void Runtime::run(const std::function<void(Proc&)>& node) {
     tables_[static_cast<std::size_t>(p)] =
         std::make_unique<ProcTable>(p, decls_, opts_.debugChecks);
 
-  const int watchdogMs = resolveWatchdogMs(opts_.watchdogMs);
+  const int watchdogMs = effectiveWatchdogMs();
   auto finished = std::make_unique<std::atomic<bool>[]>(
       static_cast<std::size_t>(nprocs_));
 
@@ -173,8 +197,8 @@ void Runtime::run(const std::function<void(Proc&)>& node) {
 
   std::thread watchdog;
   if (watchdogMs > 0) {
-    const auto poll =
-        std::chrono::milliseconds(std::clamp(watchdogMs / 8, 1, 200));
+    const auto poll = std::chrono::milliseconds(
+        resolveWatchdogPollMs(opts_.watchdogPollMs, watchdogMs));
     watchdog = std::thread([&, poll] {
       std::optional<QuiescenceSnapshot> prev;
       std::unique_lock lk(wdMu);

@@ -1,0 +1,145 @@
+// Multi-tenant session execution: one tenant's .xdp program run through
+// the full pipeline (parse -> static --analyze gate -> optimize ->
+// execute) inside a containment boundary that guarantees NOTHING the
+// session does — crash, deadlock, runaway loop, memory blow-up, fault-
+// injected message loss — can escape to the process hosting it.
+//
+// The boundary is the SessionScope. Per attempt it composes:
+//
+//   * an isolated simulated machine (Runtime + Fabric) whose fault plan
+//     is the session's own, reseeded per attempt so retries see fresh
+//     fault decisions (a deterministic plan would otherwise replay the
+//     exact same drops and make retry pointless);
+//   * a per-session hang watchdog window: a deadlocked session surfaces
+//     as a session-level DeadlockError, never a hung server;
+//   * enforced quotas (logical steps, resident ProcTable bytes, fabric
+//     messages/bytes, wall-time budget) hooked into the interpreter's
+//     statement loop and the fabric's send path. The first breach
+//     cancels the whole session: running processors throw QuotaExceeded
+//     at their next statement, parked processors are woken out of
+//     await/barrier (the watchdog's abort mechanism, reused as a
+//     cancellation point).
+//
+// Transient fabric faults (drop/delay/reorder/stall) are absorbed at the
+// session boundary by bounded retry with exponential backoff; crash
+// faults and quota breaches tear the session down immediately. Teardown
+// always drains the session fabric (endpoint drain + match-state
+// hygiene check) and reports what was reclaimed, so a faulted session
+// can never leak state into the server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "xdp/il/program.hpp"
+#include "xdp/interp/interpreter.hpp"
+#include "xdp/net/fault.hpp"
+
+namespace xdp::serve {
+
+/// Per-tenant resource quotas. 0 = unlimited. Enforcement points:
+/// `maxSteps`/`maxResidentBytes`/`wallBudgetMs` at the interpreter's
+/// per-statement hook (resident bytes and wall clock are sampled every
+/// few steps), `maxMessages`/`maxSendBytes` at the fabric send hook
+/// (checked before the send changes any fabric state).
+struct Quotas {
+  std::uint64_t maxSteps = 0;        ///< executed IL statements, all procs
+  std::size_t maxResidentBytes = 0;  ///< per-processor ProcTable residency
+  std::uint64_t maxMessages = 0;     ///< fabric messages sent
+  std::uint64_t maxSendBytes = 0;    ///< fabric payload bytes sent
+  int wallBudgetMs = 0;              ///< whole-session wall-clock budget
+};
+
+/// Bounded retry with exponential backoff for *transient* failures (a
+/// deadlock under a lossy/perturbing fault plan). Attempt k (1-based)
+/// sleeps backoffBaseMs << (k-2) before running, capped at backoffCapMs.
+struct RetryPolicy {
+  int maxAttempts = 3;   ///< total attempts; 1 = never retry
+  int backoffBaseMs = 1;
+  int backoffCapMs = 50;
+};
+
+/// One tenant's job: a program plus its execution envelope.
+struct SessionRequest {
+  std::string name = "session";
+  /// The program, as .xdp source text...
+  std::string source;
+  /// ...or prebuilt IL (wins over `source` when set).
+  std::shared_ptr<const il::Program> program;
+  bool usePipeline = false;  ///< apply the standard optimization pipeline
+  bool analyze = true;       ///< static Figure-1 gate before execution
+  std::uint64_t fillSeed = 42;
+  Quotas quotas;
+  /// Faults injected into this session's fabric (and nobody else's).
+  std::optional<net::FaultPlan> faultPlan;
+};
+
+enum class SessionOutcome {
+  Completed,         ///< ran to completion; resultDigest is valid
+  RejectedParse,     ///< source did not parse
+  RejectedAnalysis,  ///< static verifier found errors; never executed
+  QuotaExceeded,     ///< a quota breach cancelled the session
+  Crashed,           ///< a crash fault killed an endpoint mid-run
+  Deadlocked,        ///< watchdog-diagnosed deadlock (retries exhausted)
+  Failed,            ///< any other error
+};
+const char* outcomeName(SessionOutcome o);
+
+/// Everything the server knows about a finished session. For failures,
+/// the stats/hygiene fields describe the *final* attempt.
+struct SessionReport {
+  std::uint64_t id = 0;
+  std::string name;
+  SessionOutcome outcome = SessionOutcome::Failed;
+  std::string error;          ///< what() of the final failure ("" if none)
+  std::string quotaResource;  ///< breached quota (outcome QuotaExceeded)
+  int attempts = 0;           ///< 1 + retries used
+  int nprocs = 0;
+
+  /// FNV-1a over every declared array's gathered contents (Completed
+  /// only) — bit-identical runs produce identical digests.
+  std::uint64_t resultDigest = 0;
+
+  interp::InterpStats stats;
+  net::NetStats net;
+  net::FaultStats faults;
+  double makespan = 0.0;  ///< modeled seconds
+  double wallMs = 0.0;    ///< real time, all attempts + backoff
+
+  // --- teardown hygiene -------------------------------------------------
+  /// What draining the session fabric reclaimed (leaked() == 0 for a
+  /// clean session).
+  net::DrainReport drained;
+  /// Bytes still resident in the session's ProcTables at teardown,
+  /// summed over processors (reclaimed with the session; recorded so
+  /// leak trends are visible).
+  std::size_t residentBytesAtTeardown = 0;
+  /// Post-drain re-check: fabric shows zero undelivered messages, zero
+  /// pending receives, zero held faults. False means reclamation itself
+  /// is broken — test_serve_chaos asserts this never happens.
+  bool hygieneClean = false;
+};
+
+/// Server-level execution knobs shared by every session (the per-tenant
+/// envelope rides in SessionRequest).
+struct SessionOptions {
+  bool debugChecks = true;
+  /// Per-session watchdog window; sessions, not the server, own hangs.
+  int watchdogMs = 1000;
+  int watchdogPollMs = -1;
+  bool splitGuardedLoops = true;
+  net::CostModel costModel{};
+  RetryPolicy retry{};
+};
+
+/// Run one session synchronously in the calling thread (the server's
+/// workers call this; tests use it for solo reference runs). Never
+/// throws for session-contained failures — every outcome, including
+/// parse errors and quota kills, is a SessionReport.
+SessionReport runSession(const SessionRequest& req,
+                         const SessionOptions& opts = {},
+                         std::uint64_t id = 0);
+
+}  // namespace xdp::serve

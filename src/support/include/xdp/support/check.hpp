@@ -68,6 +68,22 @@ class FaultAbort : public XdpError {
   explicit FaultAbort(std::string what) : XdpError(std::move(what)) {}
 };
 
+/// Error thrown when a multi-tenant session exceeds one of its enforced
+/// resource quotas (logical steps, resident bytes, fabric messages/bytes,
+/// wall-time budget — see xdp::serve::Quotas). `resource()` names the
+/// breached quota so reports can aggregate by kind.
+class QuotaExceeded : public XdpError {
+ public:
+  QuotaExceeded(std::string resource, std::string what)
+      : XdpError("quota exceeded [" + resource + "]: " + what),
+        resource_(std::move(resource)) {}
+
+  const std::string& resource() const { return resource_; }
+
+ private:
+  std::string resource_;
+};
+
 namespace detail {
 [[noreturn]] void checkFailed(const char* file, int line, const char* expr,
                               const std::string& msg);

@@ -5,11 +5,13 @@
 // via FaultScope.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "xdp/apps/jacobi.hpp"
 #include "xdp/net/fabric.hpp"
+#include "xdp/rt/proc.hpp"
 #include "xdp/support/check.hpp"
 
 namespace xdp::net {
@@ -346,6 +348,100 @@ TEST(FaultInjection, FaultScopeIsAdoptedByNewFabricsAndRestoredOnExit) {
   EXPECT_FALSE(currentGlobalFaultPlan().has_value());
   Fabric f(2);
   EXPECT_FALSE(f.hasFaultPlan());
+}
+
+TEST(FaultInjection, NestedScopeFabricKeepsItsPlanWhenScopesUnwind) {
+  // A fabric snapshots the innermost plan at construction; the scopes
+  // unwinding afterwards must not reach back into it.
+  Fabric* made = nullptr;
+  std::optional<Fabric> f;
+  {
+    FaultPlan outer;
+    outer.dupProb = 1.0;
+    FaultScope faults(outer);
+    {
+      FaultPlan inner;
+      inner.reorderProb = 1.0;
+      FaultScope nested(inner);
+      f.emplace(2);
+      made = &*f;
+    }
+  }
+  ASSERT_NE(made, nullptr);
+  EXPECT_TRUE(made->hasFaultPlan());
+  // The inner plan (reorder, non-dup) is still live: a send with no
+  // posted receive is held back, not duplicated.
+  made->send(0, name(1, 1, 1), TransferKind::Data, bytes({1}), 1);
+  EXPECT_EQ(made->heldFaultCount(), 1u);
+  EXPECT_EQ(made->faultStats().duplicated, 0u);
+  // Hygiene: draining reclaims the held message and nothing survives.
+  DrainReport d = made->drain();
+  EXPECT_EQ(d.heldFaults, 1u);
+  EXPECT_EQ(made->heldFaultCount(), 0u);
+  EXPECT_EQ(made->undeliveredCount(), 0u);
+  EXPECT_EQ(made->pendingReceiveCount(), 0u);
+}
+
+TEST(FaultInjection, CrashWhilePeerIsParkedInAwait) {
+  // p1 parks in await on a message only p0 can send; p0's endpoint dies
+  // on its first send. The crash surfaces (aggregated under the peer's
+  // watchdog-diagnosed deadlock), and teardown leaves no match state.
+  rt::RuntimeOptions o;
+  o.debugChecks = true;
+  o.watchdogMs = 100;
+  FaultPlan plan;
+  plan.crashPids = {0};
+  plan.crashAfterSends = 0;
+  o.faultPlan = plan;
+  rt::Runtime rt(2, o);
+  const Section all{Triplet(1, 8)};
+  int A = rt.declareArray<double>(
+      "A", all, dist::Distribution(all, {dist::DimSpec::block(2)}));
+  EXPECT_THROW(rt.run([&](rt::Proc& p) {
+                 if (p.mypid() == 1) {
+                   p.recv(A, Section{Triplet(5, 8)}, A, Section{Triplet(1, 4)});
+                   p.await(A, Section{Triplet(5, 8)});
+                 } else {
+                   p.send(A, Section{Triplet(1, 4)}, std::vector<int>{1});
+                 }
+               }),
+               XdpError);
+  EXPECT_EQ(rt.fabric().faultStats().crashed, 1u);
+  // p1's posted receive is the only survivor; draining reclaims it.
+  DrainReport d = rt.fabric().drain();
+  EXPECT_GE(d.unmatchedReceives, 1u);
+  EXPECT_EQ(rt.fabric().undeliveredCount(), 0u);
+  EXPECT_EQ(rt.fabric().pendingReceiveCount(), 0u);
+  EXPECT_EQ(rt.fabric().heldFaultCount(), 0u);
+}
+
+TEST(FaultInjection, CrashBudgetExhaustsMidBurst) {
+  // The crash budget runs out in the middle of a send burst: everything
+  // before the budget is delivered normally, everything at/after it
+  // aborts, and the fabric stays hygienic for the surviving endpoints.
+  FaultPlan plan;
+  plan.crashPids = {0};
+  plan.crashAfterSends = 2;
+  Fabric f(2);
+  f.setFaultPlan(plan);
+  std::vector<int> got;
+  for (int i = 0; i < 4; ++i)
+    f.postReceive(1, name(1, i + 1, i + 1), TransferKind::Data,
+                  [&, i](const Message&) { got.push_back(i); });
+  f.send(0, name(1, 1, 1), TransferKind::Data, bytes({1}), 1);
+  f.send(0, name(1, 2, 2), TransferKind::Data, bytes({2}), 1);
+  EXPECT_THROW(f.send(0, name(1, 3, 3), TransferKind::Data, bytes({3}), 1),
+               FaultAbort);
+  EXPECT_THROW(f.send(0, name(1, 4, 4), TransferKind::Data, bytes({4}), 1),
+               FaultAbort);
+  EXPECT_EQ(got, (std::vector<int>{0, 1}));
+  EXPECT_EQ(f.faultStats().crashed, 1u);
+  // The two receives the dead endpoint never fed are reclaimed by drain.
+  DrainReport d = f.drain();
+  EXPECT_EQ(d.unmatchedReceives, 2u);
+  EXPECT_EQ(d.unmatchedMessages, 0u);
+  EXPECT_EQ(f.pendingReceiveCount(), 0u);
+  EXPECT_EQ(f.undeliveredCount(), 0u);
 }
 
 TEST(FaultInjection, JacobiSurvivesNonLossyFaultsUnmodified) {

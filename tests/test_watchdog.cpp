@@ -49,6 +49,55 @@ TEST(WatchdogConfig, ResolvesConfiguredValueThenEnvThenDefault) {
   EXPECT_EQ(resolveWatchdogMs(-1), 10000);
 }
 
+TEST(WatchdogConfig, PollResolvesConfiguredValueThenEnvThenFraction) {
+  // An explicit poll period always wins.
+  EXPECT_EQ(resolveWatchdogPollMs(50, 1000), 50);
+  // -1 reads the environment.
+  ::setenv("XDP_WATCHDOG_POLL_MS", "33", 1);
+  EXPECT_EQ(resolveWatchdogPollMs(-1, 1000), 33);
+  // 0 means "derive from the window" even when the env var is set.
+  EXPECT_EQ(resolveWatchdogPollMs(0, 1000), 125);
+  ::unsetenv("XDP_WATCHDOG_POLL_MS");
+  // The derived fraction is watchdogMs/8 clamped to [1, 200].
+  EXPECT_EQ(resolveWatchdogPollMs(-1, 1000), 125);
+  EXPECT_EQ(resolveWatchdogPollMs(-1, 4), 1);
+  EXPECT_EQ(resolveWatchdogPollMs(-1, 100000), 200);
+}
+
+TEST(WatchdogConfig, RuntimeOverrideChangesEffectiveWindow) {
+  Runtime rt(2, watched(5000));
+  EXPECT_EQ(rt.effectiveWatchdogMs(), 5000);
+  rt.setWatchdogMs(80);
+  EXPECT_EQ(rt.effectiveWatchdogMs(), 80);
+  rt.setWatchdogMs(0);  // disabled
+  EXPECT_EQ(rt.effectiveWatchdogMs(), 0);
+  ::setenv("XDP_WATCHDOG_MS", "777", 1);
+  rt.setWatchdogMs(-1);  // re-read the environment
+  EXPECT_EQ(rt.effectiveWatchdogMs(), 777);
+  ::unsetenv("XDP_WATCHDOG_MS");
+}
+
+TEST(WatchdogConfig, OverriddenWindowGovernsTheNextRun) {
+  // Construct with a window long enough that the test would time out if
+  // the override were ignored, then shrink it programmatically; the
+  // deadlock must be diagnosed under the small window.
+  Runtime rt(2, watched(60000));
+  rt.setWatchdogMs(100);
+  int A = declareBlocked(rt, "A", 8, 2);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(rt.run([&](Proc& p) {
+                 if (p.mypid() == 0) {
+                   p.recv(A, Section{Triplet(1, 4)}, A, Section{Triplet(5, 8)});
+                   p.await(A, Section{Triplet(1, 4)});
+                 }
+               }),
+               DeadlockError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 30000);
+}
+
 TEST(Watchdog, OrphanedReceiveIsDiagnosedAsDeadlock) {
   Runtime rt(2, watched());
   int A = declareBlocked(rt, "A", 8, 2);

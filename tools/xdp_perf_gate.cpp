@@ -1,0 +1,170 @@
+// xdp_perf_gate — the checked-in perf-trajectory regression gate.
+//
+// Reads bench/PERF_TRAJECTORY.json (one expectation per line; see that
+// file) and the BENCH_<exe>.json files a bench-smoke run emitted, and
+// fails loudly when any tracked counter drifts outside its tolerance.
+// The tracked counters are the *deterministic modeled* figures
+// (modeled_s, msgs, bytes, completed-session counts) — never wall time,
+// so the gate is stable on loaded CI machines; wall-clock trends belong
+// to full bench runs, not to a pass/fail gate.
+//
+//   xdp_perf_gate bench/PERF_TRAJECTORY.json build/bench/smoke
+//
+// On failure the actual value is printed next to the expectation, so
+// updating the trajectory after an *intentional* change is an edit of
+// the printed line. Exit codes: 0 = all entries within tolerance,
+// 1 = regression (or missing file/benchmark/counter), 2 = usage error.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Expectation {
+  std::string file;     // BENCH_*.json under the bench dir
+  std::string name;     // benchmark row name, e.g. "BM_Jacobi/0/32"
+  std::string counter;  // top-level numeric key in the row
+  double value = 0.0;
+  double relTol = 0.01;
+};
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The quoted string value of `key` within `line`, if present.
+std::optional<std::string> quotedField(const std::string& line,
+                                       const std::string& key) {
+  const std::string tag = "\"" + key + "\":";
+  auto pos = line.find(tag);
+  if (pos == std::string::npos) return std::nullopt;
+  pos = line.find('"', pos + tag.size());
+  if (pos == std::string::npos) return std::nullopt;
+  const auto end = line.find('"', pos + 1);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(pos + 1, end - pos - 1);
+}
+
+std::optional<double> numberField(const std::string& line,
+                                  const std::string& key) {
+  const std::string tag = "\"" + key + "\":";
+  const auto pos = line.find(tag);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* s = line.c_str() + pos + tag.size();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return std::nullopt;
+  return v;
+}
+
+/// Parse the trajectory file: every line holding a "file" key is one
+/// expectation object (the surrounding JSON array syntax is decorative).
+std::vector<Expectation> parseTrajectory(const std::string& text) {
+  std::vector<Expectation> out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    const auto file = quotedField(line, "file");
+    if (!file) continue;
+    Expectation e;
+    e.file = *file;
+    e.name = quotedField(line, "name").value_or("");
+    e.counter = quotedField(line, "counter").value_or("");
+    e.value = numberField(line, "value").value_or(0.0);
+    e.relTol = numberField(line, "rel_tol").value_or(0.01);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+/// The value of `counter` in the benchmark row named `name`: scan to the
+/// row's `"name": "<name>"` key, then read keys up to the next row.
+std::optional<double> rowCounter(const std::string& json,
+                                 const std::string& name,
+                                 const std::string& counter) {
+  const std::string tag = "\"name\": \"" + name + "\"";
+  const auto pos = json.find(tag);
+  if (pos == std::string::npos) return std::nullopt;
+  auto end = json.find("\"name\":", pos + tag.size());
+  if (end == std::string::npos) end = json.size();
+  const std::string row = json.substr(pos, end - pos);
+  return numberField(row, counter);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s TRAJECTORY_JSON BENCH_JSON_DIR\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto traj = slurp(argv[1]);
+  if (!traj) {
+    std::fprintf(stderr, "xdp_perf_gate: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  const std::vector<Expectation> entries = parseTrajectory(*traj);
+  if (entries.empty()) {
+    std::fprintf(stderr, "xdp_perf_gate: %s holds no expectations\n",
+                 argv[1]);
+    return 2;
+  }
+
+  const std::string dir = argv[2];
+  int failures = 0;
+  for (const Expectation& e : entries) {
+    const std::string path = dir + "/" + e.file;
+    const auto json = slurp(path);
+    if (!json) {
+      std::fprintf(stderr,
+                   "FAIL %s %s.%s: missing %s (did the bench-smoke run "
+                   "precede the gate?)\n",
+                   e.file.c_str(), e.name.c_str(), e.counter.c_str(),
+                   path.c_str());
+      ++failures;
+      continue;
+    }
+    const auto actual = rowCounter(*json, e.name, e.counter);
+    if (!actual) {
+      std::fprintf(stderr, "FAIL %s: no counter '%s' in benchmark '%s'\n",
+                   e.file.c_str(), e.counter.c_str(), e.name.c_str());
+      ++failures;
+      continue;
+    }
+    const double tol = e.relTol * std::max(std::fabs(e.value), 1e-12);
+    if (std::fabs(*actual - e.value) > tol) {
+      std::fprintf(stderr,
+                   "FAIL %s %s.%s: expected %.9g +- %g%%, got %.9g "
+                   "(drift %+.2f%%)\n",
+                   e.file.c_str(), e.name.c_str(), e.counter.c_str(),
+                   e.value, e.relTol * 100.0, *actual,
+                   (*actual - e.value) / std::max(std::fabs(e.value), 1e-12) *
+                       100.0);
+      ++failures;
+    } else {
+      std::printf("ok   %s %s.%s = %.9g\n", e.file.c_str(), e.name.c_str(),
+                  e.counter.c_str(), *actual);
+    }
+  }
+  if (failures) {
+    std::fprintf(stderr,
+                 "xdp_perf_gate: %d of %zu tracked counters regressed — "
+                 "if the change is intentional, update %s with the values "
+                 "printed above\n",
+                 failures, entries.size(), argv[1]);
+    return 1;
+  }
+  std::printf("xdp_perf_gate: all %zu tracked counters within tolerance\n",
+              entries.size());
+  return 0;
+}
