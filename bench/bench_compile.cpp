@@ -1,0 +1,205 @@
+// Bytecode backend benchmarks: compilation throughput of the flat-IL
+// pipeline (flatten + bc::compile, in statements/s), and execution
+// throughput of the two interpreter backends on IL programs the VM can
+// compile hot.
+//
+// Counters (deterministic ones are gated by PERF_TRAJECTORY.json):
+//   stmts_per_s       flat statement rows compiled per second (rate)
+//   flat_nodes        flat::FlatProgram::nodeCount() (deterministic)
+//   hot / cold        bc::Module statement split (deterministic)
+//   logical_ops       stmts + loop iters + rule evals + elem assigns,
+//                     summed over processors; must be identical for both
+//                     backends on the same program (deterministic)
+//   logical_ops_per_s backend throughput on those ops (rate) — the
+//                     tree-walk vs VM rows are the speedup measurement
+#include <benchmark/benchmark.h>
+
+#include "xdp/il/flat.hpp"
+#include "xdp/il/program.hpp"
+#include "xdp/interp/bytecode.hpp"
+#include "xdp/interp/interpreter.hpp"
+
+using namespace xdp;
+
+namespace {
+
+/// A synthetic program with ~n top-level statements mixing the kinds the
+/// compiler sees in practice: scalar arithmetic, element loops, and
+/// ownership-guarded compute.
+il::Program buildSynthetic(int n) {
+  il::Program prog;
+  prog.nprocs = 2;
+  sec::Section g{sec::Triplet(1, 64)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 dist::Distribution(g, {dist::DimSpec::block(2)}), {}});
+  std::vector<il::StmtPtr> body;
+  for (int k = 0; k < n; ++k) {
+    switch (k % 3) {
+      case 0:
+        body.push_back(il::scalarAssign(
+            "s" + std::to_string(k % 8),
+            il::add(il::intConst(k), il::mul(il::intConst(3),
+                                             il::intConst(k % 7)))));
+        break;
+      case 1:
+        body.push_back(il::forLoop(
+            "i", il::intConst(1), il::intConst(8),
+            il::block({il::elemAssign(
+                0, il::secPoint({il::scalar("i")}),
+                il::add(il::elem(0, il::secPoint({il::scalar("i")})),
+                        il::realConst(0.5)))})));
+        break;
+      default:
+        body.push_back(il::guarded(
+            il::iown(0, il::secPoint({il::intConst(k % 64 + 1)})),
+            il::block({il::computeCost(il::intConst(1))})));
+        break;
+    }
+  }
+  prog.body = il::block(std::move(body));
+  return prog;
+}
+
+void BM_FlattenCompile(benchmark::State& state) {
+  il::Program prog = buildSynthetic(static_cast<int>(state.range(0)));
+  std::size_t flatStmts = 0, nodes = 0;
+  std::uint32_t hot = 0, cold = 0;
+  for (auto _ : state) {
+    il::flat::FlatProgram fp = il::flat::flatten(prog);
+    interp::bc::Module m = interp::bc::compile(fp);
+    benchmark::DoNotOptimize(m.code.data());
+    flatStmts = fp.stmts.size();
+    nodes = fp.nodeCount();
+    hot = m.hotStmts;
+    cold = m.coldStmts;
+  }
+  state.counters["stmts_per_s"] = benchmark::Counter(
+      static_cast<double>(flatStmts) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["flat_nodes"] = static_cast<double>(nodes);
+  state.counters["hot"] = static_cast<double>(hot);
+  state.counters["cold"] = static_cast<double>(cold);
+}
+
+/// Guard-free 3-point stencil over n elements (kSweeps sweeps). Every
+/// statement compiles hot, so this is the VM's best case: the number it
+/// reports is the headline tree-walk vs VM logical-op throughput.
+il::Program buildStencil(sec::Index n) {
+  il::Program prog;
+  prog.nprocs = 1;
+  sec::Section g{sec::Triplet(1, n)};
+  dist::Distribution d(g, {dist::DimSpec::block(1)});
+  prog.addArray({"A", rt::ElemType::F64, g, d, {}});
+  prog.addArray({"B", rt::ElemType::F64, g, d, {}});
+  auto pt = [](il::ExprPtr e) { return il::secPoint({std::move(e)}); };
+  auto i = [] { return il::scalar("i"); };
+  std::vector<il::StmtPtr> body;
+  body.push_back(il::forLoop(
+      "i", il::intConst(1), il::intConst(n),
+      il::block({
+          il::elemAssign(1, pt(i()),
+                         il::mul(il::realConst(0.3), i())),
+          il::elemAssign(0, pt(i()), il::realConst(0.0)),
+      })));
+  constexpr int kSweeps = 8;
+  body.push_back(il::forLoop(
+      "t", il::intConst(1), il::intConst(kSweeps),
+      il::block({
+          il::forLoop(
+              "i", il::intConst(2), il::intConst(n - 1),
+              il::block({il::elemAssign(
+                  0, pt(i()),
+                  il::add(
+                      il::mul(il::realConst(0.25),
+                              il::elem(1, pt(il::sub(i(), il::intConst(1))))),
+                      il::add(il::mul(il::realConst(0.5),
+                                      il::elem(1, pt(i()))),
+                              il::mul(il::realConst(0.25),
+                                      il::elem(1, pt(il::add(
+                                                  i(), il::intConst(1))))))))})),
+          il::forLoop("i", il::intConst(2), il::intConst(n - 1),
+                      il::block({il::elemAssign(1, pt(i()),
+                                                il::elem(0, pt(i())))})),
+      })));
+  prog.body = il::block(std::move(body));
+  return prog;
+}
+
+/// The same stencil under per-iteration iown guards on 4 processors —
+/// jacobi-shaped owner-computes code, where every guard is a cold
+/// EvalRule callback into ProcTable. Shows what guards cost both engines.
+il::Program buildGuardedStencil(sec::Index n) {
+  il::Program prog;
+  prog.nprocs = 4;
+  sec::Section g{sec::Triplet(1, n)};
+  dist::Distribution d(g, {dist::DimSpec::block(4)});
+  prog.addArray({"A", rt::ElemType::F64, g, d, {}});
+  auto pt = [](il::ExprPtr e) { return il::secPoint({std::move(e)}); };
+  auto i = [] { return il::scalar("i"); };
+  constexpr int kSweeps = 8;
+  prog.body = il::block({
+      il::forLoop("i", il::intConst(1), il::intConst(n),
+                  il::block({il::guarded(
+                      il::iown(0, pt(i())),
+                      il::block({il::elemAssign(
+                          0, pt(i()), il::mul(il::realConst(0.1), i()))}))})),
+      il::forLoop(
+          "t", il::intConst(1), il::intConst(kSweeps),
+          il::block({il::forLoop(
+              "i", il::intConst(1), il::intConst(n),
+              il::block({il::guarded(
+                  il::iown(0, pt(i())),
+                  il::block({il::elemAssign(
+                      0, pt(i()),
+                      il::add(il::elem(0, pt(i())),
+                              il::realConst(1.0)))}))}))})),
+  });
+  return prog;
+}
+
+std::uint64_t logicalOps(const interp::InterpStats& s) {
+  return s.stmtsExecuted + s.loopIterations + s.rulesEvaluated +
+         s.elemAssigns;
+}
+
+void runExec(benchmark::State& state, const il::Program& prog) {
+  interp::InterpOptions io;
+  io.backend = state.range(0) == 0 ? interp::Backend::TreeWalk
+                                   : interp::Backend::Bytecode;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    interp::Interpreter in(prog, {}, io);
+    in.run();
+    ops = logicalOps(in.totalStats());
+  }
+  state.counters["logical_ops"] = static_cast<double>(ops);
+  state.counters["logical_ops_per_s"] = benchmark::Counter(
+      static_cast<double>(ops) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(state.range(0) == 0 ? "tree-walk" : "bytecode-vm");
+}
+
+void BM_StencilExec(benchmark::State& state) {
+  runExec(state, buildStencil(state.range(1)));
+}
+
+void BM_GuardedStencilExec(benchmark::State& state) {
+  runExec(state, buildGuardedStencil(state.range(1)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_FlattenCompile)->Arg(64)->Arg(1024);
+// Process CPU time: the SPMD runtime executes on worker threads, so the
+// calling thread's CPU misses the interpreter work and wall time is
+// mostly thread orchestration on small runs. Process CPU counts the
+// interpreter itself, and the rate counters divide by it.
+BENCHMARK(BM_StencilExec)
+    ->ArgsProduct({{0, 1}, {256, 4096}})
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime();
+BENCHMARK(BM_GuardedStencilExec)
+    ->ArgsProduct({{0, 1}, {256}})
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime();

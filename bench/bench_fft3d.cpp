@@ -69,6 +69,38 @@ void BM_Fft3d(benchmark::State& state) {
                  (cfg.skewCost > 0 ? "/skewed" : "/uniform"));
 }
 
+// Backend comparison on the same staged programs: wall-clock execution
+// throughput of the tree-walking interpreter vs the bytecode VM, with the
+// deterministic logical-op count as the parity check (both backends must
+// report the same logical_ops for a given stage — the perf gate pins it).
+void BM_Fft3dExec(benchmark::State& state) {
+  apps::Fft3dConfig cfg;
+  cfg.n = state.range(1);
+  cfg.nprocs = 4;
+  const int stage = static_cast<int>(state.range(0));
+  il::Program prog = buildStage(cfg, stage);
+
+  interp::InterpOptions io;
+  io.backend = state.range(2) == 0 ? interp::Backend::TreeWalk
+                                   : interp::Backend::Bytecode;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    interp::Interpreter in(prog, {}, io);
+    apps::registerFillKernel(in, cfg.seed);
+    apps::registerFftKernels(in, cfg.flopCost);
+    in.run();
+    const auto s = in.totalStats();
+    ops = s.stmtsExecuted + s.loopIterations + s.rulesEvaluated +
+          s.elemAssigns;
+  }
+  state.counters["logical_ops"] = static_cast<double>(ops);
+  state.counters["logical_ops_per_s"] = benchmark::Counter(
+      static_cast<double>(ops) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(stageName(stage)) +
+                 (state.range(2) == 0 ? "/tree-walk" : "/bytecode-vm"));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Fft3d)
@@ -76,3 +108,9 @@ BENCHMARK(BM_Fft3d)
                    {8, 16, 32},
                    {0, 1}})
     ->Unit(benchmark::kMillisecond);
+// Process CPU: interpreter work happens on SPMD worker threads (see
+// bench_compile.cpp) — wall time would mostly measure thread setup.
+BENCHMARK(BM_Fft3dExec)
+    ->ArgsProduct({{kStage1, kBound}, {8, 16}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();

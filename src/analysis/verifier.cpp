@@ -18,6 +18,7 @@
 
 #include "xdp/il/printer.hpp"
 #include "xdp/rt/types.hpp"
+#include "xdp/support/arith.hpp"
 #include "xdp/support/check.hpp"
 
 namespace xdp::analysis {
@@ -765,7 +766,8 @@ class PidExec {
       case ExprKind::Neg: {
         AbsVal v = evalValue(e->lhs);
         if (!v) return std::nullopt;
-        if (std::holds_alternative<Index>(*v)) return Value(-std::get<Index>(*v));
+        if (std::holds_alternative<Index>(*v))
+          return Value(arith::wrapNeg(std::get<Index>(*v)));
         return Value(-asRealV(*v));
       }
       case ExprKind::Not: {
@@ -890,24 +892,36 @@ class PidExec {
     const bool bothInt =
         std::holds_alternative<Index>(a) && std::holds_alternative<Index>(b);
     switch (e->op) {
+      // Same wrap/trap semantics as both execution backends (see
+      // xdp/support/arith.hpp); would-trap divisions become "unknown"
+      // instead of faulting the analysis.
       case BinOp::Add:
-        return bothInt ? Value(std::get<Index>(a) + std::get<Index>(b))
-                       : Value(asRealV(a) + asRealV(b));
+        return bothInt
+                   ? Value(arith::wrapAdd(std::get<Index>(a), std::get<Index>(b)))
+                   : Value(asRealV(a) + asRealV(b));
       case BinOp::Sub:
-        return bothInt ? Value(std::get<Index>(a) - std::get<Index>(b))
-                       : Value(asRealV(a) - asRealV(b));
+        return bothInt
+                   ? Value(arith::wrapSub(std::get<Index>(a), std::get<Index>(b)))
+                   : Value(asRealV(a) - asRealV(b));
       case BinOp::Mul:
-        return bothInt ? Value(std::get<Index>(a) * std::get<Index>(b))
-                       : Value(asRealV(a) * asRealV(b));
-      case BinOp::Div:
+        return bothInt
+                   ? Value(arith::wrapMul(std::get<Index>(a), std::get<Index>(b)))
+                   : Value(asRealV(a) * asRealV(b));
+      case BinOp::Div: {
         if (bothInt) {
-          if (std::get<Index>(b) == 0) return std::nullopt;
-          return Value(std::get<Index>(a) / std::get<Index>(b));
+          if (auto q = arith::tryFoldDiv(std::get<Index>(a),
+                                         std::get<Index>(b)))
+            return Value(*q);
+          return std::nullopt;
         }
         return Value(asRealV(a) / asRealV(b));
-      case BinOp::Mod:
-        if (!bothInt || std::get<Index>(b) == 0) return std::nullopt;
-        return Value(std::get<Index>(a) % std::get<Index>(b));
+      }
+      case BinOp::Mod: {
+        if (!bothInt) return std::nullopt;
+        if (auto r = arith::tryFoldMod(std::get<Index>(a), std::get<Index>(b)))
+          return Value(*r);
+        return std::nullopt;
+      }
       case BinOp::Lt:
         return Value(asRealV(a) < asRealV(b));
       case BinOp::Le:

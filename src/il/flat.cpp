@@ -1,0 +1,285 @@
+#include "xdp/il/flat.hpp"
+
+#include <unordered_map>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::il::flat {
+namespace {
+
+/// One flattening run: memoizes on AST node addresses so shared subtrees
+/// (the AST is a DAG — passes share untouched operands across rewrites)
+/// become shared refs, and appends nodes post-order so every child ref is
+/// numerically smaller than its parent's index.
+class Flattener {
+ public:
+  explicit Flattener(FlatProgram& out) : out_(out) {}
+
+  ExprRef expr(const ExprPtr& e) {
+    if (e == nullptr) return {};
+    if (auto it = exprMemo_.find(e.get()); it != exprMemo_.end())
+      return {it->second};
+    Expr n;
+    n.kind = e->kind;
+    n.op = e->op;
+    n.sym = e->sym;
+    n.dim = e->dim;
+    n.intVal = e->intVal;
+    n.realVal = e->realVal;
+    if (e->kind == ExprKind::ScalarRef) n.scalarId = internScalar(e->name);
+    n.lhs = expr(e->lhs);
+    n.rhs = expr(e->rhs);
+    n.section = sec(e->section);
+    const auto id = static_cast<std::uint32_t>(out_.exprs.size());
+    out_.exprs.push_back(n);
+    exprMemo_.emplace(e.get(), id);
+    return {id};
+  }
+
+  SecRef sec(const SectionExprPtr& se) {
+    if (se == nullptr) return {};
+    if (auto it = secMemo_.find(se.get()); it != secMemo_.end())
+      return {it->second};
+    Sec n;
+    n.kind = se->kind;
+    n.sym = se->sym;
+    n.dist = internDist(se->distOverride);
+    n.pid = expr(se->pid);
+    n.a = sec(se->a);
+    n.b = sec(se->b);
+    if (!se->dims.empty()) {
+      // Flatten the bound expressions first, then emit the span in one
+      // contiguous run (recursion above may itself append triplets).
+      std::vector<TripletRef> dims;
+      dims.reserve(se->dims.size());
+      for (const auto& t : se->dims)
+        dims.push_back({expr(t.lb), expr(t.ub), expr(t.stride)});
+      n.dimsOff = static_cast<std::uint32_t>(out_.triplets.size());
+      n.dimsLen = static_cast<std::uint32_t>(dims.size());
+      out_.triplets.insert(out_.triplets.end(), dims.begin(), dims.end());
+    }
+    const auto id = static_cast<std::uint32_t>(out_.secs.size());
+    out_.secs.push_back(n);
+    secMemo_.emplace(se.get(), id);
+    return {id};
+  }
+
+  StmtRef stmt(const StmtPtr& s) {
+    if (s == nullptr) return {};
+    if (auto it = stmtMemo_.find(s.get()); it != stmtMemo_.end())
+      return {it->second};
+    Stmt n;
+    n.kind = s->kind;
+    n.withValue = s->withValue;
+    n.sym = s->sym;
+    n.sym2 = s->sym2;
+    n.linkId = s->linkId;
+    if (s->kind == StmtKind::ScalarAssign || s->kind == StmtKind::For)
+      n.scalarId = internScalar(s->name);
+    else if (s->kind == StmtKind::Kernel)
+      n.nameId = internName(s->name);
+    n.value = expr(s->value);
+    n.lhs = sec(s->lhs);
+    n.rhs = expr(s->rhs);
+    n.lb = expr(s->lb);
+    n.ub = expr(s->ub);
+    n.step = expr(s->step);
+    n.body = stmt(s->body);
+    n.rule = expr(s->rule);
+    n.sec2 = sec(s->sec2);
+    n.bindHint = expr(s->bindHint);
+    switch (s->dest.kind) {
+      case DestSpec::Kind::None:
+        n.destKind = DestKind::None;
+        break;
+      case DestSpec::Kind::Pids: {
+        n.destKind = DestKind::Pids;
+        std::vector<ExprRef> pids;
+        pids.reserve(s->dest.pids.size());
+        for (const auto& p : s->dest.pids) pids.push_back(expr(p));
+        n.destPidsOff = static_cast<std::uint32_t>(out_.exprKids.size());
+        n.destPidsLen = static_cast<std::uint32_t>(pids.size());
+        out_.exprKids.insert(out_.exprKids.end(), pids.begin(), pids.end());
+        break;
+      }
+      case DestSpec::Kind::OwnerOf:
+        n.destKind = DestKind::OwnerOf;
+        n.destSym = s->dest.sym;
+        n.destSection = sec(s->dest.section);
+        n.destDist = internDist(s->dest.distOverride);
+        break;
+    }
+    if (!s->args.empty()) {
+      std::vector<KernelArg> args;
+      args.reserve(s->args.size());
+      for (const auto& [sym, se] : s->args) args.push_back({sym, sec(se)});
+      n.argsOff = static_cast<std::uint32_t>(out_.kernelArgs.size());
+      n.argsLen = static_cast<std::uint32_t>(args.size());
+      out_.kernelArgs.insert(out_.kernelArgs.end(), args.begin(), args.end());
+    }
+    if (!s->stmts.empty()) {
+      std::vector<StmtRef> kids;
+      kids.reserve(s->stmts.size());
+      for (const auto& c : s->stmts) kids.push_back(stmt(c));
+      n.kidsOff = static_cast<std::uint32_t>(out_.stmtKids.size());
+      n.kidsLen = static_cast<std::uint32_t>(kids.size());
+      out_.stmtKids.insert(out_.stmtKids.end(), kids.begin(), kids.end());
+    }
+    const auto id = static_cast<std::uint32_t>(out_.stmts.size());
+    out_.stmts.push_back(n);
+    stmtMemo_.emplace(s.get(), id);
+    return {id};
+  }
+
+ private:
+  std::int32_t internScalar(const std::string& name) {
+    auto [it, fresh] = scalarIds_.emplace(
+        name, static_cast<std::int32_t>(out_.scalarNames.size()));
+    if (fresh) out_.scalarNames.push_back(name);
+    return it->second;
+  }
+
+  std::int32_t internName(const std::string& name) {
+    auto [it, fresh] =
+        nameIds_.emplace(name, static_cast<std::int32_t>(out_.names.size()));
+    if (fresh) out_.names.push_back(name);
+    return it->second;
+  }
+
+  std::int32_t internDist(const std::optional<dist::Distribution>& d) {
+    if (!d.has_value()) return -1;
+    out_.dists.push_back(*d);
+    return static_cast<std::int32_t>(out_.dists.size() - 1);
+  }
+
+  FlatProgram& out_;
+  std::unordered_map<const void*, std::uint32_t> exprMemo_;
+  std::unordered_map<const void*, std::uint32_t> secMemo_;
+  std::unordered_map<const void*, std::uint32_t> stmtMemo_;
+  std::unordered_map<std::string, std::int32_t> scalarIds_;
+  std::unordered_map<std::string, std::int32_t> nameIds_;
+};
+
+}  // namespace
+
+FlatProgram flatten(const il::Program& prog) {
+  FlatProgram fp;
+  fp.nprocs = prog.nprocs;
+  fp.arrays = prog.arrays;
+  Flattener fl(fp);
+  fp.body = fl.stmt(prog.body);
+  return fp;
+}
+
+namespace {
+
+/// Appends "where: what" for every malformed ref/span found under `check`.
+struct Verifier {
+  const FlatProgram& fp;
+  std::vector<std::string> problems;
+
+  void bad(const std::string& where, const std::string& what) {
+    problems.push_back(where + ": " + what);
+  }
+
+  void expr(ExprRef r, std::uint32_t parent, const char* where) {
+    if (!r.valid()) return;
+    if (r.id >= fp.exprs.size())
+      bad(where, "expr ref " + std::to_string(r.id) + " out of range");
+    else if (r.id >= parent && parent != kNone)
+      bad(where, "expr ref " + std::to_string(r.id) +
+                     " not strictly before parent " + std::to_string(parent));
+  }
+
+  void sec(SecRef r, const char* where) {
+    if (!r.valid()) return;
+    if (r.id >= fp.secs.size())
+      bad(where, "sec ref " + std::to_string(r.id) + " out of range");
+  }
+
+  void span(std::uint32_t off, std::uint32_t len, std::size_t limit,
+            const char* where) {
+    if (len != 0 && (off > limit || off + len > limit))
+      bad(where, "span [" + std::to_string(off) + ", +" +
+                     std::to_string(len) + ") exceeds side-array of " +
+                     std::to_string(limit));
+  }
+
+  void scalarId(std::int32_t id, const char* where) {
+    if (id < 0 || id >= fp.numScalars())
+      bad(where, "scalar id " + std::to_string(id) + " out of range");
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const FlatProgram& fp) {
+  Verifier v{fp, {}};
+  for (std::uint32_t i = 0; i < fp.exprs.size(); ++i) {
+    const Expr& e = fp.exprs[i];
+    v.expr(e.lhs, i, "expr.lhs");
+    v.expr(e.rhs, i, "expr.rhs");
+    v.sec(e.section, "expr.section");
+    if (e.kind == ExprKind::ScalarRef) v.scalarId(e.scalarId, "expr.scalar");
+  }
+  for (std::uint32_t i = 0; i < fp.secs.size(); ++i) {
+    const Sec& s = fp.secs[i];
+    v.expr(s.pid, kNone, "sec.pid");
+    v.span(s.dimsOff, s.dimsLen, fp.triplets.size(), "sec.dims");
+    for (std::uint32_t k = s.dimsOff; k < s.dimsOff + s.dimsLen &&
+                                      k < fp.triplets.size();
+         ++k) {
+      v.expr(fp.triplets[k].lb, kNone, "triplet.lb");
+      v.expr(fp.triplets[k].ub, kNone, "triplet.ub");
+      v.expr(fp.triplets[k].stride, kNone, "triplet.stride");
+    }
+    if (s.kind == SecExprKind::Intersect) {
+      if (!s.a.valid() || !s.b.valid()) v.bad("sec", "intersect missing arm");
+      if (s.a.valid() && s.a.id >= fp.secs.size())
+        v.bad("sec.a", "ref out of range");
+      if (s.b.valid() && s.b.id >= fp.secs.size())
+        v.bad("sec.b", "ref out of range");
+    }
+    if (s.dist >= static_cast<std::int32_t>(fp.dists.size()))
+      v.bad("sec.dist", "dist index out of range");
+  }
+  for (std::uint32_t i = 0; i < fp.stmts.size(); ++i) {
+    const Stmt& s = fp.stmts[i];
+    for (ExprRef r : {s.value, s.rhs, s.lb, s.ub, s.step, s.rule, s.bindHint})
+      v.expr(r, kNone, "stmt.expr");
+    v.sec(s.lhs, "stmt.lhs");
+    v.sec(s.sec2, "stmt.sec2");
+    v.sec(s.destSection, "stmt.destSection");
+    if (s.body.valid()) {
+      if (s.body.id >= fp.stmts.size())
+        v.bad("stmt.body", "ref out of range");
+      else if (s.body.id >= i)
+        v.bad("stmt.body", "body ref " + std::to_string(s.body.id) +
+                               " not strictly before parent " +
+                               std::to_string(i));
+    }
+    v.span(s.kidsOff, s.kidsLen, fp.stmtKids.size(), "stmt.kids");
+    for (std::uint32_t k = s.kidsOff;
+         k < s.kidsOff + s.kidsLen && k < fp.stmtKids.size(); ++k) {
+      const StmtRef c = fp.stmtKids[k];
+      if (!c.valid() || c.id >= fp.stmts.size())
+        v.bad("stmt.kid", "ref out of range");
+      else if (c.id >= i)
+        v.bad("stmt.kid", "child ref " + std::to_string(c.id) +
+                              " not strictly before parent " +
+                              std::to_string(i));
+    }
+    v.span(s.destPidsOff, s.destPidsLen, fp.exprKids.size(), "stmt.destPids");
+    v.span(s.argsOff, s.argsLen, fp.kernelArgs.size(), "stmt.args");
+    if (s.kind == StmtKind::ScalarAssign || s.kind == StmtKind::For)
+      v.scalarId(s.scalarId, "stmt.scalar");
+    if (s.kind == StmtKind::Kernel &&
+        (s.nameId < 0 || s.nameId >= static_cast<std::int32_t>(fp.names.size())))
+      v.bad("stmt.kernel", "name id out of range");
+  }
+  if (fp.body.valid() && fp.body.id >= fp.stmts.size())
+    v.bad("program.body", "ref out of range");
+  return v.problems;
+}
+
+}  // namespace xdp::il::flat

@@ -1,0 +1,153 @@
+// Flat, data-oriented storage for IL+XDP programs — the codegen-side twin
+// of the shared_ptr AST in expr.hpp/stmt.hpp.
+//
+// The pointer AST is the *rewrite* representation: immutable nodes,
+// structural sharing, functional updates — what the optimization passes
+// want. This file is the *execution* representation the paper's §3.2
+// "delayed binding at code generation" lowers to: every node lives in a
+// contiguous arena addressed by a 32-bit ref, child lists live in shared
+// side-arrays (no per-node vectors), scalar names are interned to dense
+// ids, and distribution overrides are interned into one table. A whole
+// program is a handful of flat vectors — walking it touches sequential
+// memory instead of chasing shared_ptr control blocks, and downstream
+// consumers (the bytecode compiler, the flat tree-walk evaluator) address
+// nodes by index with no hashing and no reference counting.
+//
+// Invariants established by flatten() and checked by verify():
+//   * children precede parents (post-order): for every node, every ref it
+//     holds is numerically smaller than its own index — passes walking a
+//     node array front-to-back see operands before users;
+//   * DAG sharing survives: a subtree shared in the AST flattens once and
+//     is referenced twice (refs are stable identities, like the pointer
+//     equality passes use today);
+//   * all spans (kidsOff/kidsLen, ...) lie inside their side-array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xdp/il/program.hpp"
+
+namespace xdp::il::flat {
+
+inline constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+/// 32-bit typed indices into FlatProgram's node arrays (the
+/// felipeagc/new-lang compiler-slice idiom: refs are values, nodes are
+/// plain data rows).
+struct ExprRef {
+  std::uint32_t id = kNone;
+  bool valid() const { return id != kNone; }
+};
+struct StmtRef {
+  std::uint32_t id = kNone;
+  bool valid() const { return id != kNone; }
+};
+struct SecRef {
+  std::uint32_t id = kNone;
+  bool valid() const { return id != kNone; }
+};
+
+/// A triplet expression in a literal section: invalid ub means a single
+/// index (lb:lb), invalid stride means stride 1 — same convention as
+/// il::TripletExpr. Stored in FlatProgram::triplets, never per-node.
+struct TripletRef {
+  ExprRef lb, ub, stride;
+};
+
+/// One expression row. `kind` selects the live fields (same tagged-struct
+/// shape as il::Expr, with refs for pointers and a dense id for the
+/// scalar name).
+struct Expr {
+  ExprKind kind = ExprKind::IntConst;
+  BinOp op = BinOp::Add;          // Bin
+  std::int32_t sym = -1;          // Elem + intrinsics
+  std::int32_t dim = 0;           // MyLb / MyUb
+  std::int32_t scalarId = -1;     // ScalarRef: index into scalarNames
+  ExprRef lhs, rhs;               // Bin (Neg/Not use lhs only)
+  SecRef section;                 // Elem + intrinsics
+  Index intVal = 0;               // IntConst
+  double realVal = 0.0;           // RealConst
+};
+
+/// One section-expression row. Literal dims live in the shared triplet
+/// side-array as [dimsOff, dimsOff+dimsLen).
+struct Sec {
+  SecExprKind kind = SecExprKind::Literal;
+  std::int32_t sym = -1;          // LocalPart / OwnerPart
+  std::int32_t dist = -1;         // index into dists; -1 = declared dist
+  ExprRef pid;                    // OwnerPart
+  SecRef a, b;                    // Intersect
+  std::uint32_t dimsOff = 0, dimsLen = 0;  // Literal -> triplets[]
+};
+
+enum class DestKind : std::uint8_t { None, Pids, OwnerOf };
+
+struct KernelArg {
+  std::int32_t sym = -1;
+  SecRef section;
+};
+
+/// One statement row. Block children and destination pid expressions are
+/// spans into the shared side-arrays.
+struct Stmt {
+  StmtKind kind = StmtKind::Block;
+  bool withValue = false;          // SendOwn / RecvOwn
+  DestKind destKind = DestKind::None;
+  std::int32_t scalarId = -1;      // ScalarAssign / For loop variable
+  std::int32_t nameId = -1;        // Kernel: index into names
+  std::int32_t sym = -1, sym2 = -1;
+  std::int32_t linkId = -1;
+  ExprRef value, rhs, lb, ub, step, rule, bindHint;
+  SecRef lhs, sec2;
+  StmtRef body;                    // For / Guarded
+  std::uint32_t kidsOff = 0, kidsLen = 0;          // Block -> stmtKids[]
+  std::int32_t destSym = -1, destDist = -1;        // dest OwnerOf
+  SecRef destSection;                              // dest OwnerOf
+  std::uint32_t destPidsOff = 0, destPidsLen = 0;  // dest Pids -> exprKids[]
+  std::uint32_t argsOff = 0, argsLen = 0;          // Kernel -> kernelArgs[]
+};
+
+/// A whole program as contiguous arrays. Node arrays are append-only;
+/// refs are stable for the life of the program.
+struct FlatProgram {
+  int nprocs = 1;
+  std::vector<ArrayDecl> arrays;
+  StmtRef body;
+
+  std::vector<Expr> exprs;
+  std::vector<Stmt> stmts;
+  std::vector<Sec> secs;
+
+  // Shared side-arrays for all child lists.
+  std::vector<StmtRef> stmtKids;
+  std::vector<ExprRef> exprKids;
+  std::vector<TripletRef> triplets;
+  std::vector<KernelArg> kernelArgs;
+
+  std::vector<std::string> scalarNames;   ///< dense universal-scalar ids
+  std::vector<std::string> names;         ///< kernel names
+  std::vector<dist::Distribution> dists;  ///< interned distOverrides
+
+  const Expr& operator[](ExprRef r) const { return exprs[r.id]; }
+  const Stmt& operator[](StmtRef r) const { return stmts[r.id]; }
+  const Sec& operator[](SecRef r) const { return secs[r.id]; }
+
+  int numScalars() const { return static_cast<int>(scalarNames.size()); }
+
+  /// Total rows across the three node arrays (sizing/throughput metric).
+  std::size_t nodeCount() const {
+    return exprs.size() + stmts.size() + secs.size();
+  }
+};
+
+/// Flatten the pointer AST into arena form. Shared AST subtrees flatten
+/// to shared refs; scalar names are interned in first-visit order.
+FlatProgram flatten(const il::Program& prog);
+
+/// Structural invariant check (see header comment). Returns one message
+/// per violation; empty = well-formed. Used by tests and --verify-passes.
+std::vector<std::string> verify(const FlatProgram& fp);
+
+}  // namespace xdp::il::flat

@@ -1,0 +1,1340 @@
+// Bytecode compiler + register VM (see bytecode.hpp for the model).
+//
+// Everything here is semantics-mirroring: each hot op and each cold-path
+// evaluator case corresponds to one case of the tree walker in
+// interpreter.cpp, and must stay bit-identical to it — the differential
+// tests (test_vm_differential, test_pipeline_fuzz) hold both backends to
+// equal result digests and logical counters.
+#include "xdp/interp/bytecode.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "xdp/support/arith.hpp"
+#include "xdp/support/check.hpp"
+
+namespace xdp::interp::bc {
+namespace {
+
+namespace flat = il::flat;
+using flat::ExprRef;
+using flat::SecRef;
+using flat::StmtRef;
+using il::BinOp;
+using il::ExprKind;
+using il::SecExprKind;
+using il::StmtKind;
+using sec::Point;
+using sec::Triplet;
+
+/// Thrown (inside compute-rule evaluation only) when the rule references
+/// the value of an unowned section — the rule then evaluates to false.
+struct UnownedRef {};
+
+enum class Tag : std::uint8_t { Undef, Int, Real, Bool };
+
+/// A tagged register slot — the VM's Value. The tag set matches the tree
+/// walker's std::variant<Index, double, bool> exactly (plus Undef for
+/// never-assigned universal scalars).
+struct Slot {
+  Tag tag = Tag::Undef;
+  union {
+    Index i;
+    double r;
+    bool b;
+  };
+  Slot() : i(0) {}
+  static Slot ofInt(Index v) {
+    Slot s;
+    s.tag = Tag::Int;
+    s.i = v;
+    return s;
+  }
+  static Slot ofReal(double v) {
+    Slot s;
+    s.tag = Tag::Real;
+    s.r = v;
+    return s;
+  }
+  static Slot ofBool(bool v) {
+    Slot s;
+    s.tag = Tag::Bool;
+    s.b = v;
+    return s;
+  }
+};
+
+// --- Value coercions: byte-for-byte the tree walker's asInt/asReal/asBool.
+
+Index asInt(const Slot& v) {
+  if (v.tag == Tag::Int) return v.i;
+  if (v.tag == Tag::Bool) return v.b ? 1 : 0;
+  double d = v.r;
+  if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+    XDP_USAGE_FAIL("index value out of range (non-finite or beyond int64): " +
+                   std::to_string(d));
+  }
+  Index i = static_cast<Index>(std::llround(d));
+  XDP_CHECK(static_cast<double>(i) == d, "non-integral value in index context");
+  return i;
+}
+
+double asReal(const Slot& v) {
+  if (v.tag == Tag::Real) return v.r;
+  if (v.tag == Tag::Int) return static_cast<double>(v.i);
+  return v.b ? 1.0 : 0.0;
+}
+
+bool asBool(const Slot& v) {
+  if (v.tag == Tag::Bool) return v.b;
+  if (v.tag == Tag::Int) return v.i != 0;
+  return v.r != 0.0;
+}
+
+// =========================================================================
+// Cold path: a flat-IL walking evaluator mirroring interpreter.cpp's Exec
+// case-for-case, sharing the VM's register file as the scalar environment.
+// It never range-splits guarded loops — the VM runs the naive logical
+// schedule, which is the schedule the logical counters describe.
+// =========================================================================
+
+class FlatEval {
+ public:
+  FlatEval(const Module& m, rt::Proc& proc, InterpStats& stats,
+           const InterpOptions& iopts,
+           const std::map<std::string, KernelFn>& kernels, Slot* regs)
+      : m_(m),
+        fp_(m.fp),
+        proc_(proc),
+        stats_(stats),
+        iopts_(iopts),
+        kernels_(kernels),
+        regs_(regs) {}
+
+  void exec(StmtRef sr) {
+    const flat::Stmt& s = fp_[sr];
+    if (iopts_.stepHook) iopts_.stepHook(proc_);
+    stats_.stmtsExecuted += 1;
+    switch (s.kind) {
+      case StmtKind::Block:
+        for (std::uint32_t k = 0; k < s.kidsLen; ++k)
+          exec(fp_.stmtKids[s.kidsOff + k]);
+        return;
+      case StmtKind::ScalarAssign:
+        regs_[s.scalarId] = evalValue(s.value);
+        return;
+      case StmtKind::ElemAssign: {
+        stats_.elemAssigns += 1;
+        Section pt = evalSection(s.sym, s.lhs);
+        XDP_CHECK(pt.count() == 1, "element assignment needs a single point");
+        double v = asReal(evalValue(s.rhs));
+        writeReal(s.sym, pt, v);
+        return;
+      }
+      case StmtKind::For: {
+        Index lb = asInt(evalValue(s.lb));
+        Index ub = asInt(evalValue(s.ub));
+        Index step = s.step.valid() ? asInt(evalValue(s.step)) : 1;
+        XDP_CHECK(step > 0, "loop step must be positive");
+        if (lb > ub) return;
+        for (Index i = lb;;) {
+          stats_.loopIterations += 1;
+          regs_[s.scalarId] = Slot::ofInt(i);
+          exec(s.body);
+          if (static_cast<std::uint64_t>(ub) - static_cast<std::uint64_t>(i) <
+              static_cast<std::uint64_t>(step))
+            break;
+          i += step;
+        }
+        return;
+      }
+      case StmtKind::Guarded: {
+        stats_.rulesEvaluated += 1;
+        if (!evalRule(s.rule)) return;
+        stats_.rulesTrue += 1;
+        exec(s.body);
+        return;
+      }
+      case StmtKind::SendData: {
+        Section e = evalSection(s.sym, s.lhs);
+        if (e.empty()) return;
+        proc_.send(s.sym, e, resolveDest(s));
+        return;
+      }
+      case StmtKind::RecvData: {
+        Section dst = evalSection(s.sym, s.lhs);
+        Section name = evalSection(s.sym2, s.sec2);
+        if (dst.empty() && name.empty()) return;
+        proc_.recv(s.sym, dst, s.sym2, name);
+        return;
+      }
+      case StmtKind::SendOwn: {
+        Section e = evalSection(s.sym, s.lhs);
+        if (e.empty()) return;
+        proc_.sendOwnership(s.sym, e, s.withValue, resolveDest(s));
+        return;
+      }
+      case StmtKind::RecvOwn: {
+        Section u = evalSection(s.sym, s.lhs);
+        if (u.empty()) return;
+        proc_.recvOwnership(s.sym, u, s.withValue);
+        return;
+      }
+      case StmtKind::Await: {
+        Section s2 = evalSection(s.sym, s.lhs);
+        if (s2.empty()) return;
+        proc_.await(s.sym, s2);
+        return;
+      }
+      case StmtKind::LocalCopy: {
+        Section dst = evalSection(s.sym, s.lhs);
+        Section src = evalSection(s.sym2, s.sec2);
+        if (dst.empty() && src.empty()) return;
+        XDP_CHECK(dst.count() == src.count(), "local copy size mismatch");
+        const auto type = proc_.table().decl(s.sym).type;
+        XDP_CHECK(type == proc_.table().decl(s.sym2).type,
+                  "local copy type mismatch");
+        std::vector<std::byte> buf(
+            static_cast<std::size_t>(src.count()) * rt::elemSize(type));
+        proc_.table().readElems(s.sym2, src, buf.data());
+        proc_.table().writeElems(s.sym, dst, buf.data());
+        return;
+      }
+      case StmtKind::Kernel: {
+        stats_.kernelCalls += 1;
+        const std::string& name = fp_.names[static_cast<std::size_t>(s.nameId)];
+        auto it = kernels_.find(name);
+        XDP_CHECK(it != kernels_.end(), "unregistered kernel: " + name);
+        std::vector<std::pair<int, Section>> args;
+        for (std::uint32_t k = 0; k < s.argsLen; ++k) {
+          const flat::KernelArg& ka = fp_.kernelArgs[s.argsOff + k];
+          args.emplace_back(ka.sym, evalSection(ka.sym, ka.section));
+        }
+        it->second(proc_, args);
+        return;
+      }
+      case StmtKind::ComputeCost:
+        proc_.compute(asReal(evalValue(s.value)));
+        return;
+    }
+  }
+
+  bool evalRule(ExprRef e) {
+    ruleDepth_ += 1;
+    bool result;
+    try {
+      result = asBool(evalValue(e));
+    } catch (const UnownedRef&) {
+      result = false;  // paper 2.4: unowned value reference => rule false
+    }
+    ruleDepth_ -= 1;
+    return result;
+  }
+
+  Slot evalValue(ExprRef er) {
+    XDP_CHECK(er.valid(), "evaluating null expression");
+    const flat::Expr& e = fp_[er];
+    switch (e.kind) {
+      case ExprKind::IntConst:
+        return Slot::ofInt(e.intVal);
+      case ExprKind::RealConst:
+        return Slot::ofReal(e.realVal);
+      case ExprKind::ScalarRef: {
+        const Slot& s = regs_[e.scalarId];
+        if (s.tag == Tag::Undef) {
+          XDP_USAGE_FAIL(
+              "use of undefined universal scalar: " +
+              fp_.scalarNames[static_cast<std::size_t>(e.scalarId)]);
+        }
+        return s;
+      }
+      case ExprKind::MyPid:
+        return Slot::ofInt(static_cast<Index>(proc_.mypid()));
+      case ExprKind::NProcs:
+        return Slot::ofInt(static_cast<Index>(proc_.nprocs()));
+      case ExprKind::Bin:
+        return evalBin(e);
+      case ExprKind::Neg: {
+        Slot v = evalValue(e.lhs);
+        if (v.tag == Tag::Int) return Slot::ofInt(arith::wrapNeg(v.i));
+        return Slot::ofReal(-asReal(v));
+      }
+      case ExprKind::Not:
+        return Slot::ofBool(!asBool(evalValue(e.lhs)));
+      case ExprKind::Elem: {
+        Section pt = evalSection(e.sym, e.section);
+        XDP_CHECK(pt.count() == 1, "element reference needs a single point");
+        if (ruleDepth_ > 0 && !proc_.iown(e.sym, pt)) throw UnownedRef{};
+        return Slot::ofReal(readReal(e.sym, pt));
+      }
+      case ExprKind::Iown:
+        return Slot::ofBool(proc_.iown(e.sym, evalSection(e.sym, e.section)));
+      case ExprKind::Accessible:
+        return Slot::ofBool(
+            proc_.accessible(e.sym, evalSection(e.sym, e.section)));
+      case ExprKind::Await:
+        return Slot::ofBool(proc_.await(e.sym, evalSection(e.sym, e.section)));
+      case ExprKind::MyLb:
+        return Slot::ofInt(
+            proc_.mylb(e.sym, evalSection(e.sym, e.section), e.dim));
+      case ExprKind::MyUb:
+        return Slot::ofInt(
+            proc_.myub(e.sym, evalSection(e.sym, e.section), e.dim));
+      case ExprKind::SecNonEmpty:
+        return Slot::ofBool(!evalSection(e.sym, e.section).empty());
+    }
+    XDP_CHECK(false, "unreachable expression kind");
+    return Slot::ofInt(0);
+  }
+
+ private:
+  Slot evalBin(const flat::Expr& e) {
+    // Short-circuit logicals first.
+    if (e.op == BinOp::And) {
+      if (!asBool(evalValue(e.lhs))) return Slot::ofBool(false);
+      return Slot::ofBool(asBool(evalValue(e.rhs)));
+    }
+    if (e.op == BinOp::Or) {
+      if (asBool(evalValue(e.lhs))) return Slot::ofBool(true);
+      return Slot::ofBool(asBool(evalValue(e.rhs)));
+    }
+    Slot a = evalValue(e.lhs);
+    Slot b = evalValue(e.rhs);
+    const bool bothInt = a.tag == Tag::Int && b.tag == Tag::Int;
+    switch (e.op) {
+      case BinOp::Add:
+        return bothInt ? Slot::ofInt(arith::wrapAdd(a.i, b.i))
+                       : Slot::ofReal(asReal(a) + asReal(b));
+      case BinOp::Sub:
+        return bothInt ? Slot::ofInt(arith::wrapSub(a.i, b.i))
+                       : Slot::ofReal(asReal(a) - asReal(b));
+      case BinOp::Mul:
+        return bothInt ? Slot::ofInt(arith::wrapMul(a.i, b.i))
+                       : Slot::ofReal(asReal(a) * asReal(b));
+      case BinOp::Div:
+        if (bothInt) return Slot::ofInt(arith::checkedDiv(a.i, b.i));
+        return Slot::ofReal(asReal(a) / asReal(b));
+      case BinOp::Mod:
+        XDP_CHECK(bothInt, "mod requires integer operands");
+        return Slot::ofInt(arith::checkedMod(a.i, b.i));
+      case BinOp::Lt:
+        return Slot::ofBool(asReal(a) < asReal(b));
+      case BinOp::Le:
+        return Slot::ofBool(asReal(a) <= asReal(b));
+      case BinOp::Gt:
+        return Slot::ofBool(asReal(a) > asReal(b));
+      case BinOp::Ge:
+        return Slot::ofBool(asReal(a) >= asReal(b));
+      case BinOp::Eq:
+        return Slot::ofBool(asReal(a) == asReal(b));
+      case BinOp::Ne:
+        return Slot::ofBool(asReal(a) != asReal(b));
+      case BinOp::Min:
+        return bothInt ? Slot::ofInt(std::min(a.i, b.i))
+                       : Slot::ofReal(std::min(asReal(a), asReal(b)));
+      case BinOp::Max:
+        return bothInt ? Slot::ofInt(std::max(a.i, b.i))
+                       : Slot::ofReal(std::max(asReal(a), asReal(b)));
+      case BinOp::And:
+      case BinOp::Or:
+        break;  // handled above
+    }
+    XDP_CHECK(false, "unreachable binop");
+    return Slot::ofInt(0);
+  }
+
+  Section emptyOfRank(int rank) {
+    std::vector<Triplet> dims;
+    dims.emplace_back();
+    for (int d = 1; d < rank; ++d) dims.emplace_back(0, 0);
+    return rank == 0 ? Section{Triplet()} : Section(dims);
+  }
+
+  Section evalSection(int sym, SecRef sr) {
+    XDP_CHECK(sr.valid(), "evaluating null section expression");
+    const flat::Sec& se = fp_[sr];
+    switch (se.kind) {
+      case SecExprKind::Literal: {
+        std::vector<Triplet> dims;
+        for (std::uint32_t k = 0; k < se.dimsLen; ++k) {
+          const flat::TripletRef& t = fp_.triplets[se.dimsOff + k];
+          Index lb = asInt(evalValue(t.lb));
+          Index ub = t.ub.valid() ? asInt(evalValue(t.ub)) : lb;
+          Index stride = t.stride.valid() ? asInt(evalValue(t.stride)) : 1;
+          dims.emplace_back(lb, ub, stride);
+        }
+        return Section(dims);
+      }
+      case SecExprKind::LocalPart:
+        return partOf(se.sym >= 0 ? se.sym : sym, proc_.mypid(), se.dist);
+      case SecExprKind::OwnerPart:
+        return partOf(se.sym >= 0 ? se.sym : sym,
+                      static_cast<int>(asInt(evalValue(se.pid))), se.dist);
+      case SecExprKind::Intersect: {
+        Section a = evalSection(sym, se.a);
+        Section b = evalSection(sym, se.b);
+        if (a.empty() || b.empty() || a.rank() != b.rank())
+          return emptyOfRank(a.rank());
+        return Section::intersect(a, b);
+      }
+    }
+    XDP_CHECK(false, "unreachable section expression kind");
+    return Section{};
+  }
+
+  Section partOf(int sym, int pid, std::int32_t distId) {
+    const dist::Distribution& d =
+        distId >= 0 ? fp_.dists[static_cast<std::size_t>(distId)]
+                    : proc_.table().decl(sym).dist;
+    sec::RegionList part = d.localPart(pid);
+    if (part.empty()) return emptyOfRank(d.rank());
+    XDP_CHECK(part.sections().size() == 1,
+              "partition is not a single section (CYCLIC(k) local parts "
+              "cannot be named by one section expression)");
+    return part.sections()[0];
+  }
+
+  /// The one point of a single-point section, without materializing the
+  /// point list.
+  static Point onlyPointOf(const Section& pt) {
+    std::array<sec::Index, sec::kMaxRank> idx{};
+    for (int d = 0; d < pt.rank(); ++d)
+      idx[static_cast<std::size_t>(d)] = pt.dim(d).lb();
+    return Point(pt.rank(), idx);
+  }
+
+  double readReal(int sym, const Section& pt) {
+    const auto type = proc_.table().decl(sym).type;
+    if (type == rt::ElemType::F64) {
+      double v = 0.0;
+      if (proc_.table().tryReadElemAt(sym, onlyPointOf(pt),
+                                      reinterpret_cast<std::byte*>(&v)))
+        return v;
+      return proc_.read<double>(sym, pt)[0];
+    }
+    if (type == rt::ElemType::I64) {
+      std::int64_t v = 0;
+      if (proc_.table().tryReadElemAt(sym, onlyPointOf(pt),
+                                      reinterpret_cast<std::byte*>(&v)))
+        return static_cast<double>(v);
+      return static_cast<double>(proc_.read<std::int64_t>(sym, pt)[0]);
+    }
+    XDP_CHECK(false, "IL element access supports f64/i64 (use kernels for "
+                     "complex data)");
+    return 0.0;
+  }
+
+  void writeReal(int sym, const Section& pt, double v) {
+    const auto type = proc_.table().decl(sym).type;
+    if (type == rt::ElemType::F64) {
+      if (proc_.table().tryWriteElemAt(
+              sym, onlyPointOf(pt), reinterpret_cast<const std::byte*>(&v)))
+        return;
+      proc_.set<double>(sym, pt.points()[0], v);
+      return;
+    }
+    if (type == rt::ElemType::I64) {
+      const std::int64_t w = static_cast<std::int64_t>(std::llround(v));
+      if (proc_.table().tryWriteElemAt(
+              sym, onlyPointOf(pt), reinterpret_cast<const std::byte*>(&w)))
+        return;
+      proc_.set<std::int64_t>(sym, pt.points()[0], w);
+      return;
+    }
+    XDP_CHECK(false, "IL element access supports f64/i64");
+  }
+
+  std::optional<std::vector<int>> resolveDest(const flat::Stmt& s) {
+    switch (s.destKind) {
+      case flat::DestKind::None:
+        return std::nullopt;
+      case flat::DestKind::Pids: {
+        std::vector<int> pids;
+        for (std::uint32_t k = 0; k < s.destPidsLen; ++k)
+          pids.push_back(static_cast<int>(
+              asInt(evalValue(fp_.exprKids[s.destPidsOff + k]))));
+        return pids;
+      }
+      case flat::DestKind::OwnerOf: {
+        Section sect = evalSection(s.destSym, s.destSection);
+        XDP_CHECK(!sect.empty(), "owner-of an empty section");
+        const dist::Distribution& dd =
+            s.destDist >= 0 ? fp_.dists[static_cast<std::size_t>(s.destDist)]
+                            : proc_.table().decl(s.destSym).dist;
+        int owner = -1;
+        bool unique = true;
+        sect.forEach([&](const Point& p) {
+          int o = dd.ownerOf(p);
+          if (owner < 0) owner = o;
+          else if (o != owner) unique = false;
+        });
+        XDP_CHECK(unique, "bound destination section spans processors");
+        return std::vector<int>{owner};
+      }
+    }
+    return std::nullopt;
+  }
+
+  const Module& m_;
+  const flat::FlatProgram& fp_;
+  rt::Proc& proc_;
+  InterpStats& stats_;
+  const InterpOptions& iopts_;
+  const std::map<std::string, KernelFn>& kernels_;
+  Slot* regs_;
+  int ruleDepth_ = 0;
+};
+
+// =========================================================================
+// Compiler
+// =========================================================================
+
+class Compiler {
+ public:
+  explicit Compiler(flat::FlatProgram fp) {
+    m_.fp = std::move(fp);
+    for (const auto& a : m_.fp.arrays) m_.elemTypes.push_back(a.type);
+    tempTop_ = static_cast<std::uint32_t>(m_.fp.numScalars());
+    maxReg_ = tempTop_;
+  }
+
+  Module take() {
+    internConsts();
+    if (m_.fp.body.valid()) compileStmt(m_.fp.body);
+    emit({Op::Halt, 0, 0, 0, 0, 0});
+    m_.numRegs = static_cast<std::uint16_t>(maxReg_);
+    return std::move(m_);
+  }
+
+ private:
+  const flat::FlatProgram& fp() const { return m_.fp; }
+
+  std::int32_t emit(Insn in) {
+    m_.code.push_back(in);
+    return static_cast<std::int32_t>(m_.code.size() - 1);
+  }
+
+  std::uint16_t allocTemp() {
+    XDP_CHECK(tempTop_ < 0xFFFF, "bytecode register file exhausted");
+    const auto r = static_cast<std::uint16_t>(tempTop_++);
+    maxReg_ = std::max(maxReg_, tempTop_);
+    return r;
+  }
+
+  // --- constant hoisting -------------------------------------------------
+  //
+  // Every distinct literal in the program gets one persistent register,
+  // materialized once in a prologue before the body. Inside loops this
+  // removes the per-iteration ConstI/ConstR dispatches entirely (constants
+  // are immutable and no op ever writes through a source register).
+  // Persistent registers sit between the scalars and the per-statement
+  // temporaries; compileStmt's tempTop_ reset never drops below them
+  // because the prologue is emitted before any statement is compiled.
+
+  std::uint16_t internInt(Index v) {
+    auto it = cintReg_.find(v);
+    if (it != cintReg_.end()) return it->second;
+    const auto r = allocTemp();
+    emit({Op::ConstI, 0, r, 0, 0, ipool(v)});
+    cintReg_.emplace(v, r);
+    intConstRegs_.insert(r);
+    return r;
+  }
+
+  std::uint16_t internReal(double v) {
+    const auto key = std::bit_cast<std::uint64_t>(v);
+    auto it = crealReg_.find(key);
+    if (it != crealReg_.end()) return it->second;
+    const auto r = allocTemp();
+    emit({Op::ConstR, 0, r, 0, 0, rpool(v)});
+    crealReg_.emplace(key, r);
+    return r;
+  }
+
+  void internConsts() {
+    for (const flat::Expr& e : m_.fp.exprs) {
+      if (e.kind == ExprKind::IntConst) internInt(e.intVal);
+      else if (e.kind == ExprKind::RealConst) internReal(e.realVal);
+    }
+    // Implicit step of step-less For loops.
+    for (const flat::Stmt& s : m_.fp.stmts)
+      if (s.kind == StmtKind::For && !s.step.valid()) internInt(1);
+  }
+
+  std::int32_t ipool(Index v) {
+    auto [it, fresh] =
+        ipoolIdx_.emplace(v, static_cast<std::int32_t>(m_.ipool.size()));
+    if (fresh) m_.ipool.push_back(v);
+    return it->second;
+  }
+
+  std::int32_t rpool(double v) {
+    auto [it, fresh] = rpoolIdx_.emplace(
+        std::bit_cast<std::uint64_t>(v),
+        static_cast<std::int32_t>(m_.rpool.size()));
+    if (fresh) m_.rpool.push_back(v);
+    return it->second;
+  }
+
+  // --- compilability -----------------------------------------------------
+
+  bool elemTypeOk(int sym) const {
+    return sym >= 0 && sym < static_cast<int>(m_.elemTypes.size()) &&
+           (m_.elemTypes[static_cast<std::size_t>(sym)] == rt::ElemType::F64 ||
+            m_.elemTypes[static_cast<std::size_t>(sym)] == rt::ElemType::I64);
+  }
+
+  /// Expression compilable to register ops. `allowElem` is false inside
+  /// compute rules, where an element read must go through the cold
+  /// evaluator's UnownedRef protocol (paper 2.4).
+  bool hotExpr(ExprRef er, bool allowElem) const {
+    if (!er.valid()) return false;
+    const flat::Expr& e = fp()[er];
+    switch (e.kind) {
+      case ExprKind::IntConst:
+      case ExprKind::RealConst:
+      case ExprKind::ScalarRef:
+      case ExprKind::MyPid:
+      case ExprKind::NProcs:
+        return true;
+      case ExprKind::Bin:
+        return hotExpr(e.lhs, allowElem) && hotExpr(e.rhs, allowElem);
+      case ExprKind::Neg:
+      case ExprKind::Not:
+        return hotExpr(e.lhs, allowElem);
+      case ExprKind::Elem:
+        return allowElem && elemTypeOk(e.sym) && hotPoint(e.section);
+      default:
+        return false;
+    }
+  }
+
+  /// Literal single-point section with compilable subscripts.
+  bool hotPoint(SecRef sr) const {
+    if (!sr.valid()) return false;
+    const flat::Sec& s = fp()[sr];
+    if (s.kind != SecExprKind::Literal || s.dimsLen == 0 ||
+        s.dimsLen > static_cast<std::uint32_t>(sec::kMaxRank))
+      return false;
+    for (std::uint32_t k = 0; k < s.dimsLen; ++k) {
+      const flat::TripletRef& t = fp().triplets[s.dimsOff + k];
+      if (t.ub.valid() || t.stride.valid()) return false;  // points only
+      if (!hotExpr(t.lb, /*allowElem=*/true)) return false;
+    }
+    return true;
+  }
+
+  // --- expression compilation -------------------------------------------
+
+  std::uint16_t compileExpr(ExprRef er) {
+    const flat::Expr& e = fp()[er];
+    switch (e.kind) {
+      case ExprKind::IntConst:
+        // Interned in the prologue; no instruction at the use site.
+        return cintReg_.at(e.intVal);
+      case ExprKind::RealConst:
+        return crealReg_.at(std::bit_cast<std::uint64_t>(e.realVal));
+      case ExprKind::ScalarRef:
+        // Scalars live in their register; consumers check Undef.
+        return static_cast<std::uint16_t>(e.scalarId);
+      case ExprKind::MyPid: {
+        const auto t = allocTemp();
+        emit({Op::MyPid, 0, t, 0, 0, 0});
+        return t;
+      }
+      case ExprKind::NProcs: {
+        const auto t = allocTemp();
+        emit({Op::NProcs, 0, t, 0, 0, 0});
+        return t;
+      }
+      case ExprKind::Neg: {
+        const auto v = compileExpr(e.lhs);
+        const auto t = allocTemp();
+        emit({Op::Neg, 0, t, v, 0, 0});
+        return t;
+      }
+      case ExprKind::Not: {
+        const auto v = compileExpr(e.lhs);
+        const auto t = allocTemp();
+        emit({Op::Not, 0, t, v, 0, 0});
+        return t;
+      }
+      case ExprKind::Elem: {
+        if (auto aff = affine1(e.section)) {
+          const auto t = allocTemp();
+          emit({Op::LoadElem1, 1, t, aff->first, aff->second, e.sym});
+          return t;
+        }
+        const auto base = compileSubscripts(e.section);
+        const auto rank = static_cast<std::uint8_t>(fp()[e.section].dimsLen);
+        const auto t = allocTemp();
+        emit({Op::LoadElem, rank, t, base, 0, e.sym});
+        return t;
+      }
+      case ExprKind::Bin:
+        return compileBin(e);
+      default:
+        XDP_CHECK(false, "compileExpr on non-hot expression");
+        return 0;
+    }
+  }
+
+  std::uint16_t compileBin(const flat::Expr& e) {
+    // Short-circuit logicals become branches, mirroring the tree walker's
+    // evaluate-lhs-first, skip-rhs semantics.
+    if (e.op == BinOp::And || e.op == BinOp::Or) {
+      const auto dst = allocTemp();
+      const auto l = compileExpr(e.lhs);
+      emit({Op::ToBool, 0, dst, l, 0, 0});
+      if (e.op == BinOp::And) {
+        const auto j = emit({Op::JmpIfFalse, 0, dst, 0, 0, 0});
+        const auto r = compileExpr(e.rhs);
+        emit({Op::ToBool, 0, dst, r, 0, 0});
+        m_.code[static_cast<std::size_t>(j)].d =
+            static_cast<std::int32_t>(m_.code.size());
+      } else {
+        const auto jr = emit({Op::JmpIfFalse, 0, dst, 0, 0, 0});
+        const auto jend = emit({Op::Jmp, 0, 0, 0, 0, 0});
+        m_.code[static_cast<std::size_t>(jr)].d =
+            static_cast<std::int32_t>(m_.code.size());
+        const auto r = compileExpr(e.rhs);
+        emit({Op::ToBool, 0, dst, r, 0, 0});
+        m_.code[static_cast<std::size_t>(jend)].d =
+            static_cast<std::int32_t>(m_.code.size());
+      }
+      return dst;
+    }
+    const auto l = compileExpr(e.lhs);
+    const auto r = compileExpr(e.rhs);
+    const auto dst = allocTemp();
+    Op op;
+    switch (e.op) {
+      case BinOp::Add: op = Op::Add; break;
+      case BinOp::Sub: op = Op::Sub; break;
+      case BinOp::Mul: op = Op::Mul; break;
+      case BinOp::Div: op = Op::Div; break;
+      case BinOp::Mod: op = Op::Mod; break;
+      case BinOp::Lt: op = Op::Lt; break;
+      case BinOp::Le: op = Op::Le; break;
+      case BinOp::Gt: op = Op::Gt; break;
+      case BinOp::Ge: op = Op::Ge; break;
+      case BinOp::Eq: op = Op::Eq; break;
+      case BinOp::Ne: op = Op::Ne; break;
+      case BinOp::Min: op = Op::Min; break;
+      case BinOp::Max: op = Op::Max; break;
+      default:
+        XDP_CHECK(false, "unreachable binop in compileBin");
+        op = Op::Add;
+    }
+    emit({op, 0, dst, l, r, 0});
+    return dst;
+  }
+
+  /// Rank-1 affine subscript pattern `A[s]`, `A[s±c]`, `A[c±?]`: the
+  /// index is one register plus a compile-time offset. Returns the
+  /// (register, offset-pool-index) pair, or nullopt when the section
+  /// doesn't match or the offset pool index overflows the c field.
+  /// wrapSub(i,c) == wrapAdd(i,wrapNeg(c)) in two's complement, so Sub
+  /// folds into a negative offset.
+  std::optional<std::pair<std::uint16_t, std::uint16_t>> affine1(SecRef sr) {
+    const flat::Sec& s = fp()[sr];
+    if (s.dimsLen != 1) return std::nullopt;
+    const flat::Expr& e = fp()[fp().triplets[s.dimsOff].lb];
+    std::uint16_t reg;
+    Index off = 0;
+    if (e.kind == ExprKind::ScalarRef) {
+      reg = static_cast<std::uint16_t>(e.scalarId);
+    } else if (e.kind == ExprKind::IntConst) {
+      reg = cintReg_.at(e.intVal);
+    } else if (e.kind == ExprKind::Bin &&
+               (e.op == BinOp::Add || e.op == BinOp::Sub)) {
+      const flat::Expr& l = fp()[e.lhs];
+      const flat::Expr& r = fp()[e.rhs];
+      if (l.kind == ExprKind::ScalarRef && r.kind == ExprKind::IntConst) {
+        reg = static_cast<std::uint16_t>(l.scalarId);
+        off = e.op == BinOp::Add ? r.intVal : arith::wrapNeg(r.intVal);
+      } else if (e.op == BinOp::Add && l.kind == ExprKind::IntConst &&
+                 r.kind == ExprKind::ScalarRef) {
+        reg = static_cast<std::uint16_t>(r.scalarId);
+        off = l.intVal;
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+    const std::int32_t pi = ipool(off);
+    if (pi > 0xFFFF) return std::nullopt;
+    return std::make_pair(reg, static_cast<std::uint16_t>(pi));
+  }
+
+  /// Evaluate a hot point section's subscripts into consecutive int temps;
+  /// returns the base register.
+  std::uint16_t compileSubscripts(SecRef sr) {
+    const flat::Sec& s = fp()[sr];
+    // Reserve the destination block first so nested element reads in the
+    // subscripts don't interleave their temps into it.
+    const auto base = static_cast<std::uint16_t>(tempTop_);
+    for (std::uint32_t k = 0; k < s.dimsLen; ++k) allocTemp();
+    for (std::uint32_t k = 0; k < s.dimsLen; ++k) {
+      const auto v = compileExpr(fp().triplets[s.dimsOff + k].lb);
+      emit({Op::ToIndex, 0, static_cast<std::uint16_t>(base + k), v, 0, 0});
+    }
+    return base;
+  }
+
+  // --- statement compilation --------------------------------------------
+
+  void cold(StmtRef sr) {
+    emit({Op::ExecFlat, 0, 0, 0, 0, static_cast<std::int32_t>(sr.id)});
+    m_.coldStmts += 1;
+  }
+
+  void compileStmt(StmtRef sr) {
+    const flat::Stmt& s = fp()[sr];
+    const std::uint32_t mark = tempTop_;
+    switch (s.kind) {
+      case StmtKind::Block:
+        emit({Op::Step, 0, 0, 0, 0, 0});
+        m_.hotStmts += 1;
+        for (std::uint32_t k = 0; k < s.kidsLen; ++k)
+          compileStmt(fp().stmtKids[s.kidsOff + k]);
+        break;
+      case StmtKind::ScalarAssign: {
+        if (!hotExpr(s.value, /*allowElem=*/true)) {
+          cold(sr);
+          break;
+        }
+        emit({Op::Step, 0, 0, 0, 0, 0});
+        m_.hotStmts += 1;
+        const auto v = compileExpr(s.value);
+        emit({Op::Mov, 0, static_cast<std::uint16_t>(s.scalarId), v, 0, 0});
+        break;
+      }
+      case StmtKind::ElemAssign: {
+        if (!(elemTypeOk(s.sym) && hotPoint(s.lhs) &&
+              hotExpr(s.rhs, /*allowElem=*/true))) {
+          cold(sr);
+          break;
+        }
+        emit({Op::StepElem, 0, 0, 0, 0, 0});
+        m_.hotStmts += 1;
+        // Same order as the tree walker: target point, then value. The
+        // affine shortcut still computes the index first (IdxAff) so
+        // subscript errors precede value errors exactly as in the walker.
+        if (auto aff = affine1(s.lhs)) {
+          const auto ix = allocTemp();
+          emit({Op::IdxAff, 0, ix, aff->first, aff->second, 0});
+          const auto v = compileExpr(s.rhs);
+          emit({Op::StoreElem, 1, v, ix, 0, s.sym});
+          break;
+        }
+        const auto base = compileSubscripts(s.lhs);
+        const auto rank = static_cast<std::uint8_t>(fp()[s.lhs].dimsLen);
+        const auto v = compileExpr(s.rhs);
+        emit({Op::StoreElem, rank, v, base, 0, s.sym});
+        break;
+      }
+      case StmtKind::For: {
+        const bool hotBounds =
+            hotExpr(s.lb, true) && hotExpr(s.ub, true) &&
+            (!s.step.valid() || hotExpr(s.step, true));
+        if (!hotBounds) {
+          cold(sr);
+          break;
+        }
+        emit({Op::Step, 0, 0, 0, 0, 0});
+        m_.hotStmts += 1;
+        const auto lbR = toIndexTemp(compileExpr(s.lb));
+        const auto ubR = toIndexTemp(compileExpr(s.ub));
+        const std::uint16_t stR = s.step.valid()
+                                      ? toIndexTemp(compileExpr(s.step))
+                                      : cintReg_.at(1);
+        emit({Op::CheckStep, 0, stR, 0, 0, 0});
+        // The loop counter is a dedicated temp (the tree walker's local
+        // `i`): a body assignment to the loop scalar must not change the
+        // trip sequence.
+        const auto iR = allocTemp();
+        const auto enter = emit({Op::ForEnter, 0, iR, lbR, ubR, 0});
+        const auto head = static_cast<std::int32_t>(m_.code.size());
+        emit({Op::ForIter, 0, static_cast<std::uint16_t>(s.scalarId), iR, 0,
+              0});
+        compileStmt(s.body);
+        emit({Op::ForNext, 0, iR, ubR, stR, head});
+        m_.code[static_cast<std::size_t>(enter)].d =
+            static_cast<std::int32_t>(m_.code.size());
+        // Pure-loop flag (ForEnter.rank = 1): the body runs only register
+        // ops and point element accesses — no modeled cost, no cold
+        // callbacks — so the VM may hold one table lease across all
+        // iterations (see rt::ProcTable::ElemLease).
+        bool pure = true;
+        for (std::size_t k = static_cast<std::size_t>(head);
+             k + 1 < m_.code.size() && pure; ++k) {
+          switch (m_.code[k].op) {
+            case Op::Cost:
+            case Op::EvalFlat:
+            case Op::EvalRule:
+            case Op::ExecFlat:
+            case Op::Halt:
+              pure = false;
+              break;
+            default:
+              break;
+          }
+        }
+        if (pure) m_.code[static_cast<std::size_t>(enter)].rank = 1;
+        break;
+      }
+      case StmtKind::Guarded: {
+        emit({Op::StepRule, 0, 0, 0, 0, 0});
+        m_.hotStmts += 1;
+        std::uint16_t r;
+        if (hotExpr(s.rule, /*allowElem=*/false)) {
+          r = compileExpr(s.rule);
+        } else {
+          r = allocTemp();
+          emit({Op::EvalRule, 0, r, 0, 0,
+                static_cast<std::int32_t>(s.rule.id)});
+        }
+        const auto j = emit({Op::JmpIfFalse, 0, r, 0, 0, 0});
+        emit({Op::CountRuleTrue, 0, 0, 0, 0, 0});
+        compileStmt(s.body);
+        m_.code[static_cast<std::size_t>(j)].d =
+            static_cast<std::int32_t>(m_.code.size());
+        break;
+      }
+      case StmtKind::ComputeCost: {
+        if (!hotExpr(s.value, /*allowElem=*/true)) {
+          cold(sr);
+          break;
+        }
+        emit({Op::Step, 0, 0, 0, 0, 0});
+        m_.hotStmts += 1;
+        const auto v = compileExpr(s.value);
+        emit({Op::Cost, 0, v, 0, 0, 0});
+        break;
+      }
+      default:
+        cold(sr);
+        break;
+    }
+    tempTop_ = mark;
+  }
+
+  std::uint16_t toIndexTemp(std::uint16_t src) {
+    // A hoisted int constant is already a validated Int slot: ToIndex on
+    // it would be an identity copy.
+    if (intConstRegs_.count(src)) return src;
+    const auto t = allocTemp();
+    emit({Op::ToIndex, 0, t, src, 0, 0});
+    return t;
+  }
+
+  Module m_;
+  std::uint32_t tempTop_ = 0;
+  std::uint32_t maxReg_ = 0;
+  std::unordered_map<Index, std::int32_t> ipoolIdx_;
+  std::unordered_map<std::uint64_t, std::int32_t> rpoolIdx_;
+  std::unordered_map<Index, std::uint16_t> cintReg_;
+  std::unordered_map<std::uint64_t, std::uint16_t> crealReg_;
+  std::unordered_set<std::uint16_t> intConstRegs_;
+};
+
+[[noreturn]] void undefinedReg(const Module& m, std::uint16_t r) {
+  if (r < m.fp.scalarNames.size()) {
+    XDP_USAGE_FAIL("use of undefined universal scalar: " +
+                   m.fp.scalarNames[r]);
+  }
+  XDP_CHECK(false, "VM read of undefined temporary register");
+  std::abort();  // unreachable
+}
+
+}  // namespace
+
+Module compile(flat::FlatProgram fp) { return Compiler(std::move(fp)).take(); }
+
+void execute(const Module& m, rt::Proc& proc, InterpStats& stats,
+             const InterpOptions& iopts,
+             const std::map<std::string, KernelFn>& kernels) {
+  std::vector<Slot> regs(m.numRegs);
+  FlatEval fe(m, proc, stats, iopts, kernels, regs.data());
+  const Insn* code = m.code.data();
+  const Index* ipool = m.ipool.data();
+  const double* rpool = m.rpool.data();
+
+  // Operand read with the undefined-scalar check (temps are always
+  // written before read by construction; only scalar registers can be
+  // Undef here).
+  auto val = [&](std::uint16_t r) -> const Slot& {
+    const Slot& s = regs[r];
+    if (s.tag == Tag::Undef) undefinedReg(m, r);
+    return s;
+  };
+
+  // Pure-loop element lease (see ProcTable::ElemLease): taken at the
+  // outermost pure ForEnter, dropped when that loop exits or on the
+  // first access the lease cannot serve. A step hook may run arbitrary
+  // code per statement, so leasing is disabled under one.
+  std::optional<rt::ProcTable::ElemLease> lease;
+  std::int32_t leaseOwner = -1;
+  const bool canLease = !iopts.stepHook;
+  auto dropLease = [&] {
+    lease.reset();
+    leaseOwner = -1;
+  };
+
+  // Three-tier element access shared by LoadElem/LoadElem1/StoreElem:
+  // held lease → per-point locked fast path → generic Section path.
+  auto loadAt = [&](int rank, const std::array<sec::Index, sec::kMaxRank>& idx,
+                    std::int32_t sym) -> Slot {
+    const Point p(rank, idx);
+    const auto type = m.elemTypes[static_cast<std::size_t>(sym)];
+    // Zero-initialized like the tree walker's vector-backed read: with
+    // debug checks off, an unowned element reads as 0 on both engines
+    // (readElems fills only the covered subsection).
+    std::int64_t vi = 0;
+    double vr = 0.0;
+    std::byte* bytes = type == rt::ElemType::F64
+                           ? reinterpret_cast<std::byte*>(&vr)
+                           : reinterpret_cast<std::byte*>(&vi);
+    bool done = false;
+    if (lease) {
+      done = lease->tryRead(static_cast<int>(sym), p, bytes);
+      // A leased loop that touches an unowned or transitional point
+      // needs the generic semantics; drop to the per-element path
+      // (same mutex — must release before the fallback).
+      if (!done) dropLease();
+    }
+    if (!done) done = proc.table().tryReadElemAt(static_cast<int>(sym), p, bytes);
+    if (!done) {
+      std::array<Triplet, sec::kMaxRank> dims{};
+      for (int k = 0; k < rank; ++k)
+        dims[static_cast<std::size_t>(k)] =
+            Triplet(idx[static_cast<std::size_t>(k)]);
+      proc.table().readElems(static_cast<int>(sym), Section(rank, dims),
+                             bytes);
+    }
+    return type == rt::ElemType::F64 ? Slot::ofReal(vr)
+                                     : Slot::ofReal(static_cast<double>(vi));
+  };
+  auto storeAt = [&](int rank,
+                     const std::array<sec::Index, sec::kMaxRank>& idx,
+                     std::int32_t sym, double v) {
+    const Point p(rank, idx);
+    const auto type = m.elemTypes[static_cast<std::size_t>(sym)];
+    const std::int64_t w =
+        type == rt::ElemType::F64 ? 0
+                                  : static_cast<std::int64_t>(std::llround(v));
+    const std::byte* bytes = type == rt::ElemType::F64
+                                 ? reinterpret_cast<const std::byte*>(&v)
+                                 : reinterpret_cast<const std::byte*>(&w);
+    bool done = false;
+    if (lease) {
+      done = lease->tryWrite(static_cast<int>(sym), p, bytes);
+      if (!done) dropLease();
+    }
+    if (!done)
+      done = proc.table().tryWriteElemAt(static_cast<int>(sym), p, bytes);
+    if (!done) {
+      std::array<Triplet, sec::kMaxRank> dims{};
+      for (int k = 0; k < rank; ++k)
+        dims[static_cast<std::size_t>(k)] =
+            Triplet(idx[static_cast<std::size_t>(k)]);
+      proc.table().writeElems(static_cast<int>(sym), Section(rank, dims),
+                              bytes);
+    }
+  };
+
+  std::size_t pc = 0;
+  for (;;) {
+    const Insn& in = code[pc];
+    switch (in.op) {
+      case Op::Halt:
+        return;
+      case Op::Step:
+        if (iopts.stepHook) iopts.stepHook(proc);
+        stats.stmtsExecuted += 1;
+        break;
+      case Op::ConstI:
+        regs[in.a] = Slot::ofInt(ipool[in.d]);
+        break;
+      case Op::ConstR:
+        regs[in.a] = Slot::ofReal(rpool[in.d]);
+        break;
+      case Op::ConstB:
+        regs[in.a] = Slot::ofBool(in.d != 0);
+        break;
+      case Op::MyPid:
+        regs[in.a] = Slot::ofInt(static_cast<Index>(proc.mypid()));
+        break;
+      case Op::NProcs:
+        regs[in.a] = Slot::ofInt(static_cast<Index>(proc.nprocs()));
+        break;
+      case Op::Mov:
+        regs[in.a] = val(in.b);
+        break;
+      case Op::Add: {
+        const Slot& x = val(in.b);
+        const Slot& y = val(in.c);
+        regs[in.a] = (x.tag == Tag::Int && y.tag == Tag::Int)
+                         ? Slot::ofInt(arith::wrapAdd(x.i, y.i))
+                         : Slot::ofReal(asReal(x) + asReal(y));
+        break;
+      }
+      case Op::Sub: {
+        const Slot& x = val(in.b);
+        const Slot& y = val(in.c);
+        regs[in.a] = (x.tag == Tag::Int && y.tag == Tag::Int)
+                         ? Slot::ofInt(arith::wrapSub(x.i, y.i))
+                         : Slot::ofReal(asReal(x) - asReal(y));
+        break;
+      }
+      case Op::Mul: {
+        const Slot& x = val(in.b);
+        const Slot& y = val(in.c);
+        regs[in.a] = (x.tag == Tag::Int && y.tag == Tag::Int)
+                         ? Slot::ofInt(arith::wrapMul(x.i, y.i))
+                         : Slot::ofReal(asReal(x) * asReal(y));
+        break;
+      }
+      case Op::Div: {
+        const Slot& x = val(in.b);
+        const Slot& y = val(in.c);
+        regs[in.a] = (x.tag == Tag::Int && y.tag == Tag::Int)
+                         ? Slot::ofInt(arith::checkedDiv(x.i, y.i))
+                         : Slot::ofReal(asReal(x) / asReal(y));
+        break;
+      }
+      case Op::Mod: {
+        const Slot& x = val(in.b);
+        const Slot& y = val(in.c);
+        XDP_CHECK(x.tag == Tag::Int && y.tag == Tag::Int,
+                  "mod requires integer operands");
+        regs[in.a] = Slot::ofInt(arith::checkedMod(x.i, y.i));
+        break;
+      }
+      case Op::Lt:
+        regs[in.a] = Slot::ofBool(asReal(val(in.b)) < asReal(val(in.c)));
+        break;
+      case Op::Le:
+        regs[in.a] = Slot::ofBool(asReal(val(in.b)) <= asReal(val(in.c)));
+        break;
+      case Op::Gt:
+        regs[in.a] = Slot::ofBool(asReal(val(in.b)) > asReal(val(in.c)));
+        break;
+      case Op::Ge:
+        regs[in.a] = Slot::ofBool(asReal(val(in.b)) >= asReal(val(in.c)));
+        break;
+      case Op::Eq:
+        regs[in.a] = Slot::ofBool(asReal(val(in.b)) == asReal(val(in.c)));
+        break;
+      case Op::Ne:
+        regs[in.a] = Slot::ofBool(asReal(val(in.b)) != asReal(val(in.c)));
+        break;
+      case Op::Min: {
+        const Slot& x = val(in.b);
+        const Slot& y = val(in.c);
+        regs[in.a] = (x.tag == Tag::Int && y.tag == Tag::Int)
+                         ? Slot::ofInt(std::min(x.i, y.i))
+                         : Slot::ofReal(std::min(asReal(x), asReal(y)));
+        break;
+      }
+      case Op::Max: {
+        const Slot& x = val(in.b);
+        const Slot& y = val(in.c);
+        regs[in.a] = (x.tag == Tag::Int && y.tag == Tag::Int)
+                         ? Slot::ofInt(std::max(x.i, y.i))
+                         : Slot::ofReal(std::max(asReal(x), asReal(y)));
+        break;
+      }
+      case Op::Neg: {
+        const Slot& x = val(in.b);
+        regs[in.a] = x.tag == Tag::Int ? Slot::ofInt(arith::wrapNeg(x.i))
+                                       : Slot::ofReal(-asReal(x));
+        break;
+      }
+      case Op::Not:
+        regs[in.a] = Slot::ofBool(!asBool(val(in.b)));
+        break;
+      case Op::ToBool:
+        regs[in.a] = Slot::ofBool(asBool(val(in.b)));
+        break;
+      case Op::ToIndex:
+        regs[in.a] = Slot::ofInt(asInt(val(in.b)));
+        break;
+      case Op::CheckStep:
+        XDP_CHECK(regs[in.a].i > 0, "loop step must be positive");
+        break;
+      case Op::Jmp:
+        pc = static_cast<std::size_t>(in.d);
+        continue;
+      case Op::JmpIfFalse:
+        if (!asBool(val(in.a))) {
+          pc = static_cast<std::size_t>(in.d);
+          continue;
+        }
+        break;
+      case Op::ForEnter: {
+        const Index lb = regs[in.b].i;
+        const Index ub = regs[in.c].i;
+        if (lb > ub) {
+          pc = static_cast<std::size_t>(in.d);
+          continue;
+        }
+        if (in.rank != 0 && canLease && !lease) {
+          lease.emplace(proc.table());
+          leaseOwner = static_cast<std::int32_t>(pc) + 1;
+        }
+        regs[in.a] = Slot::ofInt(lb);
+        break;
+      }
+      case Op::ForNext: {
+        const Index i = regs[in.a].i;
+        const Index ub = regs[in.b].i;
+        const Index step = regs[in.c].i;
+        // Same overflow-safe termination test as the tree walker.
+        if (static_cast<std::uint64_t>(ub) - static_cast<std::uint64_t>(i) >=
+            static_cast<std::uint64_t>(step)) {
+          regs[in.a].i = i + step;
+          pc = static_cast<std::size_t>(in.d);
+          continue;
+        }
+        // ForNext.d is its loop's head = enter pc + 1: release the lease
+        // exactly when the owning loop terminates.
+        if (lease && in.d == leaseOwner) dropLease();
+        break;
+      }
+      case Op::CountLoopIter:
+        stats.loopIterations += 1;
+        break;
+      case Op::CountRuleEval:
+        stats.rulesEvaluated += 1;
+        break;
+      case Op::CountRuleTrue:
+        stats.rulesTrue += 1;
+        break;
+      case Op::CountElemAssign:
+        stats.elemAssigns += 1;
+        break;
+      case Op::LoadElem: {
+        std::array<sec::Index, sec::kMaxRank> idx{};
+        for (int k = 0; k < in.rank; ++k)
+          idx[static_cast<std::size_t>(k)] = regs[in.b + k].i;
+        regs[in.a] = loadAt(in.rank, idx, in.d);
+        break;
+      }
+      case Op::StoreElem: {
+        const double v = asReal(val(in.a));
+        if (in.rank == 1 && lease) {
+          const Index x = regs[in.b].i;
+          const auto type = m.elemTypes[static_cast<std::size_t>(in.d)];
+          const std::int64_t w =
+              type == rt::ElemType::F64
+                  ? 0
+                  : static_cast<std::int64_t>(std::llround(v));
+          const std::byte* bytes =
+              type == rt::ElemType::F64
+                  ? reinterpret_cast<const std::byte*>(&v)
+                  : reinterpret_cast<const std::byte*>(&w);
+          if (lease->tryWrite1(static_cast<int>(in.d), x, bytes)) break;
+          dropLease();
+        }
+        std::array<sec::Index, sec::kMaxRank> idx{};
+        for (int k = 0; k < in.rank; ++k)
+          idx[static_cast<std::size_t>(k)] = regs[in.b + k].i;
+        storeAt(in.rank, idx, in.d, v);
+        break;
+      }
+      case Op::Cost:
+        proc.compute(asReal(val(in.a)));
+        break;
+      case Op::EvalFlat:
+        regs[in.a] =
+            fe.evalValue(ExprRef{static_cast<std::uint32_t>(in.d)});
+        break;
+      case Op::EvalRule:
+        regs[in.a] = Slot::ofBool(
+            fe.evalRule(ExprRef{static_cast<std::uint32_t>(in.d)}));
+        break;
+      case Op::ExecFlat:
+        fe.exec(StmtRef{static_cast<std::uint32_t>(in.d)});
+        break;
+      // Fused bookkeeping ops: exact concatenation of their components.
+      case Op::ForIter:
+        stats.loopIterations += 1;
+        regs[in.a] = regs[in.b];  // iR is always set by ForEnter
+        break;
+      case Op::StepElem:
+        if (iopts.stepHook) iopts.stepHook(proc);
+        stats.stmtsExecuted += 1;
+        stats.elemAssigns += 1;
+        break;
+      case Op::StepRule:
+        if (iopts.stepHook) iopts.stepHook(proc);
+        stats.stmtsExecuted += 1;
+        stats.rulesEvaluated += 1;
+        break;
+      case Op::LoadElem1: {
+        const Index x = arith::wrapAdd(asInt(val(in.b)), ipool[in.c]);
+        if (lease) {
+          // Inline window-hit path (see ElemLease::tryRead1); both element
+          // types are 8 bytes, reinterpreted to real exactly like loadAt.
+          const auto type = m.elemTypes[static_cast<std::size_t>(in.d)];
+          std::int64_t vi = 0;
+          double vr = 0.0;
+          std::byte* bytes = type == rt::ElemType::F64
+                                 ? reinterpret_cast<std::byte*>(&vr)
+                                 : reinterpret_cast<std::byte*>(&vi);
+          if (lease->tryRead1(static_cast<int>(in.d), x, bytes)) {
+            regs[in.a] = type == rt::ElemType::F64
+                             ? Slot::ofReal(vr)
+                             : Slot::ofReal(static_cast<double>(vi));
+            break;
+          }
+          dropLease();
+        }
+        std::array<sec::Index, sec::kMaxRank> idx{};
+        idx[0] = x;
+        regs[in.a] = loadAt(1, idx, in.d);
+        break;
+      }
+      case Op::IdxAff:
+        regs[in.a] = Slot::ofInt(arith::wrapAdd(asInt(val(in.b)), ipool[in.c]));
+        break;
+    }
+    ++pc;
+  }
+}
+
+std::string disassemble(const Module& m) {
+  static const char* kNames[] = {
+      "Halt",    "Step",      "ConstI",     "ConstR",   "ConstB",
+      "MyPid",   "NProcs",    "Mov",        "Add",      "Sub",
+      "Mul",     "Div",       "Mod",        "Lt",       "Le",
+      "Gt",      "Ge",        "Eq",         "Ne",       "Min",
+      "Max",     "Neg",       "Not",        "ToBool",   "ToIndex",
+      "CheckStep", "Jmp",     "JmpIfFalse", "ForEnter", "ForNext",
+      "CountLoopIter", "CountRuleEval", "CountRuleTrue",
+      "CountElemAssign", "LoadElem", "StoreElem", "Cost",
+      "EvalFlat", "EvalRule", "ExecFlat",
+      "ForIter", "StepElem", "StepRule", "LoadElem1", "IdxAff",
+  };
+  std::ostringstream os;
+  os << "regs=" << m.numRegs << " scalars=" << m.fp.numScalars()
+     << " hot=" << m.hotStmts << " cold=" << m.coldStmts << "\n";
+  for (std::size_t k = 0; k < m.code.size(); ++k) {
+    const Insn& in = m.code[k];
+    os << k << ": " << kNames[static_cast<int>(in.op)] << " a=" << in.a
+       << " b=" << in.b << " c=" << in.c << " d=" << in.d;
+    if (in.rank != 0) os << " rank=" << static_cast<int>(in.rank);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xdp::interp::bc

@@ -1,0 +1,121 @@
+// Register-based bytecode for IL+XDP programs — the compiled execution
+// backend behind InterpOptions::backend (see DESIGN.md §9).
+//
+// compile() lowers a flat::FlatProgram (xdp/il/flat.hpp) into one dense
+// instruction stream per program: scalar arithmetic, For loops, guards,
+// and single-point element access become register ops over a tagged-slot
+// register file; everything stateful — ownership queries, sends/receives,
+// awaits, kernels, general sections — stays a single cold instruction
+// (EvalFlat / EvalRule / ExecFlat) that walks the flat IL and calls back
+// into the same rt::Proc the tree walker uses. Quotas (stepHook), fault
+// injection, the watchdog, and NetStats are therefore untouched, and the
+// logical InterpStats counters are bit-identical to the tree walker's by
+// construction (the VM runs the naive guard-per-iteration schedule, which
+// is exactly what the logical counters describe).
+//
+// Register file layout: registers [0, numScalars) ARE the universal
+// scalars (register index == flat scalarId, so the cold-path evaluator
+// shares the environment with compiled code); registers above that are
+// expression temporaries. Slots start Undef, which is how
+// use-of-undefined-scalar is detected — same diagnostic as the tree
+// walker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "xdp/il/flat.hpp"
+#include "xdp/interp/interpreter.hpp"
+
+namespace xdp::interp::bc {
+
+enum class Op : std::uint8_t {
+  Halt,        ///< end of program
+  Step,        ///< stepHook + stmtsExecuted (top of every hot statement)
+  ConstI,      ///< a = ipool[d]
+  ConstR,      ///< a = rpool[d]
+  ConstB,      ///< a = bool(d)
+  MyPid,       ///< a = mypid (int)
+  NProcs,      ///< a = nprocs (int)
+  Mov,         ///< a = b
+  // Binary arithmetic: a = b <op> c, Value-variant semantics (both ints →
+  // wrapping int op, else real; Div/Mod trap via xdp::arith; comparisons
+  // always compare as real and yield bool).
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  Min, Max,
+  Neg,         ///< a = -b (wrapping int / real)
+  Not,         ///< a = !asBool(b)
+  ToBool,      ///< a = asBool(b)
+  ToIndex,     ///< a = asInt(b) — llround + range + integrality checks
+  CheckStep,   ///< XDP_CHECK(a > 0, "loop step must be positive")
+  Jmp,         ///< pc = d
+  JmpIfFalse,  ///< if (!asBool(a)) pc = d
+  ForEnter,    ///< if (b > c) pc = d else a = b   (a=var, b=lb, c=ub; ints)
+  ForNext,     ///< overflow-safe: if (step <= ub-a) { a += step; pc = d }
+               ///< (a=var, b=ub, c=step)
+  CountLoopIter,   ///< stats.loopIterations += 1
+  CountRuleEval,   ///< stats.rulesEvaluated += 1
+  CountRuleTrue,   ///< stats.rulesTrue += 1
+  CountElemAssign, ///< stats.elemAssigns += 1
+  LoadElem,    ///< a = A_d[regs[b..b+rank)] as real (subscripts are ints)
+  StoreElem,   ///< A_d[regs[b..b+rank)] = asReal(a)
+  Cost,        ///< proc.compute(asReal(a))
+  // Cold path: d is a flat node id; the flat-walking evaluator mirrors the
+  // tree walker exactly (including its own Step accounting for ExecFlat).
+  EvalFlat,    ///< a = evalValue(expr d)
+  EvalRule,    ///< a = evalRule(expr d) — UnownedRef ⇒ false (paper 2.4)
+  ExecFlat,    ///< exec(stmt d) via the flat walker
+  // Fused bookkeeping ops — pure dispatch reduction on the hot loop path.
+  // Each is the exact concatenation of the two ops it replaces, in the
+  // same program position, so logical stats and hook timing are unchanged.
+  ForIter,     ///< CountLoopIter + Mov: loopIterations += 1; a = b
+  StepElem,    ///< Step + CountElemAssign (top of a hot element assign)
+  StepRule,    ///< Step + CountRuleEval (top of a hot guarded statement)
+  // Rank-1 affine subscripts (`A[i]`, `A[i±c]`) — the stencil inner-loop
+  // shape — skip the Sub/Add + ToIndex temp chain entirely.
+  LoadElem1,   ///< a = A_d[asInt(b) +w ipool[c]] (wrapping add, as real)
+  IdxAff,      ///< a = asInt(b) +w ipool[c] — store-side subscript, kept
+               ///< before the value expression (tree-walker eval order)
+};
+
+/// One fixed-size instruction. `a`/`b`/`c` are register indices, `rank`
+/// the subscript count of LoadElem/StoreElem, `d` an op-specific payload:
+/// jump target, pool index, symbol, or flat node id.
+struct Insn {
+  Op op = Op::Halt;
+  std::uint8_t rank = 0;
+  std::uint16_t a = 0, b = 0, c = 0;
+  std::int32_t d = 0;
+};
+static_assert(sizeof(Insn) == 12, "Insn packs to 12 bytes");
+
+/// A compiled program: the flat IL it was lowered from (the cold path
+/// walks it), the instruction stream, constant pools, and per-symbol
+/// element types resolved at compile time.
+struct Module {
+  il::flat::FlatProgram fp;
+  std::vector<Insn> code;
+  std::vector<Index> ipool;
+  std::vector<double> rpool;
+  std::vector<rt::ElemType> elemTypes;  ///< by symbol index
+  std::uint16_t numRegs = 0;            ///< scalars + consts + temporaries
+  std::uint32_t hotStmts = 0;           ///< statements fully compiled
+  std::uint32_t coldStmts = 0;          ///< statements left to ExecFlat
+};
+
+/// Lower a flat program to bytecode. Pure function of the program.
+Module compile(il::flat::FlatProgram fp);
+
+/// Run `m` as the node program of `proc`. Counters accumulate into
+/// `stats`; `iopts.stepHook` fires exactly as in the tree walker; kernels
+/// resolve by name from `kernels`.
+void execute(const Module& m, rt::Proc& proc, InterpStats& stats,
+             const InterpOptions& iopts,
+             const std::map<std::string, KernelFn>& kernels);
+
+/// Human-readable disassembly (tests / debugging).
+std::string disassemble(const Module& m);
+
+}  // namespace xdp::interp::bc

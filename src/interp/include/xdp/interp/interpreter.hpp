@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <variant>
@@ -20,6 +21,10 @@
 #include "xdp/rt/proc.hpp"
 
 namespace xdp::interp {
+
+namespace bc {
+struct Module;  // compiled bytecode (xdp/interp/bytecode.hpp)
+}
 
 using sec::Index;
 using sec::Section;
@@ -57,6 +62,16 @@ struct InterpStats {
 /// per-session step/memory/wall-time quota enforcement off it.
 using StepHook = std::function<void(rt::Proc&)>;
 
+/// Which execution engine runs the node programs. Both engines produce
+/// bit-identical results, NetStats, and logical InterpStats (the
+/// differential tests enforce it); they differ in speed and in the
+/// non-logical fast-path counters (the VM never range-splits, so
+/// rangeSplits/guardedItersSaved stay 0 and guardCacheHits differ).
+enum class Backend {
+  TreeWalk,  ///< reference tree-walking interpreter (the oracle)
+  Bytecode,  ///< flat-IL register VM (xdp/interp/bytecode.hpp)
+};
+
 /// Interpreter-level execution switches (distinct from RuntimeOptions,
 /// which configure the simulated machine).
 struct InterpOptions {
@@ -69,6 +84,9 @@ struct InterpOptions {
   /// Per-statement hook (see StepHook); empty = no per-step overhead
   /// beyond one branch.
   StepHook stepHook;
+  /// Execution engine (see Backend). The program is flattened and
+  /// compiled lazily on the first run() when Bytecode is selected.
+  Backend backend = Backend::TreeWalk;
 };
 
 /// A computational kernel callable from IL (e.g. fft1D). Receives the
@@ -80,6 +98,7 @@ class Interpreter {
  public:
   explicit Interpreter(il::Program prog, rt::RuntimeOptions opts = {},
                        InterpOptions iopts = {});
+  ~Interpreter();  // out-of-line: bc::Module is incomplete here
 
   const il::Program& program() const { return prog_; }
   rt::Runtime& runtime() { return rt_; }
@@ -112,6 +131,7 @@ class Interpreter {
   InterpOptions iopts_;
   std::map<std::string, KernelFn> kernels_;
   std::vector<InterpStats> stats_;
+  std::unique_ptr<bc::Module> module_;  ///< lazily compiled (Bytecode)
 
   std::vector<std::string> scalarNames_;
   std::unordered_map<std::string, int> scalarIdByName_;

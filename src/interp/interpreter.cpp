@@ -5,6 +5,9 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "xdp/il/flat.hpp"
+#include "xdp/interp/bytecode.hpp"
+#include "xdp/support/arith.hpp"
 #include "xdp/support/check.hpp"
 
 namespace xdp::interp {
@@ -117,11 +120,17 @@ class Exec {
             execSplitLoop(s, var, Triplet(lb, ub, step))) {
           return;
         }
-        for (Index i = lb; i <= ub; i += step) {
+        for (Index i = lb;;) {
           stats_.loopIterations += 1;
           env_[static_cast<std::size_t>(var)] = i;
           def_[static_cast<std::size_t>(var)] = 1;
           exec(s->body);
+          // `i + step` can overflow past a ub near INT64_MAX; decide
+          // termination on the (always in-range) remaining distance.
+          if (static_cast<std::uint64_t>(ub) - static_cast<std::uint64_t>(i) <
+              static_cast<std::uint64_t>(step))
+            break;
+          i += step;
         }
         return;
       }
@@ -228,11 +237,12 @@ class Exec {
         return isPureInvariant(e->lhs, var);
       case ExprKind::Bin:
         switch (e->op) {
+          // Div/Mod are deliberately absent: they can trap (divisor zero,
+          // INT64_MIN / -1), and the split path must never hoist a trap
+          // onto a schedule position the naive schedule doesn't have.
           case il::BinOp::Add:
           case il::BinOp::Sub:
           case il::BinOp::Mul:
-          case il::BinOp::Div:
-          case il::BinOp::Mod:
           case il::BinOp::Min:
           case il::BinOp::Max:
             return isPureInvariant(e->lhs, var) &&
@@ -534,7 +544,8 @@ class Exec {
         return evalBin(e);
       case ExprKind::Neg: {
         Value v = evalValue(e->lhs);
-        if (std::holds_alternative<Index>(v)) return -std::get<Index>(v);
+        if (std::holds_alternative<Index>(v))
+          return arith::wrapNeg(std::get<Index>(v));
         return -asReal(v);
       }
       case ExprKind::Not:
@@ -581,24 +592,24 @@ class Exec {
         std::holds_alternative<Index>(a) && std::holds_alternative<Index>(b);
     switch (e->op) {
       case BinOp::Add:
-        return bothInt ? Value(std::get<Index>(a) + std::get<Index>(b))
-                       : Value(asReal(a) + asReal(b));
+        return bothInt
+                   ? Value(arith::wrapAdd(std::get<Index>(a), std::get<Index>(b)))
+                   : Value(asReal(a) + asReal(b));
       case BinOp::Sub:
-        return bothInt ? Value(std::get<Index>(a) - std::get<Index>(b))
-                       : Value(asReal(a) - asReal(b));
+        return bothInt
+                   ? Value(arith::wrapSub(std::get<Index>(a), std::get<Index>(b)))
+                   : Value(asReal(a) - asReal(b));
       case BinOp::Mul:
-        return bothInt ? Value(std::get<Index>(a) * std::get<Index>(b))
-                       : Value(asReal(a) * asReal(b));
+        return bothInt
+                   ? Value(arith::wrapMul(std::get<Index>(a), std::get<Index>(b)))
+                   : Value(asReal(a) * asReal(b));
       case BinOp::Div:
-        if (bothInt) {
-          XDP_CHECK(std::get<Index>(b) != 0, "integer division by zero");
-          return std::get<Index>(a) / std::get<Index>(b);
-        }
+        if (bothInt)
+          return arith::checkedDiv(std::get<Index>(a), std::get<Index>(b));
         return asReal(a) / asReal(b);
       case BinOp::Mod:
         XDP_CHECK(bothInt, "mod requires integer operands");
-        XDP_CHECK(std::get<Index>(b) != 0, "mod by zero");
-        return std::get<Index>(a) % std::get<Index>(b);
+        return arith::checkedMod(std::get<Index>(a), std::get<Index>(b));
       case BinOp::Lt:
         return asReal(a) < asReal(b);
       case BinOp::Le:
@@ -680,11 +691,31 @@ class Exec {
 
   // --- typed element access ----------------------------------------------
 
+  /// The one point of a single-point section, without materializing the
+  /// point list.
+  static Point onlyPointOf(const Section& pt) {
+    std::array<sec::Index, sec::kMaxRank> idx{};
+    for (int d = 0; d < pt.rank(); ++d)
+      idx[static_cast<std::size_t>(d)] = pt.dim(d).lb();
+    return Point(pt.rank(), idx);
+  }
+
   double readReal(int sym, const Section& pt) {
     const auto type = proc_.table().decl(sym).type;
-    if (type == rt::ElemType::F64) return proc_.read<double>(sym, pt)[0];
-    if (type == rt::ElemType::I64)
+    if (type == rt::ElemType::F64) {
+      double v = 0.0;
+      if (proc_.table().tryReadElemAt(sym, onlyPointOf(pt),
+                                      reinterpret_cast<std::byte*>(&v)))
+        return v;
+      return proc_.read<double>(sym, pt)[0];
+    }
+    if (type == rt::ElemType::I64) {
+      std::int64_t v = 0;
+      if (proc_.table().tryReadElemAt(sym, onlyPointOf(pt),
+                                      reinterpret_cast<std::byte*>(&v)))
+        return static_cast<double>(v);
       return static_cast<double>(proc_.read<std::int64_t>(sym, pt)[0]);
+    }
     XDP_CHECK(false, "IL element access supports f64/i64 (use kernels for "
                      "complex data)");
     return 0.0;
@@ -693,12 +724,18 @@ class Exec {
   void writeReal(int sym, const Section& pt, double v) {
     const auto type = proc_.table().decl(sym).type;
     if (type == rt::ElemType::F64) {
+      if (proc_.table().tryWriteElemAt(
+              sym, onlyPointOf(pt), reinterpret_cast<const std::byte*>(&v)))
+        return;
       proc_.set<double>(sym, pt.points()[0], v);
       return;
     }
     if (type == rt::ElemType::I64) {
-      proc_.set<std::int64_t>(sym, pt.points()[0],
-                              static_cast<std::int64_t>(std::llround(v)));
+      const std::int64_t w = static_cast<std::int64_t>(std::llround(v));
+      if (proc_.table().tryWriteElemAt(
+              sym, onlyPointOf(pt), reinterpret_cast<const std::byte*>(&w)))
+        return;
+      proc_.set<std::int64_t>(sym, pt.points()[0], w);
       return;
     }
     XDP_CHECK(false, "IL element access supports f64/i64");
@@ -832,15 +869,26 @@ Interpreter::Interpreter(il::Program prog, rt::RuntimeOptions opts,
   internScalars();
 }
 
+Interpreter::~Interpreter() = default;
+
 void Interpreter::registerKernel(std::string name, KernelFn fn) {
   kernels_[std::move(name)] = std::move(fn);
 }
 
 void Interpreter::run() {
   XDP_CHECK(prog_.body != nullptr, "program has no body");
+  if (iopts_.backend == Backend::Bytecode && module_ == nullptr) {
+    module_ =
+        std::make_unique<bc::Module>(bc::compile(il::flat::flatten(prog_)));
+  }
   rt_.run([&](rt::Proc& proc) {
-    Exec ex(*this, proc, stats_[static_cast<std::size_t>(proc.mypid())]);
-    ex.exec(prog_.body);
+    InterpStats& st = stats_[static_cast<std::size_t>(proc.mypid())];
+    if (iopts_.backend == Backend::Bytecode) {
+      bc::execute(*module_, proc, st, iopts_, kernels_);
+    } else {
+      Exec ex(*this, proc, st);
+      ex.exec(prog_.body);
+    }
   });
   // The run's tables are fresh per run(), so their lifetime hit counts are
   // exactly this run's contribution.

@@ -16,6 +16,7 @@
 
 #include "xdp/opt/passes.hpp"
 #include "xdp/opt/rewrite.hpp"
+#include "xdp/support/arith.hpp"
 
 namespace xdp::opt {
 namespace {
@@ -63,25 +64,32 @@ std::optional<ExprPtr> foldBin(const ExprPtr& e) {
   auto intOut = [&](sec::Index v) { return il::intConst(v); };
   auto realOut = [&](double v) { return il::realConst(v); };
   switch (e->op) {
+    // Integer +,-,*,neg fold with the same wrap-mod-2^64 semantics both
+    // execution backends use (xdp/support/arith.hpp); trapping divisions
+    // (divisor 0, INT64_MIN / -1) are left for the runtime so folding
+    // never raises a fault on a path the program doesn't execute.
     case BinOp::Add:
-      return bothInt ? intOut(a->intVal + b->intVal)
+      return bothInt ? intOut(arith::wrapAdd(a->intVal, b->intVal))
                      : realOut(asReal(a) + asReal(b));
     case BinOp::Sub:
-      return bothInt ? intOut(a->intVal - b->intVal)
+      return bothInt ? intOut(arith::wrapSub(a->intVal, b->intVal))
                      : realOut(asReal(a) - asReal(b));
     case BinOp::Mul:
-      return bothInt ? intOut(a->intVal * b->intVal)
+      return bothInt ? intOut(arith::wrapMul(a->intVal, b->intVal))
                      : realOut(asReal(a) * asReal(b));
-    case BinOp::Div:
+    case BinOp::Div: {
       if (bothInt) {
-        if (b->intVal == 0) return std::nullopt;  // leave for runtime error
-        return intOut(a->intVal / b->intVal);
+        if (auto q = arith::tryFoldDiv(a->intVal, b->intVal)) return intOut(*q);
+        return std::nullopt;  // leave for runtime error
       }
       if (asReal(b) == 0.0) return std::nullopt;
       return realOut(asReal(a) / asReal(b));
-    case BinOp::Mod:
-      if (!bothInt || b->intVal == 0) return std::nullopt;
-      return intOut(a->intVal % b->intVal);
+    }
+    case BinOp::Mod: {
+      if (!bothInt) return std::nullopt;
+      if (auto r = arith::tryFoldMod(a->intVal, b->intVal)) return intOut(*r);
+      return std::nullopt;
+    }
     case BinOp::Lt:
       return boolConst(asReal(a) < asReal(b));
     case BinOp::Le:
@@ -112,7 +120,7 @@ std::optional<ExprPtr> foldExpr(const ExprPtr& e) {
     case ExprKind::Bin:
       return foldBin(e);
     case ExprKind::Neg:
-      if (isIntK(e->lhs)) return il::intConst(-e->lhs->intVal);
+      if (isIntK(e->lhs)) return il::intConst(arith::wrapNeg(e->lhs->intVal));
       if (isRealK(e->lhs)) return il::realConst(-e->lhs->realVal);
       if (e->lhs->kind == ExprKind::Neg) return e->lhs->lhs;  // --x => x
       return std::nullopt;

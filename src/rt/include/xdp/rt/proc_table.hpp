@@ -37,6 +37,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,83 @@ class ProcTable {
   void readElems(int sym, const Section& s, std::byte* out) const;
   /// Scatter `in` (Fortran order of `s`) into the owned elements of `s`.
   void writeElems(int sym, const Section& s, const std::byte* in);
+
+  /// Single-element fast path for the interpreters' point accesses: copy
+  /// the one element at `p`, resolving the covering segment via a
+  /// per-symbol last-segment hint instead of the generic candidate walk
+  /// and per-point intersection. Returns false — touching nothing — when
+  /// the element is not plainly accessible (uncovered, or any receive
+  /// outstanding on the symbol); callers then fall back to
+  /// readElems/writeElems, which implement the exact unowned and
+  /// transitional semantics and diagnostics.
+  bool tryReadElemAt(int sym, const Point& p, std::byte* out) const;
+  bool tryWriteElemAt(int sym, const Point& p, const std::byte* in);
+
+  /// Exclusive element lease for compiled pure loops. The bytecode
+  /// backend proves at compile time that a loop body performs only
+  /// register arithmetic and point element accesses — no communication,
+  /// no cold callbacks, nothing blocking — takes the table lock once for
+  /// the whole loop, and touches elements directly. (The tree walker
+  /// cannot: it discovers statement kinds dynamically.) Holding the
+  /// exclusive lock across the loop is deadlock-free because leased code
+  /// acquires nothing else: the table is the innermost lock in the
+  /// fabric -> table order, so concurrent deliveries into this table
+  /// simply wait out the loop (wall-clock only; virtual times are
+  /// computed at send). A failed try* means the access needs the generic
+  /// path — the caller must DROP the lease first (same mutex).
+  class ElemLease {
+   public:
+    explicit ElemLease(ProcTable& t);
+    bool tryRead(int sym, const Point& p, std::byte* out);
+    bool tryWrite(int sym, const Point& p, const std::byte* in);
+
+    /// Rank-1 access with the window-hit path inlined at the call site:
+    /// a hit is two compares, one multiply-add, and a fixed 8-byte copy
+    /// (all XDP element types are 8 bytes wide) — no out-of-line call.
+    bool tryRead1(int sym, Index x, std::byte* out) {
+      const Window& w = win_[static_cast<std::size_t>(sym)];
+      if (w.base != nullptr && w.rank == 1 && x >= w.lb[0] && x <= w.ub[0]) {
+        copy8(out, w.base + static_cast<std::size_t>(x - w.lb[0]) * w.sz,
+              w.sz);
+        return true;
+      }
+      return readSlow1(sym, x, out);
+    }
+    bool tryWrite1(int sym, Index x, const std::byte* in) {
+      const Window& w = win_[static_cast<std::size_t>(sym)];
+      if (w.base != nullptr && w.rank == 1 && x >= w.lb[0] && x <= w.ub[0]) {
+        copy8(w.base + static_cast<std::size_t>(x - w.lb[0]) * w.sz, in,
+              w.sz);
+        return true;
+      }
+      return writeSlow1(sym, x, in);
+    }
+
+   private:
+    static void copy8(std::byte* dst, const std::byte* src, std::size_t sz) {
+      if (sz == 8)
+        std::memcpy(dst, src, 8);  // compiles to one load/store pair
+      else
+        std::memcpy(dst, src, sz);
+    }
+    bool readSlow1(int sym, Index x, std::byte* out);
+    bool writeSlow1(int sym, Index x, const std::byte* in);
+    /// Per-symbol window onto the last-hit contiguous segment: bounds
+    /// and Fortran multipliers unpacked into flat arrays so the hot
+    /// access is pure local arithmetic (no Section calls, no lookups).
+    /// Strided segments are never cached — they resolve per access.
+    struct Window {
+      std::byte* base = nullptr;  ///< storage for the segment's first elem
+      std::size_t sz = 0;
+      int rank = 0;
+      std::array<Index, sec::kMaxRank> lb{}, ub{}, mult{};
+    };
+    std::byte* resolve(int sym, const Point& p, Window& w);
+
+    ProcTable* t_;
+    std::unique_lock<std::shared_mutex> lk_;
+    std::vector<Window> win_;  ///< by symbol
+  };
 
   // --- transfer-engine hooks (used by Proc, not by node programs) ------
   /// Receive initiation: put every segment intersecting `s` in state
@@ -196,6 +274,11 @@ class ProcTable {
     mutable std::mutex cacheMu;
     mutable std::array<CacheSlot, 4> cache;
     mutable int cacheHand = 0;
+    /// Hint for the single-element fast path: index of the segment that
+    /// served the last point access. Pure accelerator — always
+    /// re-validated against the live descriptor before use. Atomic so
+    /// concurrent shared-lock holders may refresh it racelessly.
+    mutable std::atomic<int> segHint{-1};
   };
 
   const Entry& entry(int sym) const;
@@ -231,6 +314,10 @@ class ProcTable {
 
   void readElemsLocked(const Entry& e, int sym, const Section& s,
                        std::byte* out) const;
+
+  /// Index of the segment containing `p`, hint-first; -1 if uncovered.
+  /// Caller holds mu_ (shared suffices).
+  int segmentAtLocked(const Entry& e, const Point& p) const;
 
   const int pid_;
   const bool debugChecks_;

@@ -418,6 +418,141 @@ void ProcTable::readElemsLocked(const Entry& e, int sym, const Section& s,
   }
 }
 
+int ProcTable::segmentAtLocked(const Entry& e, const Point& p) const {
+  const int hint = e.segHint.load(std::memory_order_relaxed);
+  if (hint >= 0 && hint < static_cast<int>(e.segs.size()) &&
+      e.segs[static_cast<std::size_t>(hint)].bounds.contains(p))
+    return hint;
+  std::array<sec::Triplet, sec::kMaxRank> dims{};
+  for (int d = 0; d < p.rank(); ++d)
+    dims[static_cast<std::size_t>(d)] = sec::Triplet(p[d]);
+  const Section ps(p.rank(), dims);
+  int found = -1;
+  forEachCandidateLocked(e, ps, [&](const SegmentDesc& seg) {
+    if (found < 0 && seg.bounds.contains(p))
+      found = static_cast<int>(&seg - e.segs.data());
+  });
+  if (found >= 0) e.segHint.store(found, std::memory_order_relaxed);
+  return found;
+}
+
+bool ProcTable::tryReadElemAt(int sym, const Point& p, std::byte* out) const {
+  std::shared_lock lk(mu_);
+  const Entry& e = entry(sym);
+  if (!e.pendingRecvs.empty()) return false;
+  const int idx = segmentAtLocked(e, p);
+  if (idx < 0) return false;
+  const SegmentDesc& seg = e.segs[static_cast<std::size_t>(idx)];
+  const std::size_t sz = e.pool.elemSz;
+  std::memcpy(out,
+              e.pool.bytes.data() +
+                  (seg.elemOffset +
+                   static_cast<std::size_t>(seg.bounds.fortranPos(p))) *
+                      sz,
+              sz);
+  return true;
+}
+
+bool ProcTable::tryWriteElemAt(int sym, const Point& p, const std::byte* in) {
+  // Exclusive, like writeElems: concurrent shared-locked readers (gather,
+  // monitoring) must never observe a mid-write element.
+  std::lock_guard lk(mu_);
+  Entry& e = entry(sym);
+  if (!e.pendingRecvs.empty()) return false;
+  const int idx = segmentAtLocked(e, p);
+  if (idx < 0) return false;
+  SegmentDesc& seg = e.segs[static_cast<std::size_t>(idx)];
+  const std::size_t sz = e.pool.elemSz;
+  std::memcpy(e.pool.bytes.data() +
+                  (seg.elemOffset +
+                   static_cast<std::size_t>(seg.bounds.fortranPos(p))) *
+                      sz,
+              in, sz);
+  return true;
+}
+
+ProcTable::ElemLease::ElemLease(ProcTable& t)
+    : t_(&t), lk_(t.mu_), win_(t.entries_.size()) {}
+
+/// Address of the element at `p`, window-first. A window hit is pure
+/// local arithmetic; a miss re-resolves through the segment index and
+/// re-fills the window when the covering segment is contiguous. Returns
+/// nullptr when the point is not plainly accessible.
+std::byte* ProcTable::ElemLease::resolve(int sym, const Point& p, Window& w) {
+  if (w.base != nullptr) {
+    std::size_t pos = 0;
+    int d = 0;
+    for (; d < w.rank; ++d) {
+      const Index x = p[d];
+      if (x < w.lb[static_cast<std::size_t>(d)] ||
+          x > w.ub[static_cast<std::size_t>(d)])
+        break;
+      pos += static_cast<std::size_t>(
+                 (x - w.lb[static_cast<std::size_t>(d)]) *
+                 w.mult[static_cast<std::size_t>(d)]);
+    }
+    if (d == w.rank) return w.base + pos * w.sz;
+  }
+  Entry& e = t_->entry(sym);
+  if (!e.pendingRecvs.empty()) return nullptr;
+  const int idx = t_->segmentAtLocked(e, p);
+  if (idx < 0) return nullptr;
+  const SegmentDesc& seg = e.segs[static_cast<std::size_t>(idx)];
+  const std::size_t sz = e.pool.elemSz;
+  std::byte* addr =
+      e.pool.bytes.data() +
+      (seg.elemOffset + static_cast<std::size_t>(seg.bounds.fortranPos(p))) *
+          sz;
+  bool contiguous = true;
+  for (int d = 0; d < seg.bounds.rank(); ++d)
+    contiguous = contiguous && seg.bounds.dim(d).stride() == 1;
+  if (contiguous) {
+    w.base = e.pool.bytes.data() + seg.elemOffset * sz;
+    w.sz = sz;
+    w.rank = seg.bounds.rank();
+    Index mult = 1;
+    for (int d = 0; d < w.rank; ++d) {
+      const sec::Triplet& tr = seg.bounds.dim(d);
+      w.lb[static_cast<std::size_t>(d)] = tr.lb();
+      w.ub[static_cast<std::size_t>(d)] = tr.ub();
+      w.mult[static_cast<std::size_t>(d)] = mult;
+      mult *= tr.count();
+    }
+  }
+  return addr;
+}
+
+bool ProcTable::ElemLease::tryRead(int sym, const Point& p, std::byte* out) {
+  Window& w = win_[static_cast<std::size_t>(sym)];
+  const std::byte* addr = resolve(sym, p, w);
+  if (addr == nullptr) return false;
+  std::memcpy(out, addr, w.sz != 0 ? w.sz : t_->entry(sym).pool.elemSz);
+  return true;
+}
+
+bool ProcTable::ElemLease::tryWrite(int sym, const Point& p,
+                                    const std::byte* in) {
+  Window& w = win_[static_cast<std::size_t>(sym)];
+  std::byte* addr = resolve(sym, p, w);
+  if (addr == nullptr) return false;
+  std::memcpy(addr, in, w.sz != 0 ? w.sz : t_->entry(sym).pool.elemSz);
+  return true;
+}
+
+// Window-miss halves of the inline rank-1 accessors: fall back to the
+// generic resolve(), which also refills the window for the next hit.
+bool ProcTable::ElemLease::readSlow1(int sym, Index x, std::byte* out) {
+  std::array<Index, sec::kMaxRank> idx{};
+  idx[0] = x;
+  return tryRead(sym, Point(1, idx), out);
+}
+
+bool ProcTable::ElemLease::writeSlow1(int sym, Index x, const std::byte* in) {
+  std::array<Index, sec::kMaxRank> idx{};
+  idx[0] = x;
+  return tryWrite(sym, Point(1, idx), in);
+}
+
 void ProcTable::readElems(int sym, const Section& s, std::byte* out) const {
   // Shared lock: element bytes are only written by the owning processor's
   // thread (writeElems) and by completeReceive, which takes the exclusive

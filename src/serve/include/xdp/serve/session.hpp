@@ -130,6 +130,10 @@ struct SessionOptions {
   int watchdogMs = 1000;
   int watchdogPollMs = -1;
   bool splitGuardedLoops = true;
+  /// Execution engine for session programs (quotas, fault isolation,
+  /// watchdog, and stats behave identically on both — the VM reuses the
+  /// same stepHook and fabric hooks).
+  interp::Backend backend = interp::Backend::TreeWalk;
   net::CostModel costModel{};
   RetryPolicy retry{};
 };

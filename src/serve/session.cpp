@@ -286,6 +286,7 @@ SessionReport runSession(const SessionRequest& req, const SessionOptions& opts,
     SessionScope scope(req.quotas, sessionStart);
     interp::InterpOptions iopts;
     iopts.splitGuardedLoops = opts.splitGuardedLoops;
+    iopts.backend = opts.backend;
     iopts.stepHook = [&scope](rt::Proc& p) { scope.onStep(p); };
 
     SessionOutcome outcome = SessionOutcome::Completed;

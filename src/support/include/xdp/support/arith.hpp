@@ -1,0 +1,85 @@
+// The single definition of IL integer arithmetic semantics.
+//
+// Every consumer of IL arithmetic — the tree-walking interpreter, the
+// bytecode VM, and compile-time constant folding — must agree bit-for-bit,
+// or the differential oracle (tree walk vs VM vs folded-then-run) reports
+// false mismatches and real miscompiles hide behind them. The rules:
+//
+//   * Add / Sub / Mul / Neg wrap modulo 2^64 (two's complement). C++
+//     signed overflow is UB, so these route through uint64_t; the result
+//     is what the hardware produces and what both backends and the
+//     folder reproduce identically.
+//   * Div / Mod by zero raise UsageError (a program bug, reported — not
+//     UB, not a crash). INT64_MIN / -1 and INT64_MIN % -1 overflow the
+//     result (SIGFPE on x86) and raise the same UsageError.
+//
+// Const-fold must NEVER raise these at compile time: a trapping division
+// may sit under a guard that is false at run time (or inside a zero-trip
+// loop), and folding it would introduce a fault on a path the program
+// never executes. It calls the tryFold* forms, which decline instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::arith {
+
+inline std::int64_t wrapAdd(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t wrapSub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t wrapMul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t wrapNeg(std::int64_t a) {
+  return static_cast<std::int64_t>(-static_cast<std::uint64_t>(a));
+}
+
+/// True iff a/b (and a%b) would trap: divisor zero, or the one overflowing
+/// quotient INT64_MIN / -1.
+inline bool divTraps(std::int64_t a, std::int64_t b) {
+  return b == 0 || (a == INT64_MIN && b == -1);
+}
+
+[[noreturn]] inline void raiseDivTrap(std::int64_t a, std::int64_t b,
+                                      const char* what) {
+  if (b == 0)
+    throw UsageError(std::string(what) + " by zero");
+  throw UsageError(std::string(what) + " overflow: " + std::to_string(a) +
+                   (what[0] == 'd' ? " / " : " % ") + std::to_string(b));
+}
+
+inline std::int64_t checkedDiv(std::int64_t a, std::int64_t b) {
+  if (divTraps(a, b)) raiseDivTrap(a, b, "division");
+  return a / b;
+}
+
+inline std::int64_t checkedMod(std::int64_t a, std::int64_t b) {
+  if (divTraps(a, b)) raiseDivTrap(a, b, "modulo");
+  return a % b;
+}
+
+/// Fold-time forms: return nullopt on would-trap inputs so the folder
+/// leaves the expression for runtime (see header comment).
+inline std::optional<std::int64_t> tryFoldDiv(std::int64_t a, std::int64_t b) {
+  if (divTraps(a, b)) return std::nullopt;
+  return a / b;
+}
+
+inline std::optional<std::int64_t> tryFoldMod(std::int64_t a, std::int64_t b) {
+  if (divTraps(a, b)) return std::nullopt;
+  return a % b;
+}
+
+}  // namespace xdp::arith

@@ -1,0 +1,145 @@
+// Structural tests for the flat IL arena (xdp/il/flat.hpp): flatten()
+// invariants (post-order, DAG sharing, interning) and verify()'s ability
+// to catch corrupted programs.
+#include <gtest/gtest.h>
+
+#include "xdp/il/flat.hpp"
+
+namespace xdp::il::flat {
+namespace {
+
+using dist::DimSpec;
+using dist::Distribution;
+using sec::Index;
+using sec::Section;
+using sec::Triplet;
+
+il::Program sampleProgram() {
+  il::Program prog;
+  prog.nprocs = 2;
+  Section g{Triplet(1, 8)};
+  prog.addArray({"A", rt::ElemType::F64, g,
+                 Distribution(g, {DimSpec::block(2)}), {}});
+  il::ExprPtr i = il::scalar("i");
+  prog.body = il::block({
+      il::scalarAssign("n", il::intConst(8)),
+      il::forLoop("i", il::intConst(1), il::scalar("n"),
+                  il::block({il::guarded(
+                      il::iown(0, il::secPoint({i})),
+                      il::block({il::elemAssign(
+                          0, il::secPoint({i}),
+                          il::add(il::scalar("i"), il::intConst(1)))}))})),
+      il::sendData(0, il::secPoint({il::intConst(1)}),
+                   il::DestSpec::toPids({il::intConst(0)})),
+  });
+  return prog;
+}
+
+TEST(FlatIl, FlattenedProgramVerifiesClean) {
+  FlatProgram fp = flatten(sampleProgram());
+  EXPECT_TRUE(verify(fp).empty());
+  EXPECT_GT(fp.exprs.size(), 0u);
+  EXPECT_GT(fp.stmts.size(), 0u);
+  EXPECT_GT(fp.secs.size(), 0u);
+  EXPECT_TRUE(fp.body.valid());
+  // The body block is a parent of everything, so with post-order layout it
+  // must be the last statement row.
+  EXPECT_EQ(fp.body.id, static_cast<std::uint32_t>(fp.stmts.size() - 1));
+}
+
+TEST(FlatIl, ChildrenPrecedeParents) {
+  FlatProgram fp = flatten(sampleProgram());
+  for (std::uint32_t k = 0; k < fp.exprs.size(); ++k) {
+    const Expr& e = fp.exprs[k];
+    if (e.lhs.valid()) {
+      EXPECT_LT(e.lhs.id, k);
+    }
+    if (e.rhs.valid()) {
+      EXPECT_LT(e.rhs.id, k);
+    }
+  }
+  for (std::uint32_t k = 0; k < fp.stmts.size(); ++k) {
+    const Stmt& s = fp.stmts[k];
+    if (s.body.valid()) {
+      EXPECT_LT(s.body.id, k);
+    }
+    for (std::uint32_t c = 0; c < s.kidsLen; ++c)
+      EXPECT_LT(fp.stmtKids[s.kidsOff + c].id, k);
+  }
+}
+
+TEST(FlatIl, SharedSubtreeFlattensOnce) {
+  // The same ExprPtr used twice must produce one row referenced twice;
+  // two structurally identical but distinct trees produce two rows.
+  auto mk = [](il::ExprPtr a, il::ExprPtr b) {
+    il::Program prog;
+    prog.nprocs = 1;
+    Section g{Triplet(1, 4)};
+    prog.addArray({"A", rt::ElemType::F64, g,
+                   Distribution(g, {DimSpec::block(1)}), {}});
+    prog.body = il::block({il::scalarAssign("x", std::move(a)),
+                           il::scalarAssign("y", std::move(b))});
+    return flatten(prog);
+  };
+  il::ExprPtr shared = il::add(il::intConst(2), il::intConst(3));
+  FlatProgram onceFp = mk(shared, shared);
+  FlatProgram twiceFp = mk(il::add(il::intConst(2), il::intConst(3)),
+                           il::add(il::intConst(2), il::intConst(3)));
+  EXPECT_EQ(twiceFp.exprs.size(), onceFp.exprs.size() + 3);
+  // Both assignments reference the identical row.
+  StmtRef body = onceFp.body;
+  const Stmt& blk = onceFp[body];
+  ASSERT_EQ(blk.kidsLen, 2u);
+  const Stmt& sx = onceFp[onceFp.stmtKids[blk.kidsOff]];
+  const Stmt& sy = onceFp[onceFp.stmtKids[blk.kidsOff + 1]];
+  EXPECT_EQ(sx.value.id, sy.value.id);
+}
+
+TEST(FlatIl, ScalarNamesInternedDense) {
+  FlatProgram fp = flatten(sampleProgram());
+  // "n" assigned once and read once, "i" bound once and read three times:
+  // each name appears exactly once in the intern table.
+  ASSERT_EQ(fp.scalarNames.size(), 2u);
+  EXPECT_EQ(fp.numScalars(), 2);
+  EXPECT_NE(fp.scalarNames[0], fp.scalarNames[1]);
+  for (const std::string& n : fp.scalarNames)
+    EXPECT_TRUE(n == "n" || n == "i");
+}
+
+TEST(FlatIl, VerifyCatchesForwardExprRef) {
+  FlatProgram fp = flatten(sampleProgram());
+  // Find a Bin row and point its lhs at itself (violates post-order).
+  bool corrupted = false;
+  for (std::uint32_t k = 0; k < fp.exprs.size() && !corrupted; ++k) {
+    if (fp.exprs[k].kind == ExprKind::Bin) {
+      fp.exprs[k].lhs = ExprRef{k};
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(verify(fp).empty());
+}
+
+TEST(FlatIl, VerifyCatchesSpanOverrun) {
+  FlatProgram fp = flatten(sampleProgram());
+  fp.stmts[fp.body.id].kidsLen =
+      static_cast<std::uint32_t>(fp.stmtKids.size()) + 7;
+  EXPECT_FALSE(verify(fp).empty());
+}
+
+TEST(FlatIl, VerifyCatchesBadScalarId) {
+  FlatProgram fp = flatten(sampleProgram());
+  bool corrupted = false;
+  for (auto& s : fp.stmts) {
+    if (s.kind == StmtKind::ScalarAssign) {
+      s.scalarId = fp.numScalars() + 3;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(verify(fp).empty());
+}
+
+}  // namespace
+}  // namespace xdp::il::flat

@@ -2,6 +2,8 @@
 // elision, loop semantics, i64 arrays, and error surfaces.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "xdp/apps/programs.hpp"
 #include "xdp/interp/interpreter.hpp"
 
@@ -192,6 +194,191 @@ TEST(InterpEdge, NonFiniteIndexIsAnError) {
           il::realConst(0.0))}));
   Interpreter in(prog, debug());
   EXPECT_THROW(in.run(), xdp::UsageError);
+}
+
+// --- arithmetic edge semantics (identical on both backends) --------------
+//
+// Signed semantics are defined once in xdp/support/arith.hpp: Add/Sub/
+// Mul/Neg wrap modulo 2^64; Div/Mod trap on divisor zero AND on
+// INT64_MIN / -1 (the one overflowing division) — previously signed-
+// overflow UB in the C++ `/` and `%` the interpreter used directly.
+
+class ArithEdge : public ::testing::TestWithParam<Backend> {
+ protected:
+  InterpOptions iopts() {
+    InterpOptions io;
+    io.backend = GetParam();
+    return io;
+  }
+  std::int64_t runReadI64(il::Program prog) {
+    Interpreter in(std::move(prog), debug(), iopts());
+    in.run();
+    std::int64_t out = 0;
+    in.runtime().table(0).readElems(0, Section{Triplet(1)},
+                                    reinterpret_cast<std::byte*>(&out));
+    return out;
+  }
+  double runReadF64(il::Program prog) {
+    Interpreter in(std::move(prog), debug(), iopts());
+    in.run();
+    return apps::gatherF64(in.runtime(), 0, Section{Triplet(1, 4)})[0];
+  }
+};
+
+constexpr Index kMin = std::numeric_limits<std::int64_t>::min();
+constexpr Index kMax = std::numeric_limits<std::int64_t>::max();
+
+TEST_P(ArithEdge, DivOverflowRaisesUsageError) {
+  il::Program prog = base(
+      1, 4,
+      il::block({il::elemAssign(
+          0, il::secPoint({il::intConst(1)}),
+          il::bin(il::BinOp::Div, il::intConst(kMin), il::intConst(-1)))}));
+  Interpreter in(prog, debug(), iopts());
+  EXPECT_THROW(in.run(), xdp::UsageError);
+}
+
+TEST_P(ArithEdge, ModOverflowRaisesUsageError) {
+  il::Program prog = base(
+      1, 4,
+      il::block({il::elemAssign(
+          0, il::secPoint({il::intConst(1)}),
+          il::bin(il::BinOp::Mod, il::intConst(kMin), il::intConst(-1)))}));
+  Interpreter in(prog, debug(), iopts());
+  EXPECT_THROW(in.run(), xdp::UsageError);
+}
+
+TEST_P(ArithEdge, DivModByZeroRaiseUsageError) {
+  for (il::BinOp op : {il::BinOp::Div, il::BinOp::Mod}) {
+    il::Program prog = base(
+        1, 4,
+        il::block({il::elemAssign(
+            0, il::secPoint({il::intConst(1)}),
+            il::bin(op, il::intConst(7), il::intConst(0)))}));
+    Interpreter in(prog, debug(), iopts());
+    EXPECT_THROW(in.run(), xdp::UsageError);
+  }
+}
+
+TEST_P(ArithEdge, AddSubMulNegWrapModulo2Pow64) {
+  auto i64prog = [](il::ExprPtr rhs) {
+    return base(1, 4,
+                il::block({il::elemAssign(0, il::secPoint({il::intConst(1)}),
+                                          std::move(rhs))}),
+                rt::ElemType::I64);
+  };
+  // INT64_MIN is exactly representable as a double, so the f64-mediated
+  // i64 store path preserves it bit-for-bit.
+  EXPECT_EQ(runReadI64(i64prog(il::add(il::intConst(kMax), il::intConst(1)))),
+            kMin);
+  // kMin - 1024 wraps to 2^63 - 1024, a representable double (the f64
+  // spacing in [2^62, 2^63) is exactly 1024); kMax itself is not.
+  EXPECT_EQ(
+      runReadI64(i64prog(il::sub(il::intConst(kMin), il::intConst(1024)))),
+      kMax - 1023);
+  EXPECT_EQ(runReadI64(
+                i64prog(il::mul(il::intConst(kMin), il::intConst(-1)))),
+            kMin);
+  EXPECT_EQ(runReadI64(i64prog(il::neg(il::intConst(kMin)))), kMin);
+}
+
+TEST_P(ArithEdge, LoopNearInt64MaxTerminates) {
+  // `i + step` overflows past INT64_MAX on the last iteration; the
+  // termination test must decide on remaining distance, not on i + step.
+  il::Program prog = base(
+      1, 4,
+      il::block({
+          il::scalarAssign("c", il::intConst(0)),
+          il::forLoop("i", il::intConst(kMax - 3), il::intConst(kMax),
+                      il::block({il::scalarAssign(
+                          "c", il::add(il::scalar("c"), il::intConst(1)))}),
+                      il::intConst(2)),
+          il::elemAssign(0, il::secPoint({il::intConst(1)}), il::scalar("c")),
+      }));
+  EXPECT_DOUBLE_EQ(runReadF64(std::move(prog)), 2.0);  // i = MAX-3, MAX-1
+}
+
+TEST_P(ArithEdge, LoopAtInt64MaxRunsOnce) {
+  il::Program prog = base(
+      1, 4,
+      il::block({
+          il::scalarAssign("c", il::intConst(0)),
+          il::forLoop("i", il::intConst(kMax), il::intConst(kMax),
+                      il::block({il::scalarAssign(
+                          "c", il::add(il::scalar("c"), il::intConst(1)))})),
+          il::elemAssign(0, il::secPoint({il::intConst(1)}), il::scalar("c")),
+      }));
+  EXPECT_DOUBLE_EQ(runReadF64(std::move(prog)), 1.0);
+}
+
+TEST_P(ArithEdge, TrappingDivisorUnderFalseGuardNeverEvaluated) {
+  // The statically-false guard must skip the division on every schedule
+  // (naive, range-split, bytecode) — a trap here would be a fault the
+  // original program does not have.
+  il::Program prog = base(
+      2, 8,
+      il::block({il::forLoop(
+          "i", il::intConst(1), il::intConst(8),
+          il::block({il::guarded(
+              il::bin(il::BinOp::Gt, il::intConst(1), il::intConst(2)),
+              il::block({il::elemAssign(
+                  0, il::secPoint({il::scalar("i")}),
+                  il::bin(il::BinOp::Div, il::intConst(1),
+                          il::intConst(0)))}))}))}));
+  Interpreter in(prog, debug(), iopts());
+  EXPECT_NO_THROW(in.run());
+  EXPECT_EQ(in.totalStats().rulesTrue, 0u);
+}
+
+TEST_P(ArithEdge, ZeroTripLoopSkipsTrappingBody) {
+  il::Program prog = base(
+      1, 4,
+      il::block({il::forLoop(
+          "i", il::intConst(5), il::intConst(2),
+          il::block({il::elemAssign(
+              0, il::secPoint({il::intConst(1)}),
+              il::bin(il::BinOp::Div, il::intConst(1), il::intConst(0)))}))}));
+  Interpreter in(prog, debug(), iopts());
+  EXPECT_NO_THROW(in.run());
+  EXPECT_EQ(in.totalStats().loopIterations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ArithEdge,
+                         ::testing::Values(Backend::TreeWalk,
+                                           Backend::Bytecode));
+
+TEST(InterpEdge, DivisionInGuardSubscriptBlocksRangeSplit) {
+  // isPureInvariant must refuse Div/Mod: hoisting one to split time would
+  // move a potential trap onto a schedule position the naive schedule
+  // doesn't have. A division in the guard subscript therefore forces the
+  // guard-per-iteration path (correct result, zero splits).
+  auto build = [](il::ExprPtr offset) {
+    return base(
+        2, 16,
+        il::block({il::forLoop(
+            "i", il::intConst(1), il::intConst(14),
+            il::block({il::guarded(
+                il::iown(0, il::secPoint({il::add(il::scalar("i"),
+                                                  std::move(offset))})),
+                il::block({il::elemAssign(
+                    0,
+                    il::secPoint({il::add(il::scalar("i"), il::intConst(2))}),
+                    il::intConst(1))}))}))}));
+  };
+  // Positive control: an affine subscript does range-split.
+  Interpreter split(build(il::intConst(2)), debug());
+  split.run();
+  EXPECT_GT(split.totalStats().rangeSplits, 0u);
+  // Same subscript value via a (non-trapping) division: no split.
+  Interpreter noSplit(
+      build(il::bin(il::BinOp::Div, il::intConst(6), il::intConst(3))),
+      debug());
+  noSplit.run();
+  EXPECT_EQ(noSplit.totalStats().rangeSplits, 0u);
+  EXPECT_EQ(noSplit.totalStats().rulesTrue, split.totalStats().rulesTrue);
+  auto a = apps::gatherF64(split.runtime(), 0, Section{Triplet(1, 16)});
+  auto b = apps::gatherF64(noSplit.runtime(), 0, Section{Triplet(1, 16)});
+  EXPECT_EQ(a, b);
 }
 
 TEST(InterpEdge, StatsResetWorks) {

@@ -1,6 +1,8 @@
 // Constant folding + guard simplification on IL+XDP.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "xdp/apps/programs.hpp"
 #include "xdp/il/printer.hpp"
 #include "xdp/opt/passes.hpp"
@@ -85,6 +87,65 @@ TEST(ConstFold, DivisionByZeroLeftForRuntime) {
   auto s = foldAndPrint(il::block({il::scalarAssign(
       "x", il::bin(il::BinOp::Div, il::intConst(4), il::intConst(0)))}));
   EXPECT_EQ(s, "x = (4 / 0)\n");
+}
+
+TEST(ConstFold, OverflowingDivisionLeftForRuntime) {
+  // INT64_MIN / -1 (and % -1) is the one overflowing signed division;
+  // folding it would have to either trap at compile time (wrong: the
+  // statement may never execute) or invent a wrapped value the runtime
+  // doesn't produce (it raises UsageError). It must stay unfolded.
+  constexpr sec::Index kMin = std::numeric_limits<std::int64_t>::min();
+  auto sDiv = foldAndPrint(il::block({il::scalarAssign(
+      "x", il::bin(il::BinOp::Div, il::intConst(kMin), il::intConst(-1)))}));
+  EXPECT_EQ(sDiv, "x = (-9223372036854775808 / -1)\n");
+  auto sMod = foldAndPrint(il::block({il::scalarAssign(
+      "x", il::bin(il::BinOp::Mod, il::intConst(kMin), il::intConst(-1)))}));
+  EXPECT_EQ(sMod, "x = (-9223372036854775808 % -1)\n");
+  // Non-overflowing divisions by -1 still fold.
+  auto ok = foldAndPrint(il::block({il::scalarAssign(
+      "x", il::bin(il::BinOp::Div, il::intConst(42), il::intConst(-1)))}));
+  EXPECT_EQ(ok, "x = -42\n");
+}
+
+TEST(ConstFold, IntArithmeticFoldsWrapLikeRuntime) {
+  // Add/Sub/Mul/Neg wrap modulo 2^64 at fold time exactly as the
+  // interpreter wraps at run time (both via xdp::support/arith.hpp) —
+  // folding must never change an observable value.
+  constexpr sec::Index kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr sec::Index kMax = std::numeric_limits<std::int64_t>::max();
+  auto s = foldAndPrint(il::block({
+      il::scalarAssign("a", il::add(il::intConst(kMax), il::intConst(1))),
+      il::scalarAssign("b", il::mul(il::intConst(kMin), il::intConst(-1))),
+      il::scalarAssign("c", il::neg(il::intConst(kMin))),
+      il::scalarAssign("d", il::sub(il::intConst(kMin), il::intConst(1))),
+  }));
+  EXPECT_EQ(s,
+            "a = -9223372036854775808\n"
+            "b = -9223372036854775808\n"
+            "c = -9223372036854775808\n"
+            "d = 9223372036854775807\n");
+}
+
+TEST(ConstFold, TrappingDivisorUnderFalseGuardDeletedNotSpeculated) {
+  // Deleting a statically-false guard must not evaluate (or fold) the
+  // trapping division inside it — the original program never runs it.
+  auto s = foldAndPrint(il::block({
+      il::guarded(il::bin(il::BinOp::Gt, il::intConst(1), il::intConst(2)),
+                  il::block({il::scalarAssign(
+                      "x", il::bin(il::BinOp::Div, il::intConst(1),
+                                   il::intConst(0)))})),
+      il::scalarAssign("y", il::intConst(3)),
+  }));
+  EXPECT_EQ(s, "y = 3\n");
+  // Same for a statically-empty loop around a trapping body.
+  auto s2 = foldAndPrint(il::block({
+      il::forLoop("i", il::intConst(5), il::intConst(2),
+                  il::block({il::scalarAssign(
+                      "x", il::bin(il::BinOp::Div, il::intConst(1),
+                                   il::intConst(0)))})),
+      il::scalarAssign("y", il::intConst(4)),
+  }));
+  EXPECT_EQ(s2, "y = 4\n");
 }
 
 TEST(ConstFold, DoubleNegations) {

@@ -1,23 +1,39 @@
 // Differential fuzzing of the whole compiler: random sequential programs
 // (random distributions, random affine-rhs expressions over several
-// arrays) are lowered and pushed through randomized pass orderings; every
-// variant must compute exactly the result of direct sequential evaluation.
+// arrays, plus an integer preamble drawn from an extreme constant pool)
+// are lowered and pushed through randomized pass orderings; every variant
+// must compute exactly the result of direct sequential evaluation.
+//
+// Three-way oracle per stage: the closed-form expected values (computed
+// with the same xdp::arith wrap helpers the compiler uses), the
+// tree-walking interpreter, and the bytecode VM must all agree — on
+// element values and on the logical execution counters.
+//
+// The extreme pool (INT64_MIN, INT64_MAX, -1, 0) exercises the wrap-
+// modulo-2^64 semantics of Add/Sub/Mul through every pass (const-fold
+// must wrap exactly like the runtime), and the optional zero-trip loop
+// wraps a trapping division the program never executes — no stage may
+// speculate it into a fault.
+//
 // The static verifier rides along as a second oracle: every stage that
 // executes correctly must also verify with zero errors, so a verifier
 // false positive (or a pass bug the runtime masks) fails here.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "xdp/analysis/verifier.hpp"
 #include "xdp/apps/programs.hpp"
 #include "xdp/il/printer.hpp"
 #include "xdp/opt/passes.hpp"
+#include "xdp/support/arith.hpp"
 #include "xdp/support/rng.hpp"
 
 namespace xdp::opt {
 namespace {
 
+using interp::Backend;
 using interp::Interpreter;
 using sec::Index;
 using sec::Point;
@@ -36,6 +52,12 @@ struct FuzzCase {
   };
   std::vector<Term> terms;
   double bias = 0.0;
+  // Integer preamble: z = (((c0 op1 c1) op2 c2) ...) with wrap semantics,
+  // then zm = z mod 7 is added into every element (zm is small, so the
+  // f64 arithmetic stays exact).
+  std::vector<Index> ints;        // c0..cK, from the extreme pool
+  std::vector<il::BinOp> intOps;  // op1..opK: Add/Sub/Mul
+  bool zeroTripTrap = false;      // add `do zz = 1, 0: V0[1] = 1/0`
 };
 
 dist::Distribution randomDist(Rng& rng, const Section& g, int nprocs) {
@@ -70,7 +92,41 @@ FuzzCase randomCase(std::uint64_t seed) {
     fc.terms.push_back(term);
   }
   fc.bias = static_cast<double>(rng.range(-5, 5)) * 0.25;
+
+  const Index kPool[] = {std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max(),
+                         -1,
+                         0,
+                         1,
+                         rng.range(-100, 100)};
+  const std::size_t nInts = static_cast<std::size_t>(rng.range(2, 4));
+  for (std::size_t k = 0; k < nInts; ++k)
+    fc.ints.push_back(kPool[rng.below(std::size(kPool))]);
+  const il::BinOp kOps[] = {il::BinOp::Add, il::BinOp::Sub, il::BinOp::Mul};
+  for (std::size_t k = 0; k + 1 < nInts; ++k)
+    fc.intOps.push_back(kOps[rng.below(std::size(kOps))]);
+  fc.zeroTripTrap = rng.below(2) == 0;
   return fc;
+}
+
+/// The preamble's final small value, via the same wrap helpers the
+/// interpreter, the VM and the const-folder share.
+Index preambleValue(const FuzzCase& fc) {
+  Index z = fc.ints[0];
+  for (std::size_t k = 0; k < fc.intOps.size(); ++k) {
+    switch (fc.intOps[k]) {
+      case il::BinOp::Add:
+        z = arith::wrapAdd(z, fc.ints[k + 1]);
+        break;
+      case il::BinOp::Sub:
+        z = arith::wrapSub(z, fc.ints[k + 1]);
+        break;
+      default:
+        z = arith::wrapMul(z, fc.ints[k + 1]);
+        break;
+    }
+  }
+  return *arith::tryFoldMod(z, 7);
 }
 
 il::Program buildCase(const FuzzCase& fc) {
@@ -92,20 +148,58 @@ il::Program buildCase(const FuzzCase& fc) {
   for (const auto& t : fc.terms)
     rhs = il::add(rhs, il::mul(il::realConst(t.coef),
                                il::elem(t.sym, il::secPoint({i}))));
-  prog.body = il::block({
-      il::kernel("fill", fills),
-      il::forLoop("i", il::intConst(1), il::intConst(fc.n),
-                  il::block({il::elemAssign(0, ai, rhs)})),
-  });
+  rhs = il::add(rhs, il::scalar("zm"));
+
+  il::ExprPtr z = il::intConst(fc.ints[0]);
+  for (std::size_t k = 0; k < fc.intOps.size(); ++k)
+    z = il::bin(fc.intOps[k], std::move(z), il::intConst(fc.ints[k + 1]));
+  std::vector<il::StmtPtr> body;
+  body.push_back(il::kernel("fill", fills));
+  body.push_back(il::scalarAssign("z", std::move(z)));
+  body.push_back(il::scalarAssign(
+      "zm", il::bin(il::BinOp::Mod, il::scalar("z"), il::intConst(7))));
+  if (fc.zeroTripTrap) {
+    // Never executes; no pass and no backend may turn the trapping
+    // division into a fault.
+    body.push_back(il::forLoop(
+        "zz", il::intConst(1), il::intConst(0),
+        il::block({il::elemAssign(
+            0, il::secPoint({il::intConst(1)}),
+            il::bin(il::BinOp::Div, il::intConst(1), il::intConst(0)))})));
+  }
+  body.push_back(il::forLoop("i", il::intConst(1), il::intConst(fc.n),
+                             il::block({il::elemAssign(0, ai, rhs)})));
+  prog.body = il::block(std::move(body));
   return prog;
 }
 
 double expectedAt(const FuzzCase& fc, Index i) {
   Point pt{i};
-  double v = fc.bias;
+  double v = fc.bias + static_cast<double>(preambleValue(fc));
   for (const auto& t : fc.terms)
     v += t.coef * apps::cellValueAt(fc.seed, t.sym, pt);
   return v;
+}
+
+struct BackendRun {
+  std::vector<double> vals;
+  interp::InterpStats stats;
+};
+
+BackendRun runOn(const il::Program& prog, const FuzzCase& fc, Backend be) {
+  rt::RuntimeOptions opts;
+  opts.debugChecks = true;
+  interp::InterpOptions io;
+  io.backend = be;
+  Interpreter in(prog, opts, io);
+  apps::registerFillKernel(in, fc.seed);
+  in.run();
+  BackendRun r;
+  r.vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, fc.n)});
+  r.stats = in.totalStats();
+  EXPECT_EQ(in.runtime().fabric().undeliveredCount(), 0u);
+  EXPECT_EQ(in.runtime().fabric().pendingReceiveCount(), 0u);
+  return r;
 }
 
 void runAndCheck(const il::Program& prog, const FuzzCase& fc,
@@ -114,19 +208,24 @@ void runAndCheck(const il::Program& prog, const FuzzCase& fc,
   EXPECT_EQ(vr.errors(), 0u)
       << stage << " seed " << fc.seed << ": verifier false positive\n"
       << analysis::formatDiagnostics(prog, vr) << il::printProgram(prog);
-  rt::RuntimeOptions opts;
-  opts.debugChecks = true;
-  Interpreter in(prog, opts);
-  apps::registerFillKernel(in, fc.seed);
-  in.run();
-  auto vals = apps::gatherF64(in.runtime(), 0, Section{Triplet(1, fc.n)});
-  for (Index i = 1; i <= fc.n; ++i)
-    ASSERT_NEAR(vals[static_cast<std::size_t>(i - 1)], expectedAt(fc, i),
-                1e-12)
+  BackendRun tree = runOn(prog, fc, Backend::TreeWalk);
+  BackendRun vm = runOn(prog, fc, Backend::Bytecode);
+  for (Index i = 1; i <= fc.n; ++i) {
+    const auto k = static_cast<std::size_t>(i - 1);
+    ASSERT_NEAR(tree.vals[k], expectedAt(fc, i), 1e-12)
         << stage << " seed " << fc.seed << " element " << i << "\n"
         << il::printProgram(prog);
-  EXPECT_EQ(in.runtime().fabric().undeliveredCount(), 0u) << stage;
-  EXPECT_EQ(in.runtime().fabric().pendingReceiveCount(), 0u) << stage;
+    ASSERT_EQ(tree.vals[k], vm.vals[k])
+        << stage << " seed " << fc.seed << " element " << i
+        << ": backends diverge\n"
+        << il::printProgram(prog);
+  }
+  EXPECT_EQ(tree.stats.stmtsExecuted, vm.stats.stmtsExecuted) << stage;
+  EXPECT_EQ(tree.stats.loopIterations, vm.stats.loopIterations) << stage;
+  EXPECT_EQ(tree.stats.rulesEvaluated, vm.stats.rulesEvaluated) << stage;
+  EXPECT_EQ(tree.stats.rulesTrue, vm.stats.rulesTrue) << stage;
+  EXPECT_EQ(tree.stats.elemAssigns, vm.stats.elemAssigns) << stage;
+  EXPECT_EQ(tree.stats.kernelCalls, vm.stats.kernelCalls) << stage;
 }
 
 class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -137,6 +236,8 @@ TEST_P(PipelineFuzz, EveryStageMatchesSequentialSemantics) {
     il::Program seq = buildCase(fc);
     il::Program lowered = lowerOwnerComputes(seq);
     runAndCheck(lowered, fc, "lowered");
+    il::Program folded = constantFolding(lowered);
+    runAndCheck(folded, fc, "const-fold");
     il::Program rte = redundantTransferElimination(lowered);
     runAndCheck(rte, fc, "rte");
     il::Program clean = deadArrayElimination(rte);

@@ -1,0 +1,249 @@
+// Differential testing of the bytecode VM against the tree-walking
+// interpreter (the oracle). Both backends must produce bit-identical
+// results (FNV-1a digest over every array's final contents), identical
+// logical InterpStats, and identical deterministic NetStats on every
+// example program and every pipeline stage.
+//
+// Deliberately NOT compared:
+//   * unexpectedMessages / rendezvousSends — the rendezvous-vs-unexpected
+//     split of the same messages depends on the wall-clock race between
+//     message arrival and receive posting, and varies run-to-run on a
+//     single backend;
+//   * guardCacheHits / rangeSplits / guardedItersSaved — non-logical
+//     fast-path counters; the VM never range-splits by design.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "xdp/apps/programs.hpp"
+#include "xdp/il/flat.hpp"
+#include "xdp/il/parser.hpp"
+#include "xdp/interp/bytecode.hpp"
+#include "xdp/interp/interpreter.hpp"
+#include "xdp/opt/passes.hpp"
+#include "xdp/serve/session.hpp"
+
+namespace xdp::interp {
+namespace {
+
+using sec::Index;
+using sec::Section;
+using sec::Triplet;
+
+il::Program loadExample(const std::string& name) {
+  std::string path = std::string(XDP_PROGRAMS_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return il::parseProgram(buf.str());
+}
+
+/// FNV-1a over every array's final contents in global Fortran order
+/// (canonical w.r.t. how ownership happens to be segmented).
+std::uint64_t digestState(rt::Runtime& rt) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::byte* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<std::uint64_t>(std::to_integer<unsigned>(p[i]));
+      h *= 1099511628211ULL;
+    }
+  };
+  std::vector<std::byte> buf, seg;
+  for (const auto& d : rt.decls()) {
+    const std::size_t esz = rt::elemSize(d.type);
+    buf.assign(static_cast<std::size_t>(d.global.count()) * esz,
+               std::byte{0});
+    for (int p = 0; p < rt.nprocs(); ++p) {
+      for (const auto& sg : rt.table(p).segments(d.index)) {
+        if (sg.status != rt::SegState::Accessible) continue;
+        seg.resize(static_cast<std::size_t>(sg.count()) * esz);
+        rt.table(p).readElems(d.index, sg.bounds, seg.data());
+        std::size_t i = 0;
+        sg.bounds.forEach([&](const sec::Point& pt) {
+          const std::size_t pos =
+              static_cast<std::size_t>(d.global.fortranPos(pt));
+          std::memcpy(buf.data() + pos * esz, seg.data() + i * esz, esz);
+          ++i;
+        });
+      }
+    }
+    mix(buf.data(), buf.size());
+  }
+  return h;
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  InterpStats stats;  // summed over processors
+  std::uint64_t messagesSent = 0, bytesSent = 0, ownershipTransfers = 0;
+  double makespan = 0.0;
+};
+
+RunResult runWith(const il::Program& prog, Backend be,
+                  std::uint64_t seed = 42) {
+  // No debug checks: raw (pre-lowering) example programs read unowned
+  // elements by design — the owner-computes lowering is what makes them
+  // Figure-1 clean. Error-surface parity is covered separately below.
+  rt::RuntimeOptions opts;
+  InterpOptions io;
+  io.backend = be;
+  Interpreter in(prog, opts, io);
+  apps::registerFillKernel(in, seed);
+  apps::registerFftKernels(in);
+  in.run();
+  RunResult r;
+  r.digest = digestState(in.runtime());
+  r.stats = in.totalStats();
+  auto net = in.runtime().fabric().totalStats();
+  r.messagesSent = net.messagesSent;
+  r.bytesSent = net.bytesSent;
+  r.ownershipTransfers = net.ownershipTransfers;
+  r.makespan = in.runtime().fabric().makespan();
+  EXPECT_EQ(in.runtime().fabric().undeliveredCount(), 0u);
+  return r;
+}
+
+void expectBackendsAgree(const il::Program& prog, const std::string& what,
+                         std::uint64_t seed = 42) {
+  RunResult t = runWith(prog, Backend::TreeWalk, seed);
+  RunResult v = runWith(prog, Backend::Bytecode, seed);
+  EXPECT_EQ(t.digest, v.digest) << what << ": result digests differ";
+  EXPECT_EQ(t.stats.stmtsExecuted, v.stats.stmtsExecuted) << what;
+  EXPECT_EQ(t.stats.loopIterations, v.stats.loopIterations) << what;
+  EXPECT_EQ(t.stats.rulesEvaluated, v.stats.rulesEvaluated) << what;
+  EXPECT_EQ(t.stats.rulesTrue, v.stats.rulesTrue) << what;
+  EXPECT_EQ(t.stats.elemAssigns, v.stats.elemAssigns) << what;
+  EXPECT_EQ(t.stats.kernelCalls, v.stats.kernelCalls) << what;
+  EXPECT_EQ(t.messagesSent, v.messagesSent) << what;
+  EXPECT_EQ(t.bytesSent, v.bytesSent) << what;
+  EXPECT_EQ(t.ownershipTransfers, v.ownershipTransfers) << what;
+  EXPECT_DOUBLE_EQ(t.makespan, v.makespan) << what;
+}
+
+class VmExampleDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VmExampleDifferential, RawProgramMatchesOracle) {
+  expectBackendsAgree(loadExample(GetParam()), GetParam());
+}
+
+TEST_P(VmExampleDifferential, PipelinedProgramMatchesOracle) {
+  il::Program prog = loadExample(GetParam());
+  opt::PassManager pm;
+  for (const auto& p : opt::standardPipeline()) pm.add(p.name, p.fn);
+  expectBackendsAgree(pm.run(prog), std::string(GetParam()) + " (pipeline)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, VmExampleDifferential,
+                         ::testing::Values("vecadd.xdp", "jacobi.xdp",
+                                           "cannon.xdp", "ownership.xdp",
+                                           "taskfarm.xdp"));
+
+TEST(VmDifferential, VecAddBuilderStagesMatch) {
+  for (bool aligned : {true, false}) {
+    auto cfg = aligned ? apps::vecAddAligned(32, 4)
+                       : apps::vecAddMisaligned(32, 4);
+    il::Program seq = apps::buildVecAdd(cfg);
+    expectBackendsAgree(seq, "vecadd seq", cfg.seed);
+    il::Program lowered = opt::lowerOwnerComputes(seq);
+    expectBackendsAgree(lowered, "vecadd lowered", cfg.seed);
+    il::Program vec = opt::messageVectorization(lowered);
+    expectBackendsAgree(vec, "vecadd vectorized", cfg.seed);
+    expectBackendsAgree(opt::computeRuleElimination(vec), "vecadd cre",
+                        cfg.seed);
+  }
+}
+
+TEST(VmDifferential, Fft3dStagesMatch) {
+  apps::Fft3dConfig cfg;
+  cfg.n = 8;
+  cfg.nprocs = 4;
+  il::Program s1 = apps::buildFft3dStage1(cfg);
+  expectBackendsAgree(s1, "fft3d stage1", cfg.seed);
+  il::Program s2 =
+      opt::singleIterationElimination(opt::computeRuleElimination(s1));
+  expectBackendsAgree(s2, "fft3d stage2", cfg.seed);
+  il::Program s3 = opt::awaitSinking(opt::loopFusion(s2));
+  expectBackendsAgree(s3, "fft3d stage3", cfg.seed);
+}
+
+TEST(VmDifferential, ErrorSurfacesMatchAcrossBackends) {
+  // The VM must raise the exact error the oracle raises — same type,
+  // same message — for runtime faults in hot and cold code alike.
+  auto mk = [](il::ExprPtr rhs) {
+    il::Program prog;
+    prog.nprocs = 1;
+    Section g{Triplet(1, 4)};
+    prog.addArray({"A", rt::ElemType::F64, g,
+                   dist::Distribution(g, {dist::DimSpec::block(1)}), {}});
+    prog.body = il::block({il::elemAssign(
+        0, il::secPoint({il::intConst(1)}), std::move(rhs))});
+    return prog;
+  };
+  auto errOf = [&](const il::Program& prog, Backend be) -> std::string {
+    rt::RuntimeOptions opts;
+    opts.debugChecks = true;
+    InterpOptions io;
+    io.backend = be;
+    Interpreter in(prog, opts, io);
+    try {
+      in.run();
+    } catch (const xdp::Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // XDP_CHECK prefixes messages with file:line, which legitimately
+  // differs between the two engines — parity is on the user-meaningful
+  // message, so both sides must contain the same diagnostic text.
+  const std::pair<il::Program, const char*> cases[] = {
+      {mk(il::bin(il::BinOp::Div, il::intConst(1), il::intConst(0))),
+       "division by zero"},
+      {mk(il::bin(il::BinOp::Mod, il::intConst(1), il::intConst(0))),
+       "modulo by zero"},
+      {mk(il::bin(il::BinOp::Mod, il::realConst(1.5), il::intConst(2))),
+       "mod requires integer operands"},
+      {mk(il::scalar("undefined_scalar")),
+       "use of undefined universal scalar: undefined_scalar"},
+  };
+  for (const auto& [prog, msg] : cases) {
+    std::string t = errOf(prog, Backend::TreeWalk);
+    std::string v = errOf(prog, Backend::Bytecode);
+    EXPECT_NE(t.find(msg), std::string::npos) << "tree: " << t;
+    EXPECT_NE(v.find(msg), std::string::npos) << "vm: " << v;
+  }
+}
+
+TEST(VmDifferential, ServeSessionsMatchAcrossBackends) {
+  for (bool pipeline : {false, true}) {
+    serve::SessionRequest req;
+    req.name = "diff";
+    req.program = std::make_shared<il::Program>(loadExample("jacobi.xdp"));
+    req.usePipeline = pipeline;
+    serve::SessionOptions treeOpts, vmOpts;
+    vmOpts.backend = Backend::Bytecode;
+    serve::SessionReport t = serve::runSession(req, treeOpts, 1);
+    serve::SessionReport v = serve::runSession(req, vmOpts, 2);
+    ASSERT_EQ(t.outcome, serve::SessionOutcome::Completed) << t.error;
+    ASSERT_EQ(v.outcome, serve::SessionOutcome::Completed) << v.error;
+    EXPECT_EQ(t.resultDigest, v.resultDigest);
+    EXPECT_EQ(t.stats.stmtsExecuted, v.stats.stmtsExecuted);
+    EXPECT_EQ(t.stats.rulesEvaluated, v.stats.rulesEvaluated);
+    EXPECT_EQ(t.net.messagesSent, v.net.messagesSent);
+  }
+}
+
+TEST(VmDifferential, DisassemblerShowsCompiledProgram) {
+  il::Program prog = loadExample("vecadd.xdp");
+  bc::Module m = bc::compile(il::flat::flatten(prog));
+  EXPECT_GT(m.hotStmts, 0u);
+  std::string dis = bc::disassemble(m);
+  EXPECT_NE(dis.find("ForEnter"), std::string::npos);
+  EXPECT_NE(dis.find("hot="), std::string::npos);
+  EXPECT_EQ(m.fp.nprocs, prog.nprocs);
+}
+
+}  // namespace
+}  // namespace xdp::interp

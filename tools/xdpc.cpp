@@ -66,6 +66,9 @@ int usage(const char* argv0) {
                "                     violation (implies --pipeline if no\n"
                "                     passes are named)\n"
                "  --run              execute on the simulated machine\n"
+               "  --backend=tree|vm  execution engine for --run: the\n"
+               "                     tree-walking interpreter (default) or\n"
+               "                     the compiled bytecode VM\n"
                "  --debug-checks     enforce the Figure-1 usage rules\n"
                "  --seed N           fill-kernel seed (default 42)\n"
                "  --trace            dump the program after every pass\n",
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> passNames;
   bool print = false, parseable = false, run = false, trace = false;
   bool debugChecks = false, analyze = false, verifyPasses = false;
+  interp::Backend backend = interp::Backend::TreeWalk;
   std::uint64_t seed = 42;
 
   auto reg = passRegistry();
@@ -88,6 +92,8 @@ int main(int argc, char** argv) {
     if (arg == "--print") print = true;
     else if (arg == "--parseable") parseable = true;
     else if (arg == "--run") run = true;
+    else if (arg == "--backend=tree") backend = interp::Backend::TreeWalk;
+    else if (arg == "--backend=vm") backend = interp::Backend::Bytecode;
     else if (arg == "--trace") trace = true;
     else if (arg == "--debug-checks") debugChecks = true;
     else if (arg == "--analyze") analyze = true;
@@ -170,7 +176,9 @@ int main(int argc, char** argv) {
     if (run) {
       rt::RuntimeOptions opts;
       opts.debugChecks = debugChecks;
-      interp::Interpreter interp(prog, opts);
+      interp::InterpOptions iopts;
+      iopts.backend = backend;
+      interp::Interpreter interp(prog, opts, iopts);
       apps::registerFillKernel(interp, seed);
       apps::registerFftKernels(interp);
       interp.run();
