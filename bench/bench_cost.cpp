@@ -1,0 +1,88 @@
+// Static communication-cost analysis over the example programs: parse,
+// lower through the standard pipeline, run analysis::analyzeCost, and
+// report the modeled traffic against the placement lower bound. The
+// cost counters are deterministic (they are the same figures xdpc --cost
+// prints and the runtime NetStats reproduce bit-exactly), so the perf
+// trajectory tracks them — and with them the "% of optimal" of every
+// example's hand-picked placement. BM_AutoPlace measures the placement
+// search itself and its outcome on the misaligned vecadd program.
+//
+// Reported counters (per run):
+//   bytes_moved     modeled bytes across all processors (exact model)
+//   lower_bound     invariant + parametric placement lower bound
+//   pct_of_optimal  100 * lower_bound / bytes_moved (100 when 0/0)
+//   analyses/s      end-to-end cost-analysis throughput
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "xdp/analysis/cost.hpp"
+#include "xdp/il/parser.hpp"
+#include "xdp/opt/auto_place.hpp"
+#include "xdp/opt/passes.hpp"
+
+using namespace xdp;
+
+namespace {
+
+il::Program loadProgram(const char* name) {
+  std::ifstream in(std::string(XDP_PROGRAMS_DIR) + "/" + name);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return il::parseProgram(buf.str());
+}
+
+il::Program lowered(const il::Program& prog) {
+  opt::PassManager pm;
+  for (const opt::Pass& p : opt::standardPipeline()) pm.add(p.name, p.fn);
+  return pm.run(prog, nullptr);
+}
+
+void BM_CostAnalyze(benchmark::State& state, const char* name) {
+  const il::Program pre = loadProgram(name);
+  const il::Program low = lowered(pre);
+  analysis::CostReport last;
+  for (auto _ : state) {
+    last = analysis::analyzeCost(low, pre);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["bytes_moved"] =
+      benchmark::Counter(static_cast<double>(last.bytesMoved));
+  state.counters["lower_bound"] =
+      benchmark::Counter(static_cast<double>(last.lowerBound()));
+  state.counters["pct_of_optimal"] = benchmark::Counter(last.pctOfOptimal());
+  state.counters["analyses/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_CostAnalyze, vecadd, "vecadd.xdp");
+BENCHMARK_CAPTURE(BM_CostAnalyze, jacobi, "jacobi.xdp");
+BENCHMARK_CAPTURE(BM_CostAnalyze, cannon, "cannon.xdp");
+BENCHMARK_CAPTURE(BM_CostAnalyze, ownership, "ownership.xdp");
+BENCHMARK_CAPTURE(BM_CostAnalyze, taskfarm, "taskfarm.xdp");
+
+void BM_AutoPlace(benchmark::State& state, const char* name) {
+  const il::Program prog = loadProgram(name);
+  opt::AutoPlaceResult last;
+  for (auto _ : state) {
+    last = opt::autoPlace(prog);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["bytes_moved"] =
+      benchmark::Counter(static_cast<double>(last.best.bytes));
+  state.counters["original_bytes"] =
+      benchmark::Counter(static_cast<double>(last.original.bytes));
+  state.counters["lower_bound"] =
+      benchmark::Counter(static_cast<double>(last.lowerBound));
+  state.counters["pct_of_optimal"] = benchmark::Counter(last.pctOfOptimal());
+  state.counters["candidates"] =
+      benchmark::Counter(static_cast<double>(last.candidatesTried));
+  state.counters["searches/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_AutoPlace, vecadd, "vecadd.xdp");
+BENCHMARK_CAPTURE(BM_AutoPlace, jacobi, "jacobi.xdp");
+BENCHMARK_CAPTURE(BM_AutoPlace, cannon, "cannon.xdp");
+
+}  // namespace

@@ -75,6 +75,39 @@ struct VerifyOptions {
   std::uint64_t maxSteps = 4'000'000;
   /// Cross-processor send/receive matching (UnmatchedSend / OrphanRecv).
   bool matchComm = true;
+  /// Record a CostEvent at every message-emitting point (see below).
+  bool collectCost = false;
+  /// Placement-oblivious abstract execution: initial ownership, partition
+  /// queries (mypart/partof) and owner-routed destinations are all unknown,
+  /// so only communication that happens under *every* placement stays
+  /// definite. The cost analyzer's placement-invariant lower bound runs the
+  /// verifier in this mode; diagnostics are meaningless here and callers
+  /// should ignore them (and disable matchComm).
+  bool obliviousPlacement = false;
+};
+
+/// Transfer class of a modeled message; numerically mirrors
+/// net::TransferKind (analysis does not link against xdp::net).
+enum class CostClass { Data, Own, OwnVal };
+
+/// One message-emitting point of one processor's abstract trace. The byte
+/// accounting mirrors the runtime exactly (src/rt/proc.cpp): Data and
+/// OwnVal messages carry elems*elemSize payload bytes per message, pure
+/// Own messages are header-only (0 bytes, still one message). `messages`
+/// is the fan-out (one per destination for send-to-set data sends).
+/// `definite` means the trace provably emits exactly this event: not under
+/// an undecidable guard or widened loop, and — for ownership sends — the
+/// sender provably owns the section (an unowned ownership send is a
+/// runtime no-op that emits nothing).
+struct CostEvent {
+  int pid = -1;
+  int sym = -1;
+  il::StmtPtr stmt;
+  il::SrcLoc loc;
+  CostClass cls = CostClass::Data;
+  sec::Index elems = 0;
+  sec::Index messages = 1;
+  bool definite = true;
 };
 
 struct VerifyResult {
@@ -84,6 +117,8 @@ struct VerifyResult {
   /// stayed silent about parts of the program (never the reverse).
   bool exhaustive = true;
   std::uint64_t stmtsAnalyzed = 0;
+  /// Populated when VerifyOptions::collectCost is set.
+  std::vector<CostEvent> costEvents;
 
   std::size_t count(Severity s) const;
   std::size_t errors() const { return count(Severity::Error); }
@@ -102,5 +137,13 @@ std::string formatDiagnostic(const il::Program& prog, const Diagnostic& d,
 /// All diagnostics of `r`, one per line (empty string when clean).
 std::string formatDiagnostics(const il::Program& prog, const VerifyResult& r,
                               const std::string& file = "");
+
+/// The whole result as one JSON object for machine consumption
+/// (`xdpc --analyze --format=json`). Stable keys: every diagnostic is
+/// {"class","severity","file","line","col","pid","message"}, and the
+/// object carries {"diagnostics","errors","warnings","exhaustive",
+/// "stmts_analyzed"}.
+std::string diagnosticsJson(const il::Program& prog, const VerifyResult& r,
+                            const std::string& file = "");
 
 }  // namespace xdp::analysis

@@ -20,6 +20,7 @@
 #include "xdp/rt/types.hpp"
 #include "xdp/support/arith.hpp"
 #include "xdp/support/check.hpp"
+#include "xdp/support/json.hpp"
 
 namespace xdp::analysis {
 namespace {
@@ -230,8 +231,12 @@ class PidExec {
           VerifyResult& res, int pid)
       : prog_(prog), opts_(opts), sh_(sh), res_(res), pid_(pid) {
     frame_.syms.resize(prog.arrays.size());
-    for (std::size_t i = 0; i < prog.arrays.size(); ++i)
-      frame_.syms[i].owned = prog.arrays[i].dist.localPart(pid);
+    for (std::size_t i = 0; i < prog.arrays.size(); ++i) {
+      if (opts.obliviousPlacement)
+        frame_.syms[i].makeTop();  // who owns what is placement-dependent
+      else
+        frame_.syms[i].owned = prog.arrays[i].dist.localPart(pid);
+    }
   }
 
   void run() {
@@ -470,6 +475,13 @@ class PidExec {
     // to keep the matching diagnostics focused on the root cause.
     recordSend(s, EvClass::Data, s->sym, *e, resolveDest(s, s->dest),
                /*expandToSet=*/true);
+    // Fan-out is structural: a send-to-set emits one message per listed
+    // destination even when a pid expression is not compile-time known.
+    const Index fanout = s->dest.kind == DestSpec::Kind::Pids
+                             ? static_cast<Index>(s->dest.pids.size())
+                             : 1;
+    recordCost(s, CostClass::Data, s->sym, e->count(), fanout,
+               /*definite=*/condDepth_ == 0);
   }
 
   void execRecvData(const StmtPtr& s) {
@@ -537,6 +549,7 @@ class PidExec {
       return;
     }
     SymState& ss = st(s->sym);
+    const bool ownershipProven = !ss.top;
     if (!ss.top) {
       if (!ss.owned.covers(*e)) {
         if (overlapsRegion(ss.gone, *e)) {
@@ -557,6 +570,12 @@ class PidExec {
     }
     recordSend(s, s->withValue ? EvClass::OwnVal : EvClass::Own, s->sym, *e,
                d, /*expandToSet=*/false);
+    // Unproven ownership means the runtime may silently drop this send
+    // (ownership send of an unowned section is a no-op), so the event is
+    // only definite when ownership was proven.
+    recordCost(s, s->withValue ? CostClass::OwnVal : CostClass::Own, s->sym,
+               e->count(), 1,
+               /*definite=*/condDepth_ == 0 && ownershipProven);
   }
 
   void execRecvOwn(const StmtPtr& s) {
@@ -663,6 +682,21 @@ class PidExec {
     sh_.events.push_back(std::move(ev));
   }
 
+  void recordCost(const StmtPtr& s, CostClass cls, int sym, Index elems,
+                  Index messages, bool definite) {
+    if (!opts_.collectCost) return;
+    CostEvent ce;
+    ce.pid = pid_;
+    ce.sym = sym;
+    ce.stmt = s;
+    ce.loc = s ? s->loc : SrcLoc{};
+    ce.cls = cls;
+    ce.elems = elems;
+    ce.messages = messages;
+    ce.definite = definite;
+    res_.costEvents.push_back(std::move(ce));
+  }
+
   void recordRecv(const StmtPtr& s, EvClass cls, int nameSym,
                   const Section& name) {
     Event ev;
@@ -700,6 +734,11 @@ class PidExec {
         return Dest{true, std::move(pids)};
       }
       case DestSpec::Kind::OwnerOf: {
+        if (opts_.obliviousPlacement) {
+          // Who owns the section is exactly what this mode abstracts away.
+          res_.exhaustive = false;
+          return Dest{false, std::nullopt};
+        }
         std::optional<Section> sec = evalSection(d.sym, d.section);
         if (!sec || sec->empty()) {
           res_.exhaustive = false;
@@ -1003,6 +1042,10 @@ class PidExec {
 
   std::optional<Section> partOf(int sym, int pid,
                                 const std::optional<dist::Distribution>& over) {
+    if (opts_.obliviousPlacement) {
+      res_.exhaustive = false;  // partitions are placement-dependent
+      return std::nullopt;
+    }
     const dist::Distribution& d = over ? *over : prog_.decl(sym).dist;
     RegionList part = d.localPart(pid);
     if (part.empty()) return emptyOfRank(d.rank());
@@ -1231,6 +1274,27 @@ std::string formatDiagnostics(const il::Program& prog, const VerifyResult& r,
     out += '\n';
   }
   return out;
+}
+
+std::string diagnosticsJson(const il::Program& prog, const VerifyResult& r,
+                            const std::string& file) {
+  (void)prog;
+  std::ostringstream os;
+  os << "{\"file\":" << json::str(file) << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+    if (i) os << ",";
+    const Diagnostic& d = r.diagnostics[i];
+    os << "{\"class\":" << json::str(kindName(d.kind))
+       << ",\"severity\":" << json::str(severityName(d.severity))
+       << ",\"file\":" << json::str(file) << ",\"line\":" << d.loc.line
+       << ",\"col\":" << d.loc.col << ",\"pid\":" << d.pid
+       << ",\"message\":" << json::str(d.message) << "}";
+  }
+  os << "],\"errors\":" << r.errors()
+     << ",\"warnings\":" << r.count(Severity::Warning)
+     << ",\"exhaustive\":" << (r.exhaustive ? "true" : "false")
+     << ",\"stmts_analyzed\":" << r.stmtsAnalyzed << "}";
+  return os.str();
 }
 
 }  // namespace xdp::analysis

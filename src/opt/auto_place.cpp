@@ -1,0 +1,143 @@
+// See auto_place.hpp. The search is a plain cross product: per-array
+// candidate lists (original spec first), mixed-radix enumeration across
+// arrays, one static scoring per candidate. Candidate counts are tiny —
+// the placement space of a program with a handful of rank-1/2 arrays is
+// a few hundred points — so exhaustive beats clever here, and the cap in
+// AutoPlaceOptions keeps adversarial inputs bounded.
+#include "xdp/opt/auto_place.hpp"
+
+#include <algorithm>
+
+#include "xdp/analysis/cost.hpp"
+#include "xdp/opt/passes.hpp"
+
+namespace xdp::opt {
+namespace {
+
+using sec::Index;
+
+std::vector<dist::Distribution> candidatesFor(const il::ArrayDecl& decl,
+                                              const AutoPlaceOptions& opts) {
+  const dist::Distribution& d0 = decl.dist;
+  std::vector<std::vector<dist::DimSpec>> dimOpts;
+  for (int dim = 0; dim < d0.rank(); ++dim) {
+    const dist::DimSpec& orig = d0.specs()[static_cast<std::size_t>(dim)];
+    std::vector<dist::DimSpec> o{orig};
+    if (orig.kind != dist::DistKind::Collapsed) {
+      auto push = [&o](dist::DimSpec cand) {
+        if (std::find(o.begin(), o.end(), cand) == o.end())
+          o.push_back(cand);
+      };
+      const int p = orig.procs;
+      const Index n = d0.global().dim(dim).count();
+      const Index cap = (n + p - 1) / p;  // the §10.2 family cap
+      push(dist::DimSpec::block(p));
+      push(dist::DimSpec::cyclic(p));
+      for (Index b : opts.blockSizes)
+        if (b > 1 && b <= cap) push(dist::DimSpec::blockCyclic(p, b));
+    }
+    dimOpts.push_back(std::move(o));
+  }
+  std::vector<dist::Distribution> out;
+  std::vector<std::size_t> idx(dimOpts.size(), 0);
+  while (true) {
+    std::vector<dist::DimSpec> specs;
+    specs.reserve(dimOpts.size());
+    for (std::size_t d = 0; d < dimOpts.size(); ++d)
+      specs.push_back(dimOpts[d][idx[d]]);
+    out.emplace_back(d0.global(), std::move(specs));
+    std::size_t d = 0;
+    for (; d < idx.size(); ++d) {
+      if (++idx[d] < dimOpts[d].size()) break;
+      idx[d] = 0;
+    }
+    if (d == idx.size()) break;
+  }
+  return out;
+}
+
+il::Program withDists(const il::Program& prog,
+                      const std::vector<dist::Distribution>& dists) {
+  il::Program cand = prog;
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    il::ArrayDecl& a = cand.arrays[i];
+    if (a.dist == dists[i]) continue;
+    a.dist = dists[i];
+    // The segmentation hint was chosen for the old partition shape; let
+    // the runtime fall back to whole-part segments under the new one.
+    a.segShape = dist::SegmentShape::whole();
+  }
+  return cand;
+}
+
+il::Program lowerForScoring(const il::Program& prog) {
+  PassManager pm;
+  for (const Pass& p : standardPipeline()) pm.add(p.name, p.fn);
+  return pm.run(prog, nullptr);
+}
+
+}  // namespace
+
+double AutoPlaceResult::pctOfOptimal() const {
+  if (best.bytes <= 0) return lowerBound <= 0 ? 100.0 : 0.0;
+  const double p = 100.0 * static_cast<double>(lowerBound) /
+                   static_cast<double>(best.bytes);
+  return p > 100.0 ? 100.0 : p;
+}
+
+AutoPlaceResult autoPlace(const il::Program& prog,
+                          const AutoPlaceOptions& opts) {
+  std::vector<std::vector<dist::Distribution>> perArray;
+  perArray.reserve(prog.arrays.size());
+  for (const il::ArrayDecl& a : prog.arrays)
+    perArray.push_back(candidatesFor(a, opts));
+
+  AutoPlaceResult res;
+  res.program = prog;
+  std::vector<std::size_t> idx(perArray.size(), 0);
+  bool first = true;
+  while (res.candidatesTried < opts.maxCandidates) {
+    PlacementScore score;
+    score.dists.reserve(perArray.size());
+    for (std::size_t a = 0; a < perArray.size(); ++a)
+      score.dists.push_back(perArray[a][idx[a]]);
+    il::Program cand = withDists(prog, score.dists);
+    try {
+      il::Program lowered = opts.pipeline ? lowerForScoring(cand) : cand;
+      analysis::VerifyResult vr = analysis::verifyProgram(lowered);
+      analysis::CostReport cr = first
+                                    ? analysis::analyzeCost(lowered, prog)
+                                    : analysis::analyzeCost(lowered);
+      score.valid = vr.errors() == 0 && cr.exact;
+      score.bytes = cr.bytesMoved;
+      score.messages = cr.messages;
+      if (first) res.lowerBound = cr.lowerBound();
+    } catch (const std::exception&) {
+      score.valid = false;  // a pass or the cost model rejected the shape
+    }
+    res.candidatesTried += 1;
+    if (score.valid) res.candidatesValid += 1;
+    const bool better =
+        score.valid &&
+        (!res.best.valid || score.bytes < res.best.bytes ||
+         (score.bytes == res.best.bytes &&
+          score.messages < res.best.messages));
+    if (first) {
+      res.original = score;
+      res.best = score;
+    } else if (better) {
+      res.best = score;
+    }
+    first = false;
+    std::size_t a = 0;
+    for (; a < idx.size(); ++a) {
+      if (++idx[a] < perArray[a].size()) break;
+      idx[a] = 0;
+    }
+    if (a == idx.size()) break;
+  }
+  if (res.best.valid) res.program = withDists(prog, res.best.dists);
+  return res;
+}
+
+}  // namespace xdp::opt

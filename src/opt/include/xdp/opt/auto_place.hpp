@@ -1,0 +1,62 @@
+// Auto-placement search (DESIGN.md §10.3): enumerate candidate HPF
+// distributions per array (BLOCK / CYCLIC / CYCLIC(b) per distributed
+// dimension, block sizes capped at ceil(N/P)), score each candidate with
+// the static cost model — lower the program through the standard pipeline,
+// verify it, read the modeled bytes — and rewrite the declarations to the
+// argmin. Nothing executes: scoring is entirely compile-time, which is
+// the paper's premise (placement is explicit, so the compiler can search
+// over it).
+//
+// The original placement is always candidate 0, so ties keep the
+// hand-picked distribution and the best candidate's modeled bytes are
+// never above the original's (when the original is itself valid).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xdp/il/program.hpp"
+
+namespace xdp::opt {
+
+struct AutoPlaceOptions {
+  /// CYCLIC(b) block sizes to try per distributed dimension (values above
+  /// the family cap ceil(N/P) are skipped; 1 would duplicate CYCLIC).
+  std::vector<sec::Index> blockSizes = {2, 4, 8};
+  /// Hard cap on the cross product over arrays and dimensions.
+  std::size_t maxCandidates = 2048;
+  /// Lower each candidate through the standard pass pipeline before
+  /// scoring (what the driver does before running a program). Disable
+  /// only for programs that are already fully lowered.
+  bool pipeline = true;
+};
+
+/// One scored candidate placement (one Distribution per array).
+struct PlacementScore {
+  std::vector<dist::Distribution> dists;
+  /// The candidate verifies with zero errors and the cost analysis is
+  /// exact; invalid candidates never win.
+  bool valid = false;
+  std::int64_t bytes = 0;
+  std::int64_t messages = 0;
+};
+
+struct AutoPlaceResult {
+  /// The input program with declarations rewritten to the best placement
+  /// (still pre-pipeline; lower it to run).
+  il::Program program;
+  PlacementScore best;
+  PlacementScore original;
+  std::size_t candidatesTried = 0;
+  std::size_t candidatesValid = 0;
+  /// Placement-independent lower bound of the program (invariant +
+  /// parametric components; see analysis::CostReport).
+  std::int64_t lowerBound = 0;
+  /// 100 * lowerBound / best.bytes (100 when both are 0).
+  double pctOfOptimal() const;
+};
+
+AutoPlaceResult autoPlace(const il::Program& prog,
+                          const AutoPlaceOptions& opts = {});
+
+}  // namespace xdp::opt

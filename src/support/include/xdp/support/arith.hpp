@@ -70,6 +70,37 @@ inline std::int64_t checkedMod(std::int64_t a, std::int64_t b) {
   return a % b;
 }
 
+/// Checked non-wrapping product for the static cost model's byte
+/// accounting: element counts can approach 2^63 before the
+/// segment-count × element-size multiplication, so the product goes
+/// through __int128 and raises UsageError instead of silently wrapping on
+/// adversarial extents (the same hardening as Triplet::intersect's
+/// overflow fix). Operands must be non-negative.
+inline std::int64_t checkedMulNonNeg(std::int64_t a, std::int64_t b,
+                                     const char* what) {
+  if (a < 0 || b < 0)
+    throw UsageError(std::string(what) + " is negative (" +
+                     std::to_string(a) + " * " + std::to_string(b) + ")");
+  const __int128 p = static_cast<__int128>(a) * static_cast<__int128>(b);
+  if (p > static_cast<__int128>(INT64_MAX))
+    throw UsageError(std::string(what) + " overflows 64-bit accounting: " +
+                     std::to_string(a) + " * " + std::to_string(b));
+  return static_cast<std::int64_t>(p);
+}
+
+/// Checked non-wrapping sum, same contract as checkedMulNonNeg.
+inline std::int64_t checkedAddNonNeg(std::int64_t a, std::int64_t b,
+                                     const char* what) {
+  if (a < 0 || b < 0)
+    throw UsageError(std::string(what) + " is negative (" +
+                     std::to_string(a) + " + " + std::to_string(b) + ")");
+  const __int128 s = static_cast<__int128>(a) + static_cast<__int128>(b);
+  if (s > static_cast<__int128>(INT64_MAX))
+    throw UsageError(std::string(what) + " overflows 64-bit accounting: " +
+                     std::to_string(a) + " + " + std::to_string(b));
+  return static_cast<std::int64_t>(s);
+}
+
 /// Fold-time forms: return nullopt on would-trap inputs so the folder
 /// leaves the expression for runtime (see header comment).
 inline std::optional<std::int64_t> tryFoldDiv(std::int64_t a, std::int64_t b) {

@@ -1,0 +1,45 @@
+// Minimal JSON string escaping shared by every hand-rolled JSON emitter
+// (diagnostics, cost reports, bench counters). We emit JSON in several
+// places but never parse it, so a full JSON library would be dead weight;
+// correct string escaping is the one part that must not be improvised per
+// call site.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace xdp::json {
+
+/// `s` with JSON string escapes applied (no surrounding quotes).
+inline std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// `s` as a quoted JSON string literal.
+inline std::string str(std::string_view s) {
+  return "\"" + escape(s) + "\"";
+}
+
+}  // namespace xdp::json

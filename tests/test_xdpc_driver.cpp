@@ -152,4 +152,112 @@ TEST(XdpcDriver, ParseErrorExitsOne) {
   EXPECT_EQ(r.exitCode, 1) << r.output;
 }
 
+/// "<key>: <digits>" extracted from a line like "cost: 144 bytes in ...",
+/// or -1 when absent.
+long long numberAfter(const std::string& text, const std::string& tag) {
+  auto pos = text.find(tag);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + tag.size(), nullptr, 10);
+}
+
+TEST(XdpcDriver, CostReportMatchesRuntimeTrafficBitExactly) {
+  // The tentpole contract: on every shipped program, under the standard
+  // pipeline, the static model's bytes and messages equal the NetStats
+  // counters --run prints — on both backends.
+  const char* programs[] = {"vecadd.xdp", "jacobi.xdp", "cannon.xdp",
+                            "ownership.xdp", "taskfarm.xdp"};
+  for (const char* name : programs) {
+    for (const char* extra : {"", " --pipeline"}) {
+      RunResult cost =
+          runXdpc(programPath(name) + extra + " --cost");
+      ASSERT_EQ(cost.exitCode, 0) << name << extra << "\n" << cost.output;
+      const long long bytes = numberAfter(cost.output, "cost: ");
+      ASSERT_GE(bytes, 0) << name << extra << "\n" << cost.output;
+      EXPECT_NE(cost.output.find("(exact)"), std::string::npos)
+          << name << extra << "\n" << cost.output;
+      for (const char* backend : {"tree", "vm"}) {
+        RunResult run = runXdpc(programPath(name) + extra +
+                                " --run --backend=" + backend);
+        ASSERT_EQ(run.exitCode, 0) << name << extra << "\n" << run.output;
+        // "..., <bytes> bytes, ..." from the run summary.
+        auto pos = run.output.find("unexpected), ");
+        ASSERT_NE(pos, std::string::npos) << run.output;
+        const long long measured =
+            std::strtoll(run.output.c_str() + pos + 13, nullptr, 10);
+        EXPECT_EQ(bytes, measured)
+            << name << extra << " backend=" << backend << "\n"
+            << cost.output << run.output;
+      }
+    }
+  }
+}
+
+TEST(XdpcDriver, CostJsonHasStableKeys) {
+  RunResult r =
+      runXdpc(programPath("jacobi.xdp") + " --cost --format=json");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  for (const char* key :
+       {"\"file\"", "\"exact\"", "\"bytes_moved\"", "\"messages\"",
+        "\"lower_bound\"", "\"invariant_bound\"", "\"parametric_bound\"",
+        "\"pct_of_optimal\"", "\"per_proc\"", "\"per_symbol\"",
+        "\"per_stmt\"", "\"line\"", "\"col\""}) {
+    EXPECT_NE(r.output.find(key), std::string::npos) << key << "\n"
+                                                     << r.output;
+  }
+  EXPECT_EQ(numberAfter(r.output, "\"bytes_moved\":"), 144) << r.output;
+  EXPECT_EQ(numberAfter(r.output, "\"lower_bound\":"), 144) << r.output;
+}
+
+TEST(XdpcDriver, AnalyzeJsonKeepsTheExitContract) {
+  // Clean program: exit 0, machine-readable summary on stdout.
+  RunResult clean =
+      runXdpc(programPath("vecadd.xdp") + " --analyze --format=json");
+  EXPECT_EQ(clean.exitCode, 0) << clean.output;
+  EXPECT_NE(clean.output.find("\"errors\":0"), std::string::npos)
+      << clean.output;
+  EXPECT_NE(clean.output.find("\"diagnostics\":["), std::string::npos)
+      << clean.output;
+
+  // Defective program: still exit 1, and the diagnostic carries the
+  // stable class/file/line/col/message keys.
+  std::string path = writeTemp("xdpc_json_defect.xdp",
+                               "procs 2\n"
+                               "array A f64 [1:8] (BLOCK)\n"
+                               "\n"
+                               "fill(A[1:8])\n"
+                               "(mypid == 0) : { A[1:4] -> {1} }\n");
+  RunResult bad = runXdpc(path + " --analyze --format=json");
+  EXPECT_EQ(bad.exitCode, 1) << bad.output;
+  for (const char* key : {"\"class\":\"unmatched-send\"", "\"file\"",
+                          "\"line\":5", "\"col\"", "\"message\"",
+                          "\"severity\":\"error\""}) {
+    EXPECT_NE(bad.output.find(key), std::string::npos) << key << "\n"
+                                                       << bad.output;
+  }
+}
+
+TEST(XdpcDriver, AutoPlaceAlignsVecaddAndComposesWithRun) {
+  RunResult r = runXdpc(programPath("vecadd.xdp") + " --auto-place");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("modeled 0 bytes"), std::string::npos)
+      << r.output;
+  // The rewritten placement then actually runs with zero traffic.
+  RunResult run = runXdpc(programPath("vecadd.xdp") +
+                          " --auto-place --pipeline --run");
+  EXPECT_EQ(run.exitCode, 0) << run.output;
+  EXPECT_NE(run.output.find(" 0 bytes"), std::string::npos) << run.output;
+}
+
+TEST(XdpcDriver, AutoPlaceJsonReportsOriginalAndBest) {
+  RunResult r =
+      runXdpc(programPath("vecadd.xdp") + " --auto-place --format=json");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  for (const char* key :
+       {"\"candidates_tried\"", "\"candidates_valid\"", "\"original\"",
+        "\"best\"", "\"dists\"", "\"lower_bound\"", "\"pct_of_optimal\""}) {
+    EXPECT_NE(r.output.find(key), std::string::npos) << key << "\n"
+                                                     << r.output;
+  }
+}
+
 }  // namespace

@@ -23,12 +23,15 @@
 #include <string>
 #include <vector>
 
+#include "xdp/analysis/cost.hpp"
 #include "xdp/analysis/verifier.hpp"
 #include "xdp/apps/fft.hpp"
 #include "xdp/apps/programs.hpp"
 #include "xdp/il/parser.hpp"
 #include "xdp/il/printer.hpp"
+#include "xdp/opt/auto_place.hpp"
 #include "xdp/opt/passes.hpp"
+#include "xdp/support/json.hpp"
 
 namespace {
 
@@ -61,6 +64,14 @@ int usage(const char* argv0) {
                "  --analyze          statically verify the Figure-1 section-\n"
                "                     state rules (after any passes applied);\n"
                "                     exit 1 if errors are found\n"
+               "  --cost             static communication-cost report: per-\n"
+               "                     statement modeled bytes/messages, the\n"
+               "                     placement lower bound and %% of optimal\n"
+               "  --auto-place       search BLOCK/CYCLIC/CYCLIC(b) placements\n"
+               "                     per array, rewrite declarations to the\n"
+               "                     modeled-bytes argmin (before any passes)\n"
+               "  --format=json      machine-readable --analyze/--cost/\n"
+               "                     --auto-place output (stable keys)\n"
                "  --verify-passes    re-run the verifier after every pass and\n"
                "                     fail on the pass that introduces a\n"
                "                     violation (implies --pipeline if no\n"
@@ -83,6 +94,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> passNames;
   bool print = false, parseable = false, run = false, trace = false;
   bool debugChecks = false, analyze = false, verifyPasses = false;
+  bool cost = false, autoPlace = false, jsonFormat = false;
   interp::Backend backend = interp::Backend::TreeWalk;
   std::uint64_t seed = 42;
 
@@ -97,6 +109,10 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace = true;
     else if (arg == "--debug-checks") debugChecks = true;
     else if (arg == "--analyze") analyze = true;
+    else if (arg == "--cost") cost = true;
+    else if (arg == "--auto-place") autoPlace = true;
+    else if (arg == "--format=json") jsonFormat = true;
+    else if (arg == "--format=text") jsonFormat = false;
     else if (arg == "--verify-passes") verifyPasses = true;
     else if (arg == "--pipeline") {
       for (const auto& p : opt::standardPipeline()) passNames.push_back(p.name);
@@ -140,6 +156,61 @@ int main(int argc, char** argv) {
 
   try {
     il::Program prog = il::parseProgram(buf.str());
+    if (autoPlace) {
+      opt::AutoPlaceResult ar = opt::autoPlace(prog);
+      if (jsonFormat) {
+        auto scoreJson = [&prog](const opt::PlacementScore& s) {
+          std::string out = "{\"valid\": ";
+          out += s.valid ? "true" : "false";
+          out += ", \"bytes\": " + std::to_string(s.bytes);
+          out += ", \"messages\": " + std::to_string(s.messages);
+          out += ", \"dists\": [";
+          for (std::size_t i = 0; i < s.dists.size(); ++i) {
+            if (i) out += ", ";
+            out += json::str(prog.arrays[i].name + " " + s.dists[i].str());
+          }
+          out += "]}";
+          return out;
+        };
+        std::printf(
+            "{\"file\": %s, \"candidates_tried\": %zu, "
+            "\"candidates_valid\": %zu, \"original\": %s, \"best\": %s, "
+            "\"lower_bound\": %lld, \"pct_of_optimal\": %.1f}\n",
+            json::str(file).c_str(), ar.candidatesTried, ar.candidatesValid,
+            scoreJson(ar.original).c_str(), scoreJson(ar.best).c_str(),
+            static_cast<long long>(ar.lowerBound), ar.pctOfOptimal());
+      } else {
+        std::printf("xdpc: auto-place: tried %zu candidates (%zu valid)\n",
+                    ar.candidatesTried, ar.candidatesValid);
+        for (std::size_t i = 0; i < prog.arrays.size(); ++i) {
+          const std::string& from = ar.original.dists[i].str();
+          const std::string& to = ar.best.dists[i].str();
+          std::printf("xdpc: auto-place: %s %s%s%s\n",
+                      prog.arrays[i].name.c_str(), from.c_str(),
+                      from == to ? "" : " -> ",
+                      from == to ? " (kept)" : to.c_str());
+        }
+        std::printf(
+            "xdpc: auto-place: modeled %lld bytes in %lld messages "
+            "(was %lld bytes in %lld messages); lower bound %lld bytes; "
+            "%.1f%% of optimal\n",
+            static_cast<long long>(ar.best.bytes),
+            static_cast<long long>(ar.best.messages),
+            static_cast<long long>(ar.original.bytes),
+            static_cast<long long>(ar.original.messages),
+            static_cast<long long>(ar.lowerBound), ar.pctOfOptimal());
+      }
+      if (!ar.best.valid) {
+        std::fprintf(stderr,
+                     "xdpc: auto-place: no candidate placement verifies "
+                     "with an exact cost model; keeping the original\n");
+        return 1;
+      }
+      prog = ar.program;
+    }
+    // Snapshot for the parametric lower bound: the bound reads the
+    // owner-computes sweeps, which lowering rewrites into guarded sends.
+    const il::Program pre = prog;
     if (!passNames.empty()) {
       opt::PassManager pm;
       for (const std::string& name : passNames) pm.add(name, reg.at(name));
@@ -159,14 +230,26 @@ int main(int argc, char** argv) {
     }
     if (analyze) {
       analysis::VerifyResult r = analysis::verifyProgram(prog);
-      std::string report = analysis::formatDiagnostics(prog, r, file);
-      if (!report.empty()) std::fprintf(stderr, "%s", report.c_str());
-      std::printf("xdpc: analyzed %llu abstract statements: %zu errors, "
-                  "%zu warnings%s\n",
-                  static_cast<unsigned long long>(r.stmtsAnalyzed),
-                  r.errors(), r.count(analysis::Severity::Warning),
-                  r.exhaustive ? "" : " (not exhaustive)");
+      if (jsonFormat) {
+        std::printf("%s\n", analysis::diagnosticsJson(prog, r, file).c_str());
+      } else {
+        std::string report = analysis::formatDiagnostics(prog, r, file);
+        if (!report.empty()) std::fprintf(stderr, "%s", report.c_str());
+        std::printf("xdpc: analyzed %llu abstract statements: %zu errors, "
+                    "%zu warnings%s\n",
+                    static_cast<unsigned long long>(r.stmtsAnalyzed),
+                    r.errors(), r.count(analysis::Severity::Warning),
+                    r.exhaustive ? "" : " (not exhaustive)");
+      }
       if (r.errors() > 0) return 1;
+    }
+    if (cost) {
+      analysis::CostReport cr = analysis::analyzeCost(prog, pre);
+      if (jsonFormat) {
+        std::printf("%s\n", analysis::costReportJson(prog, cr, file).c_str());
+      } else {
+        std::printf("%s", analysis::formatCostReport(prog, cr, file).c_str());
+      }
     }
     if (print && !trace) {
       il::PrintOptions po;
