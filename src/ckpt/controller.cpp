@@ -1,0 +1,184 @@
+#include "xdp/ckpt/controller.hpp"
+
+namespace xdp::ckpt {
+
+Controller::Controller(int nprocs, CkptOptions opts)
+    : nprocs_(nprocs), opts_(std::move(opts)) {
+  slots_.reserve(static_cast<std::size_t>(nprocs_));
+  for (int i = 0; i < nprocs_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+    slots_.back()->nextParkAt.store(
+        opts_.intervalSteps == 0 ? ~0ULL : opts_.intervalSteps,
+        std::memory_order_relaxed);
+  }
+}
+
+void Controller::publish(int pid, ContImage img) {
+  Slot& s = *slots_[static_cast<std::size_t>(pid)];
+  std::lock_guard lk(s.mu);
+  s.img = std::move(img);
+}
+
+void Controller::throwSignal() {
+  if (signal_.load(std::memory_order_relaxed) == 2) throw PreemptSignal{};
+  throw RollbackSignal{rollbackSource_.load(std::memory_order_relaxed)};
+}
+
+void Controller::deliverSignal(int pid, ContImage img) {
+  if (signal_.load(std::memory_order_relaxed) == 0) return;
+  publish(pid, std::move(img));
+  throwSignal();
+}
+
+void Controller::parkAtBoundary(int pid, ContImage img) {
+  publish(pid, std::move(img));
+  Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+  // Advance before anything can throw: a failed or interrupted attempt
+  // must not re-park at the same boundary.
+  if (opts_.intervalSteps > 0)
+    slot.nextParkAt.fetch_add(opts_.intervalSteps, std::memory_order_relaxed);
+
+  std::unique_lock lk(mu_);
+  if (signal_.load(std::memory_order_relaxed) != 0) throwSignal();
+  {
+    std::lock_guard slk(slot.mu);
+    slot.state = ProcState::Parked;
+    // Tag the park with the generation it belongs to: only a park for the
+    // capture currently forming counts as pinned (see pinned()). A stale
+    // Parked slot from an earlier generation is a waiter whose wake
+    // predicate is already true — logically running.
+    slot.parkGen = generation_;
+  }
+  cv_.notify_all();  // a waiting capture leader polls slot states
+
+  if (!captureActive_) {
+    captureActive_ = true;
+    lk.unlock();
+    bool ok = false;
+    if (captureFn_) ok = captureFn_();
+    (ok ? captures_ : captureFailures_).fetch_add(1);
+    lk.lock();
+    captureActive_ = false;
+    generation_ += 1;
+    {
+      std::lock_guard slk(slot.mu);
+      slot.state = ProcState::Running;
+    }
+    cv_.notify_all();
+  } else {
+    const std::uint64_t gen = generation_;
+    cv_.wait(lk, [&] {
+      return generation_ != gen ||
+             signal_.load(std::memory_order_relaxed) != 0;
+    });
+    {
+      std::lock_guard slk(slot.mu);
+      slot.state = ProcState::Running;
+    }
+  }
+  if (signal_.load(std::memory_order_relaxed) != 0) throwSignal();
+}
+
+void Controller::finish(int pid) {
+  Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+  {
+    std::lock_guard slk(slot.mu);
+    slot.state = ProcState::Finished;
+    slot.img.finished = true;
+    slot.img.unsafe = false;
+  }
+  std::lock_guard lk(mu_);
+  cv_.notify_all();
+}
+
+void Controller::setCaptureFn(std::function<bool()> fn) {
+  captureFn_ = std::move(fn);
+}
+
+void Controller::setInterruptFn(std::function<void()> fn) {
+  interruptFn_ = std::move(fn);
+}
+
+void Controller::requestRollback(int source) {
+  rollbackSource_.store(source, std::memory_order_relaxed);
+  signal_.store(1, std::memory_order_release);
+  {
+    std::lock_guard lk(mu_);
+    cv_.notify_all();
+  }
+  if (interruptFn_) interruptFn_();
+}
+
+void Controller::requestPreempt() {
+  // Never downgrade a rollback in flight.
+  int expect = 0;
+  if (!signal_.compare_exchange_strong(expect, 2)) return;
+  {
+    std::lock_guard lk(mu_);
+    cv_.notify_all();
+  }
+  if (interruptFn_) interruptFn_();
+}
+
+void Controller::beginRound(std::vector<ContImage> resume) {
+  std::lock_guard lk(mu_);
+  signal_.store(0, std::memory_order_release);
+  rollbackSource_.store(-1, std::memory_order_relaxed);
+  captureActive_ = false;
+  for (int pid = 0; pid < nprocs_; ++pid) {
+    Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+    std::lock_guard slk(slot.mu);
+    slot.state = ProcState::Running;
+    slot.img = ContImage{};
+    slot.hasResume = false;
+    std::uint64_t base = 0;
+    if (pid < static_cast<int>(resume.size())) {
+      slot.resume = std::move(resume[static_cast<std::size_t>(pid)]);
+      slot.hasResume = true;
+      base = slot.resume.stats[2];  // InterpStats::stmtsExecuted slot
+    }
+    if (opts_.intervalSteps == 0) {
+      slot.nextParkAt.store(~0ULL, std::memory_order_relaxed);
+    } else {
+      // Next multiple of the interval strictly above the resumed count.
+      const std::uint64_t k = base / opts_.intervalSteps + 1;
+      slot.nextParkAt.store(k * opts_.intervalSteps,
+                            std::memory_order_relaxed);
+    }
+  }
+}
+
+bool Controller::hasResume(int pid) const {
+  Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+  std::lock_guard slk(slot.mu);
+  return slot.hasResume;
+}
+
+ContImage Controller::takeResume(int pid) {
+  Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+  std::lock_guard slk(slot.mu);
+  slot.hasResume = false;
+  return std::move(slot.resume);
+}
+
+ContImage Controller::slotImage(int pid) const {
+  Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+  std::lock_guard slk(slot.mu);
+  return slot.img;
+}
+
+ProcState Controller::slotState(int pid) const {
+  Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+  std::lock_guard slk(slot.mu);
+  return slot.state;
+}
+
+bool Controller::pinned(int pid) {
+  Slot& slot = *slots_[static_cast<std::size_t>(pid)];
+  std::lock_guard lk(mu_);  // generation_ is guarded by mu_
+  std::lock_guard slk(slot.mu);
+  if (slot.state == ProcState::Finished) return true;
+  return slot.state == ProcState::Parked && slot.parkGen == generation_;
+}
+
+}  // namespace xdp::ckpt

@@ -1,0 +1,206 @@
+// Snapshot wire format and storage (DESIGN.md §11).
+//
+// Binary layout of an encoded snapshot:
+//
+//   magic   8 bytes  "XDPCKPT1"
+//   version u32      kSnapshotVersion
+//   records          [u16 tag][u64 len][payload bytes][u64 fnv1a(payload)]
+//   trailer u64      fnv1a(everything before the trailer)
+//
+// Every record is individually checksummed (FNV-1a 64) and the whole file
+// is checksummed again, so truncation, bit flips, and torn writes are all
+// detected at decode time and surface as CkptError — a snapshot is either
+// loaded exactly or rejected; garbage is never partially applied.
+//
+// Writer/Reader are the (bounds-checked) primitives the rt/net/interp
+// layers use to encode their own opaque images; a Reader read past the
+// end of its buffer throws CkptError rather than reading stale memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "xdp/ckpt/image.hpp"
+
+namespace xdp::ckpt {
+
+/// FNV-1a 64-bit over a byte range (same offset/prime constants as the
+/// serve-layer result digest).
+std::uint64_t fnv1a(const std::byte* data, std::size_t n,
+                    std::uint64_t seed = 1469598103934665603ULL);
+
+inline std::uint64_t fnv1a(const std::vector<std::byte>& v) {
+  return fnv1a(v.data(), v.size());
+}
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { putLe(v); }
+  void u32(std::uint32_t v) { putLe(v); }
+  void u64(std::uint64_t v) { putLe(v); }
+  void i64(std::int64_t v) { putLe(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    putLe(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(const std::byte* data, std::size_t n) {
+    u64(n);
+    buf_.insert(buf_.end(), data, data + n);
+  }
+  void bytes(const std::vector<std::byte>& v) { bytes(v.data(), v.size()); }
+  /// Append without a length prefix (record framing writes its own).
+  void raw(const std::vector<std::byte>& v) {
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  void str(const std::string& s) {
+    bytes(reinterpret_cast<const std::byte*>(s.data()), s.size());
+  }
+
+  const std::vector<std::byte>& buffer() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void putLe(T v) {
+    for (unsigned i = 0; i < sizeof(T); ++i)
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian decoder; any overrun throws CkptError.
+class Reader {
+ public:
+  Reader(const std::byte* data, std::size_t n) : data_(data), end_(n) {}
+  explicit Reader(const std::vector<std::byte>& v)
+      : Reader(v.data(), v.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() { return getLe<std::uint16_t>(); }
+  std::uint32_t u32() { return getLe<std::uint32_t>(); }
+  std::uint64_t u64() { return getLe<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::vector<std::byte> bytes() {
+    std::uint64_t n = u64();
+    need(n);
+    std::vector<std::byte> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    std::uint64_t n = u64();
+    need(n);
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    static_cast<std::size_t>(n));
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return end_ - pos_; }
+  bool atEnd() const { return pos_ == end_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > end_ - pos_) throw CkptError("truncated image (read past end)");
+  }
+  template <typename T>
+  T getLe() {
+    need(sizeof(T));
+    T v = 0;
+    for (unsigned i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    pos_ += sizeof(T);
+    return v;
+  }
+  const std::byte* data_;
+  std::size_t end_;
+  std::size_t pos_ = 0;
+};
+
+/// Encode a snapshot to the checksummed record format above.
+std::vector<std::byte> encodeSnapshot(const Snapshot& snap);
+
+/// Decode and fully verify an encoded snapshot. Throws CkptError on any
+/// defect (bad magic, unsupported version, truncation, record or file
+/// checksum mismatch, inconsistent record set).
+Snapshot decodeSnapshot(const std::vector<std::byte>& buf);
+
+/// Number of records an encoded snapshot carries (1 meta + nprocs tables
+/// + 1 fabric + nprocs continuations).
+std::uint64_t snapshotRecordCount(const Snapshot& snap);
+
+/// Whole-file save/load. Load rereads and verifies; both throw CkptError
+/// on I/O failure.
+void saveSnapshotFile(const std::string& path,
+                      const std::vector<std::byte>& encoded);
+std::vector<std::byte> loadSnapshotFile(const std::string& path);
+
+/// Deterministic counters for the perf trajectory and RecoveryReport.
+struct StoreStats {
+  std::uint64_t snapshots = 0;      ///< accepted captures
+  std::uint64_t lastBytes = 0;      ///< encoded size of the newest snapshot
+  std::uint64_t lastRecords = 0;    ///< record count of the newest snapshot
+  std::uint64_t totalBytes = 0;     ///< sum of encoded sizes ever added
+  std::uint64_t fallbacks = 0;      ///< loads that skipped a bad snapshot
+};
+
+/// Holds the last two good snapshots (in memory, optionally mirrored to
+/// `dir` as ckpt-<seq>.xdpckpt files) and serves the newest one that
+/// still decodes cleanly — a torn or corrupted latest snapshot falls back
+/// to the previous good one instead of failing recovery.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir = "");
+
+  /// Encode and retain `snap`; evicts beyond the 2-deep ring (and prunes
+  /// older on-disk files to match).
+  void add(const Snapshot& snap);
+
+  bool empty() const { return ring_.empty(); }
+
+  /// Decode the newest snapshot that verifies; skips (and drops) corrupt
+  /// entries, counting each skip as a fallback. Throws CkptError when no
+  /// good snapshot remains.
+  Snapshot loadLatestGood();
+
+  /// Re-populate the ring from `dir` (newest two sequence numbers);
+  /// corrupt files are skipped and counted as fallbacks. Returns the
+  /// number of snapshots adopted.
+  int adoptFromDir();
+
+  const StoreStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Held {
+    std::uint64_t seq = 0;
+    std::vector<std::byte> encoded;
+  };
+  std::string filePath(std::uint64_t seq) const;
+
+  std::string dir_;
+  std::uint64_t nextSeq_ = 0;
+  std::deque<Held> ring_;  ///< oldest first, size <= 2
+  StoreStats stats_;
+};
+
+}  // namespace xdp::ckpt

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "xdp/ckpt/io.hpp"
+#include "xdp/interp/cont.hpp"
 #include "xdp/support/arith.hpp"
 #include "xdp/support/check.hpp"
 
@@ -841,20 +843,26 @@ class Compiler {
         break;
       }
       case StmtKind::For: {
-        const bool hotBounds =
-            hotExpr(s.lb, true) && hotExpr(s.ub, true) &&
-            (!s.step.valid() || hotExpr(s.step, true));
-        if (!hotBounds) {
-          cold(sr);
-          break;
-        }
+        // For loops always compile hot: bounds the expression compiler
+        // cannot handle are evaluated by one cold EvalFlat each (walker
+        // semantics, may block) feeding the hot loop skeleton. This keeps
+        // every ExecFlat a restartable leaf statement — no cold
+        // instruction ever wraps a compound body — which checkpoint
+        // capture relies on (DESIGN.md §11).
         emit({Op::Step, 0, 0, 0, 0, 0});
         m_.hotStmts += 1;
-        const auto lbR = toIndexTemp(compileExpr(s.lb));
-        const auto ubR = toIndexTemp(compileExpr(s.ub));
-        const std::uint16_t stR = s.step.valid()
-                                      ? toIndexTemp(compileExpr(s.step))
-                                      : cintReg_.at(1);
+        auto boundReg = [&](ExprRef e) -> std::uint16_t {
+          if (hotExpr(e, /*allowElem=*/true))
+            return toIndexTemp(compileExpr(e));
+          const auto t = allocTemp();
+          emit({Op::EvalFlat, 0, t, 0, 0, static_cast<std::int32_t>(e.id)});
+          emit({Op::ToIndex, 0, t, t, 0, 0});
+          return t;
+        };
+        const auto lbR = boundReg(s.lb);
+        const auto ubR = boundReg(s.ub);
+        const std::uint16_t stR =
+            s.step.valid() ? boundReg(s.step) : cintReg_.at(1);
         emit({Op::CheckStep, 0, stR, 0, 0, 0});
         // The loop counter is a dedicated temp (the tree walker's local
         // `i`): a body assignment to the loop scalar must not change the
@@ -960,12 +968,14 @@ Module compile(flat::FlatProgram fp) { return Compiler(std::move(fp)).take(); }
 
 void execute(const Module& m, rt::Proc& proc, InterpStats& stats,
              const InterpOptions& iopts,
-             const std::map<std::string, KernelFn>& kernels) {
+             const std::map<std::string, KernelFn>& kernels,
+             ckpt::Controller* ctrl) {
   std::vector<Slot> regs(m.numRegs);
   FlatEval fe(m, proc, stats, iopts, kernels, regs.data());
   const Insn* code = m.code.data();
   const Index* ipool = m.ipool.data();
   const double* rpool = m.rpool.data();
+  const int pid = proc.mypid();
 
   // Operand read with the undefined-scalar check (temps are always
   // written before read by construction; only scalar registers can be
@@ -1050,13 +1060,89 @@ void execute(const Module& m, rt::Proc& proc, InterpStats& stats,
     }
   };
 
+  // --- checkpoint continuations (DESIGN.md §11) --------------------------
+  // Between any two instructions the VM's whole control state is
+  // (pc, register file), so a continuation is exact: resuming re-executes
+  // from the captured pc against the restored tables/fabric. Boundaries
+  // are observed at statement tops (Step/StepElem/StepRule/ExecFlat), and
+  // a restart point is published before every instruction that can block
+  // (the cold calls into the flat walker). The lease is dropped before
+  // parking so a capture never waits on a held table lock.
   std::size_t pc = 0;
+  auto makeImage = [&](bool unsafe) {
+    ckpt::ContImage img;
+    img.engine = static_cast<std::uint8_t>(ckpt::ContEngine::Vm);
+    img.unsafe = unsafe;
+    img.stats = statsToArray(stats);
+    ckpt::Writer w;
+    w.u32(static_cast<std::uint32_t>(pc));
+    w.u32(m.numRegs);
+    for (const Slot& s : regs) {
+      w.u8(static_cast<std::uint8_t>(s.tag));
+      std::uint64_t bits = 0;
+      if (s.tag == Tag::Int) bits = static_cast<std::uint64_t>(s.i);
+      else if (s.tag == Tag::Real) bits = std::bit_cast<std::uint64_t>(s.r);
+      else if (s.tag == Tag::Bool) bits = s.b ? 1 : 0;
+      w.u64(bits);
+    }
+    img.payload = w.take();
+    return img;
+  };
+  auto boundary = [&] {
+    if (ctrl->signal() != 0) {
+      dropLease();
+      ctrl->deliverSignal(pid, makeImage(false));
+    }
+    if (stats.stmtsExecuted >= ctrl->nextParkAt(pid)) {
+      dropLease();
+      ctrl->parkAtBoundary(pid, makeImage(false));
+    }
+  };
+  if (ctrl != nullptr && ctrl->hasResume(pid)) {
+    ckpt::ContImage img = ctrl->takeResume(pid);
+    if (img.finished) return;
+    stats = statsFromArray(img.stats);
+    if (img.engine == static_cast<std::uint8_t>(ckpt::ContEngine::Vm)) {
+      ckpt::Reader r(img.payload);
+      const std::uint32_t rpc = r.u32();
+      if (r.u32() != m.numRegs || rpc >= m.code.size())
+        throw ckpt::CkptError("VM continuation does not fit this module");
+      for (std::uint16_t k = 0; k < m.numRegs; ++k) {
+        const std::uint8_t tag = r.u8();
+        const std::uint64_t bits = r.u64();
+        switch (tag) {
+          case 0:
+            regs[k] = Slot{};
+            break;
+          case 1:
+            regs[k] = Slot::ofInt(static_cast<Index>(bits));
+            break;
+          case 2:
+            regs[k] = Slot::ofReal(std::bit_cast<double>(bits));
+            break;
+          case 3:
+            regs[k] = Slot::ofBool(bits != 0);
+            break;
+          default:
+            throw ckpt::CkptError("bad register tag in VM continuation");
+        }
+      }
+      pc = rpc;
+    } else if (img.engine !=
+               static_cast<std::uint8_t>(ckpt::ContEngine::None)) {
+      throw ckpt::CkptError(
+          "VM cannot resume a continuation captured by another engine");
+    }
+    // ContEngine::None (genesis snapshot): restart from pc 0.
+  }
+
   for (;;) {
     const Insn& in = code[pc];
     switch (in.op) {
       case Op::Halt:
         return;
       case Op::Step:
+        if (ctrl != nullptr) boundary();
         if (iopts.stepHook) iopts.stepHook(proc);
         stats.stmtsExecuted += 1;
         break;
@@ -1254,27 +1340,43 @@ void execute(const Module& m, rt::Proc& proc, InterpStats& stats,
         proc.compute(asReal(val(in.a)));
         break;
       case Op::EvalFlat:
+        // Publish-before-block: the expression may contain an await; the
+        // continuation re-evaluates it against the restored state.
+        if (ctrl != nullptr) ctrl->publish(pid, makeImage(false));
         regs[in.a] =
             fe.evalValue(ExprRef{static_cast<std::uint32_t>(in.d)});
         break;
       case Op::EvalRule:
+        if (ctrl != nullptr) ctrl->publish(pid, makeImage(false));
         regs[in.a] = Slot::ofBool(
             fe.evalRule(ExprRef{static_cast<std::uint32_t>(in.d)}));
         break;
-      case Op::ExecFlat:
-        fe.exec(StmtRef{static_cast<std::uint32_t>(in.d)});
+      case Op::ExecFlat: {
+        const StmtRef sr{static_cast<std::uint32_t>(in.d)};
+        if (ctrl != nullptr) {
+          // Cold statements are restartable leaves (For always compiles
+          // hot), so re-executing from this pc is the continuation —
+          // except kernels, which may block mid-way after side effects.
+          boundary();
+          ctrl->publish(pid,
+                        makeImage(m.fp[sr].kind == StmtKind::Kernel));
+        }
+        fe.exec(sr);
         break;
+      }
       // Fused bookkeeping ops: exact concatenation of their components.
       case Op::ForIter:
         stats.loopIterations += 1;
         regs[in.a] = regs[in.b];  // iR is always set by ForEnter
         break;
       case Op::StepElem:
+        if (ctrl != nullptr) boundary();
         if (iopts.stepHook) iopts.stepHook(proc);
         stats.stmtsExecuted += 1;
         stats.elemAssigns += 1;
         break;
       case Op::StepRule:
+        if (ctrl != nullptr) boundary();
         if (iopts.stepHook) iopts.stepHook(proc);
         stats.stmtsExecuted += 1;
         stats.rulesEvaluated += 1;

@@ -25,6 +25,7 @@
 #include <map>
 #include <vector>
 
+#include "xdp/ckpt/controller.hpp"
 #include "xdp/il/flat.hpp"
 #include "xdp/interp/interpreter.hpp"
 
@@ -110,10 +111,13 @@ Module compile(il::flat::FlatProgram fp);
 
 /// Run `m` as the node program of `proc`. Counters accumulate into
 /// `stats`; `iopts.stepHook` fires exactly as in the tree walker; kernels
-/// resolve by name from `kernels`.
+/// resolve by name from `kernels`. With a checkpoint controller the VM
+/// observes statement boundaries (park/signal/publish; DESIGN.md §11) and
+/// resumes from a pc + register-file continuation when one is seeded.
 void execute(const Module& m, rt::Proc& proc, InterpStats& stats,
              const InterpOptions& iopts,
-             const std::map<std::string, KernelFn>& kernels);
+             const std::map<std::string, KernelFn>& kernels,
+             ckpt::Controller* ctrl = nullptr);
 
 /// Human-readable disassembly (tests / debugging).
 std::string disassemble(const Module& m);

@@ -1,0 +1,38 @@
+// Continuation-image helpers shared by both execution engines
+// (DESIGN.md §11). The ckpt layer carries InterpStats as an opaque
+// ordered array; this header pins the order so tree-walker and VM
+// images agree and the controller's park threshold (stats[2] =
+// executed statements) reads the right counter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "xdp/ckpt/image.hpp"
+#include "xdp/interp/interpreter.hpp"
+
+namespace xdp::interp {
+
+inline std::array<std::uint64_t, ckpt::kNumContStats> statsToArray(
+    const InterpStats& s) {
+  return {s.rulesEvaluated, s.rulesTrue,   s.stmtsExecuted,
+          s.loopIterations, s.elemAssigns, s.kernelCalls,
+          s.guardCacheHits, s.rangeSplits, s.guardedItersSaved};
+}
+
+inline InterpStats statsFromArray(
+    const std::array<std::uint64_t, ckpt::kNumContStats>& a) {
+  InterpStats s;
+  s.rulesEvaluated = a[0];
+  s.rulesTrue = a[1];
+  s.stmtsExecuted = a[2];
+  s.loopIterations = a[3];
+  s.elemAssigns = a[4];
+  s.kernelCalls = a[5];
+  s.guardCacheHits = a[6];
+  s.rangeSplits = a[7];
+  s.guardedItersSaved = a[8];
+  return s;
+}
+
+}  // namespace xdp::interp

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -126,6 +127,16 @@ class Interpreter {
   int scalarIdOfStmt(const il::Stmt* s) const;
   int numScalars() const { return static_cast<int>(scalarNames_.size()); }
 
+  // Checkpointing (DESIGN.md §11): the tree walker publishes a
+  // continuation before every statement that can block, so the set of
+  // such statements is precomputed once when the runtime has a
+  // checkpoint controller. A statement blocks if it is itself a
+  // transfer/await/kernel or if any expression under it awaits.
+  void computeBlockingStmts();
+  bool isBlockingStmt(const il::Stmt* s) const {
+    return blockingStmts_.count(s) != 0;
+  }
+
   il::Program prog_;
   rt::Runtime rt_;
   InterpOptions iopts_;
@@ -137,6 +148,8 @@ class Interpreter {
   std::unordered_map<std::string, int> scalarIdByName_;
   std::unordered_map<const il::Expr*, int> exprScalarIds_;
   std::unordered_map<const il::Stmt*, int> stmtScalarIds_;
+  std::unordered_set<const il::Stmt*> blockingStmts_;
+  bool blockingComputed_ = false;
 };
 
 }  // namespace xdp::interp

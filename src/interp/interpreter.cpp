@@ -5,8 +5,10 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "xdp/ckpt/io.hpp"
 #include "xdp/il/flat.hpp"
 #include "xdp/interp/bytecode.hpp"
+#include "xdp/interp/cont.hpp"
 #include "xdp/support/arith.hpp"
 #include "xdp/support/check.hpp"
 
@@ -82,18 +84,31 @@ class Exec {
       : in_(in),
         proc_(proc),
         stats_(stats),
+        ctrl_(in.rt_.ckptController()),
+        pid_(proc.mypid()),
         env_(static_cast<std::size_t>(in.numScalars())),
         def_(static_cast<std::size_t>(in.numScalars()), 0) {}
 
   void exec(const StmtPtr& s) {
     XDP_CHECK(s != nullptr, "executing null statement");
+    // Statement boundary (DESIGN.md §11): nothing of `s` has run yet, so
+    // a continuation published here means "re-execute this statement".
+    if (ctrl_ != nullptr) boundary(s);
     // Step accounting / cancellation point: a quota or cancellation hook
     // can abort this processor before the statement runs.
     if (in_.iopts_.stepHook) in_.iopts_.stepHook(proc_);
     stats_.stmtsExecuted += 1;
     switch (s->kind) {
       case StmtKind::Block:
-        for (const auto& c : s->stmts) exec(c);
+        if (ctrl_ == nullptr) {
+          for (const auto& c : s->stmts) exec(c);
+        } else {
+          for (std::size_t k = 0; k < s->stmts.size(); ++k) {
+            frames_.push_back({0, static_cast<Index>(k), 0, 0});
+            exec(s->stmts[k]);
+            frames_.pop_back();
+          }
+        }
         return;
       case StmtKind::ScalarAssign: {
         const int id = in_.scalarIdOfStmt(s.get());
@@ -116,7 +131,12 @@ class Exec {
         XDP_CHECK(step > 0, "loop step must be positive");
         if (lb > ub) return;
         const int var = in_.scalarIdOfStmt(s.get());
-        if (in_.iopts_.splitGuardedLoops &&
+        // Range splitting is off under checkpointing: the split schedule
+        // executes body statements with a frame stack that no longer
+        // matches the program tree, so no valid continuation could be
+        // published from inside it. Logical counters are split-invariant,
+        // so differential parity with unsplit runs still holds.
+        if (ctrl_ == nullptr && in_.iopts_.splitGuardedLoops &&
             execSplitLoop(s, var, Triplet(lb, ub, step))) {
           return;
         }
@@ -124,7 +144,13 @@ class Exec {
           stats_.loopIterations += 1;
           env_[static_cast<std::size_t>(var)] = i;
           def_[static_cast<std::size_t>(var)] = 1;
-          exec(s->body);
+          if (ctrl_ != nullptr) {
+            frames_.push_back({1, i, ub, step});
+            exec(s->body);
+            frames_.pop_back();
+          } else {
+            exec(s->body);
+          }
           // `i + step` can overflow past a ub near INT64_MAX; decide
           // termination on the (always in-range) remaining distance.
           if (static_cast<std::uint64_t>(ub) - static_cast<std::uint64_t>(i) <
@@ -138,7 +164,13 @@ class Exec {
         stats_.rulesEvaluated += 1;
         if (!evalRule(s->rule)) return;
         stats_.rulesTrue += 1;
-        exec(s->body);
+        if (ctrl_ != nullptr) {
+          frames_.push_back({2, 0, 0, 0});
+          exec(s->body);
+          frames_.pop_back();
+        } else {
+          exec(s->body);
+        }
         return;
       }
       case StmtKind::SendData: {
@@ -203,7 +235,177 @@ class Exec {
     }
   }
 
+  /// Resume from a captured tree continuation: restore the interned-
+  /// scalar environment, then descend the saved frame path and re-execute
+  /// the leaf statement in full (capture only cuts where nothing of the
+  /// in-flight statement has taken effect, so full re-execution is the
+  /// continuation).
+  void runFrom(const StmtPtr& root, const ckpt::ContImage& img) {
+    ckpt::Reader r(img.payload);
+    const std::uint32_t n = r.u32();
+    if (n != env_.size())
+      throw ckpt::CkptError("tree continuation scalar count mismatch");
+    for (std::uint32_t k = 0; k < n; ++k) {
+      def_[k] = r.u8();
+      switch (r.u8()) {
+        case 0:
+          env_[k] = static_cast<Index>(r.i64());
+          break;
+        case 1:
+          env_[k] = r.f64();
+          break;
+        case 2:
+          env_[k] = r.u8() != 0;
+          break;
+        default:
+          throw ckpt::CkptError("bad scalar tag in tree continuation");
+      }
+    }
+    const std::uint32_t depth = r.u32();
+    resume_.clear();
+    resume_.reserve(depth);
+    for (std::uint32_t k = 0; k < depth; ++k) {
+      Frame f;
+      f.kind = r.u8();
+      f.a = r.i64();
+      f.b = r.i64();
+      f.c = r.i64();
+      resume_.push_back(f);
+    }
+    execResume(root, 0);
+  }
+
  private:
+  // --- checkpoint continuations (DESIGN.md §11) --------------------------
+
+  /// One level of the execution cursor: where inside a compound statement
+  /// the walker currently stands. kind 0 = Block (a: child index), 1 = For
+  /// (a: current i, b: ub, c: step), 2 = Guarded body.
+  struct Frame {
+    std::uint8_t kind = 0;
+    Index a = 0;
+    Index b = 0;
+    Index c = 0;
+  };
+
+  /// Statement-boundary protocol, in order: deliver a pending rollback/
+  /// preempt signal; park for a coordinated capture when the executed-
+  /// statement count crosses the threshold; publish a restart point
+  /// before any statement that can block (kernels are flagged unsafe —
+  /// they may block mid-way after side effects, so a capture refuses to
+  /// cut there).
+  void boundary(const StmtPtr& s) {
+    if (ctrl_->signal() != 0) ctrl_->deliverSignal(pid_, makeImage(false));
+    if (stats_.stmtsExecuted >= ctrl_->nextParkAt(pid_))
+      ctrl_->parkAtBoundary(pid_, makeImage(false));
+    if (in_.isBlockingStmt(s.get()))
+      ctrl_->publish(pid_, makeImage(s->kind == StmtKind::Kernel));
+  }
+
+  ckpt::ContImage makeImage(bool unsafe) const {
+    ckpt::ContImage img;
+    img.engine = static_cast<std::uint8_t>(ckpt::ContEngine::Tree);
+    img.unsafe = unsafe;
+    img.stats = statsToArray(stats_);
+    ckpt::Writer w;
+    w.u32(static_cast<std::uint32_t>(env_.size()));
+    for (std::size_t k = 0; k < env_.size(); ++k) {
+      w.u8(def_[k]);
+      const Value& v = env_[k];
+      if (std::holds_alternative<Index>(v)) {
+        w.u8(0);
+        w.i64(std::get<Index>(v));
+      } else if (std::holds_alternative<double>(v)) {
+        w.u8(1);
+        w.f64(std::get<double>(v));
+      } else {
+        w.u8(2);
+        w.u8(std::get<bool>(v) ? 1 : 0);
+      }
+    }
+    w.u32(static_cast<std::uint32_t>(frames_.size()));
+    for (const Frame& f : frames_) {
+      w.u8(f.kind);
+      w.i64(f.a);
+      w.i64(f.b);
+      w.i64(f.c);
+    }
+    img.payload = w.take();
+    return img;
+  }
+
+  /// Descend the saved frame path: re-enter each compound statement at
+  /// its saved cursor WITHOUT re-running its already-performed parts
+  /// (loop bound evaluation, guard evaluation — their effects, like every
+  /// enclosing statement's counters, are already in the image), run the
+  /// leaf in full, then fall back into the normal schedule.
+  void execResume(const StmtPtr& s, std::size_t depth) {
+    if (depth == resume_.size()) {
+      exec(s);
+      return;
+    }
+    XDP_CHECK(s != nullptr, "resuming null statement");
+    const Frame f = resume_[depth];
+    switch (s->kind) {
+      case StmtKind::Block: {
+        if (f.kind != 0 || f.a < 0 ||
+            static_cast<std::size_t>(f.a) >= s->stmts.size())
+          throw ckpt::CkptError("continuation path does not fit this block");
+        std::size_t k = static_cast<std::size_t>(f.a);
+        frames_.push_back(f);
+        execResume(s->stmts[k], depth + 1);
+        frames_.pop_back();
+        for (++k; k < s->stmts.size(); ++k) {
+          frames_.push_back({0, static_cast<Index>(k), 0, 0});
+          exec(s->stmts[k]);
+          frames_.pop_back();
+        }
+        return;
+      }
+      case StmtKind::For: {
+        if (f.kind != 1 || f.c <= 0)
+          throw ckpt::CkptError("continuation path does not fit this loop");
+        const int var = in_.scalarIdOfStmt(s.get());
+        Index i = f.a;
+        const Index ub = f.b;
+        const Index step = f.c;
+        env_[static_cast<std::size_t>(var)] = i;
+        def_[static_cast<std::size_t>(var)] = 1;
+        frames_.push_back(f);
+        execResume(s->body, depth + 1);
+        frames_.pop_back();
+        // The in-flight iteration's loopIterations count is already in
+        // the image; count only the remaining ones.
+        for (;;) {
+          if (static_cast<std::uint64_t>(ub) - static_cast<std::uint64_t>(i) <
+              static_cast<std::uint64_t>(step))
+            break;
+          i += step;
+          stats_.loopIterations += 1;
+          env_[static_cast<std::size_t>(var)] = i;
+          def_[static_cast<std::size_t>(var)] = 1;
+          frames_.push_back({1, i, ub, step});
+          exec(s->body);
+          frames_.pop_back();
+        }
+        return;
+      }
+      case StmtKind::Guarded: {
+        if (f.kind != 2)
+          throw ckpt::CkptError(
+              "continuation path does not fit this guarded statement");
+        frames_.push_back(f);
+        execResume(s->body, depth + 1);
+        frames_.pop_back();
+        return;
+      }
+      default:
+        throw ckpt::CkptError(
+            "continuation path descends into a leaf statement");
+    }
+  }
+
+
   // --- guarded-loop range splitting --------------------------------------
   //
   // The owner-computes lowering produces loops of the shape
@@ -775,8 +977,12 @@ class Exec {
   Interpreter& in_;
   rt::Proc& proc_;
   InterpStats& stats_;
+  ckpt::Controller* ctrl_;  ///< null when checkpointing is off
+  int pid_;
   std::vector<Value> env_;
   std::vector<std::uint8_t> def_;
+  std::vector<Frame> frames_;  ///< live execution cursor (ctrl_ only)
+  std::vector<Frame> resume_;  ///< saved path being re-entered
   int ruleDepth_ = 0;
 };
 
@@ -871,6 +1077,69 @@ Interpreter::Interpreter(il::Program prog, rt::RuntimeOptions opts,
 
 Interpreter::~Interpreter() = default;
 
+void Interpreter::computeBlockingStmts() {
+  if (blockingComputed_) return;
+  blockingComputed_ = true;
+
+  // Memoized await-search over the (possibly DAG-shaped) expression
+  // forest; `seen` bounds the statement walk the same way internScalars'
+  // does.
+  std::unordered_map<const void*, bool> memo;
+  std::unordered_set<const void*> seen;
+
+  std::function<bool(const ExprPtr&)> exprAwaits;
+  std::function<bool(const SectionExprPtr&)> secAwaits;
+
+  exprAwaits = [&](const ExprPtr& e) -> bool {
+    if (e == nullptr) return false;
+    auto it = memo.find(e.get());
+    if (it != memo.end()) return it->second;
+    const bool b = e->kind == ExprKind::Await || exprAwaits(e->lhs) ||
+                   exprAwaits(e->rhs) || secAwaits(e->section);
+    memo[e.get()] = b;
+    return b;
+  };
+  secAwaits = [&](const SectionExprPtr& se) -> bool {
+    if (se == nullptr) return false;
+    auto it = memo.find(se.get());
+    if (it != memo.end()) return it->second;
+    bool b = exprAwaits(se->pid) || secAwaits(se->a) || secAwaits(se->b);
+    for (const auto& t : se->dims) {
+      b = b || exprAwaits(t.lb) || exprAwaits(t.ub) || exprAwaits(t.stride);
+    }
+    memo[se.get()] = b;
+    return b;
+  };
+
+  std::function<void(const StmtPtr&)> walk = [&](const StmtPtr& s) {
+    if (s == nullptr || !seen.insert(s.get()).second) return;
+    bool blocking = false;
+    switch (s->kind) {
+      case StmtKind::SendData:  // rendezvous sends can block on delivery
+      case StmtKind::RecvData:  // awaits destination accessibility
+      case StmtKind::SendOwn:   // awaits the outgoing section
+      case StmtKind::RecvOwn:
+      case StmtKind::Await:
+      case StmtKind::Kernel:  // opaque: may transfer, await, or barrier
+        blocking = true;
+        break;
+      default:
+        break;
+    }
+    blocking = blocking || exprAwaits(s->value) || secAwaits(s->lhs) ||
+               exprAwaits(s->rhs) || exprAwaits(s->lb) || exprAwaits(s->ub) ||
+               exprAwaits(s->step) || exprAwaits(s->rule) ||
+               secAwaits(s->sec2) || exprAwaits(s->bindHint) ||
+               secAwaits(s->dest.section);
+    for (const auto& e : s->dest.pids) blocking = blocking || exprAwaits(e);
+    for (const auto& [sym, se] : s->args) blocking = blocking || secAwaits(se);
+    if (blocking) blockingStmts_.insert(s.get());
+    for (const auto& c : s->stmts) walk(c);
+    walk(s->body);
+  };
+  walk(prog_.body);
+}
+
 void Interpreter::registerKernel(std::string name, KernelFn fn) {
   kernels_[std::move(name)] = std::move(fn);
 }
@@ -881,14 +1150,37 @@ void Interpreter::run() {
     module_ =
         std::make_unique<bc::Module>(bc::compile(il::flat::flatten(prog_)));
   }
+  ckpt::Controller* ctrl = rt_.ckptController();
+  if (ctrl != nullptr && iopts_.backend == Backend::TreeWalk)
+    computeBlockingStmts();
   rt_.run([&](rt::Proc& proc) {
-    InterpStats& st = stats_[static_cast<std::size_t>(proc.mypid())];
+    const int pid = proc.mypid();
+    InterpStats& st = stats_[static_cast<std::size_t>(pid)];
     if (iopts_.backend == Backend::Bytecode) {
-      bc::execute(*module_, proc, st, iopts_, kernels_);
-    } else {
-      Exec ex(*this, proc, st);
-      ex.exec(prog_.body);
+      bc::execute(*module_, proc, st, iopts_, kernels_, ctrl);
+      return;
     }
+    if (ctrl != nullptr && ctrl->hasResume(pid)) {
+      // A recovery round: overwrite the partial counters of the crashed
+      // round with the snapshot's, then re-enter at the saved cursor.
+      ckpt::ContImage img = ctrl->takeResume(pid);
+      if (img.finished) return;
+      st = statsFromArray(img.stats);
+      Exec ex(*this, proc, st);
+      if (img.engine == static_cast<std::uint8_t>(ckpt::ContEngine::Tree)) {
+        ex.runFrom(prog_.body, img);
+      } else if (img.engine ==
+                 static_cast<std::uint8_t>(ckpt::ContEngine::None)) {
+        ex.exec(prog_.body);  // genesis snapshot: restart from the top
+      } else {
+        throw ckpt::CkptError(
+            "tree walker cannot resume a continuation captured by another "
+            "engine");
+      }
+      return;
+    }
+    Exec ex(*this, proc, st);
+    ex.exec(prog_.body);
   });
   // The run's tables are fresh per run(), so their lifetime hit counts are
   // exactly this run's contribution.

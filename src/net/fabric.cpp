@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "xdp/net/wire.hpp"
 #include "xdp/support/check.hpp"
 
 // Rendezvous protocol (two locks, never held together)
@@ -328,6 +329,7 @@ void Fabric::faultSend(int src, Message msg, std::optional<int> dest) {
   // the injector lock is never held together with endpoint/matcher locks.
   // `out` preserves the required delivery order.
   std::vector<std::pair<Message, std::optional<int>>> out;
+  bool crashRecover = false;
   {
     std::lock_guard fk(faultMu_);
     if (!injector_) {
@@ -335,42 +337,54 @@ void Fabric::faultSend(int src, Message msg, std::optional<int> dest) {
     } else {
       FaultInjector& in = *injector_;
       if (in.crashNow(src)) {
-        std::ostringstream os;
-        os << "fault injection: endpoint p" << src << " crashed (plan allows "
-           << in.plan().crashAfterSends << " sends)";
-        throw FaultAbort(os.str());
-      }
-      const FaultInjector::Outcome o = in.classify(src);
-      msg.arrival += o.extraDelay;
-
-      // Never let two same-name messages from one source overtake each
-      // other (MPI's non-overtaking rule): release a held twin-channel
-      // message first.
-      if (in.hasHeld(src) && in.heldName(src) == msg.name) {
-        FaultInjector::Held h = in.takeHeld(src);
-        out.emplace_back(std::move(h.msg), h.dest);
-      }
-      if (!o.drop) {  // on drop: sender paid for it; the fabric lost it
-        std::optional<Message> dup;
-        if (o.duplicate) {
-          msg.dupId = in.newDupId();
-          dup = msg;  // deep copy, including the shared dupId
+        // The fate is decided here, but a recovery unwinds outside
+        // faultMu_: the crash hook reaches into the checkpoint
+        // controller, which must never run under a fabric lock.
+        if (in.plan().crashFate != CrashFate::Recover || !crashHook_) {
+          std::ostringstream os;
+          os << "fault injection: endpoint p" << src
+             << " crashed (plan allows " << in.plan().crashAfterSends
+             << " sends)";
+          throw FaultAbort(os.str());
         }
-        if (o.hold && !in.hasHeld(src)) {
-          in.hold(src, std::move(msg), dest);
-          if (dup.has_value()) out.emplace_back(std::move(*dup), dest);
-        } else {
-          out.emplace_back(std::move(msg), dest);
-          if (dup.has_value()) out.emplace_back(std::move(*dup), dest);
-          if (in.hasHeld(src)) {
-            // This send releases the previously held message *after* the
-            // new one: the adjacent pair has been reordered.
-            FaultInjector::Held h = in.takeHeld(src);
-            out.emplace_back(std::move(h.msg), h.dest);
+        crashRecover = true;  // the crashed endpoint's send is lost
+      } else {
+        const FaultInjector::Outcome o = in.classify(src);
+        msg.arrival += o.extraDelay;
+
+        // Never let two same-name messages from one source overtake each
+        // other (MPI's non-overtaking rule): release a held twin-channel
+        // message first.
+        if (in.hasHeld(src) && in.heldName(src) == msg.name) {
+          FaultInjector::Held h = in.takeHeld(src);
+          out.emplace_back(std::move(h.msg), h.dest);
+        }
+        if (!o.drop) {  // on drop: sender paid for it; the fabric lost it
+          std::optional<Message> dup;
+          if (o.duplicate) {
+            msg.dupId = in.newDupId();
+            dup = msg;  // deep copy, including the shared dupId
+          }
+          if (o.hold && !in.hasHeld(src)) {
+            in.hold(src, std::move(msg), dest);
+            if (dup.has_value()) out.emplace_back(std::move(*dup), dest);
+          } else {
+            out.emplace_back(std::move(msg), dest);
+            if (dup.has_value()) out.emplace_back(std::move(*dup), dest);
+            if (in.hasHeld(src)) {
+              // This send releases the previously held message *after*
+              // the new one: the adjacent pair has been reordered.
+              FaultInjector::Held h = in.takeHeld(src);
+              out.emplace_back(std::move(h.msg), h.dest);
+            }
           }
         }
       }
     }
+  }
+  if (crashRecover) {
+    crashHook_(src);
+    throw ckpt::RollbackSignal{src};
   }
   for (auto& [m, d] : out) route(std::move(m), d);
 }
@@ -384,6 +398,17 @@ void Fabric::sendToSet(int src, const Name& name, TransferKind kind,
 
 ReceiveId Fabric::postReceive(int pid, const Name& name, TransferKind kind,
                               CompletionFn fn) {
+  return postReceiveImpl(pid, name, kind, std::move(fn), std::nullopt);
+}
+
+ReceiveId Fabric::postReceive(int pid, const Name& name, TransferKind kind,
+                              CompletionFn fn, RecvDesc desc) {
+  return postReceiveImpl(pid, name, kind, std::move(fn), std::move(desc));
+}
+
+ReceiveId Fabric::postReceiveImpl(int pid, const Name& name,
+                                  TransferKind kind, CompletionFn fn,
+                                  std::optional<RecvDesc> desc) {
   checkPid(pid, "postReceive");
   Endpoint& e = ep(pid);
   const ReceiveId id = nextId_.fetch_add(1, std::memory_order_relaxed);
@@ -395,7 +420,8 @@ ReceiveId Fabric::postReceive(int pid, const Name& name, TransferKind kind,
     std::uint64_t purgeId = 0;
     {
       std::lock_guard lk(e.mu);
-      PendingReceive pr{id, name, kind, std::move(fn), e.clock};
+      PendingReceive pr{id, name, kind, std::move(fn), e.clock,
+                       std::move(desc)};
       for (auto it = e.unexpected.begin(); it != e.unexpected.end();) {
         if (!matches(name, kind, it->name, it->kind)) {
           ++it;
@@ -495,6 +521,9 @@ void Fabric::barrier(int pid) {
     throw DeadlockError(abortSummary_ + " [p" + std::to_string(pid) +
                             " entering barrier]",
                         abortReport_ ? *abortReport_ : std::string());
+  // Polled before joining so a rollback/preempt unwinds the entrant with
+  // its continuation still pointing at the barrier statement.
+  if (barrierInterrupt_) barrierInterrupt_();
   barrierMax_ = std::max(barrierMax_, myClock);
   std::uint64_t gen = barrierGen_;
   if (++barrierCount_ == nprocs_) {
@@ -512,11 +541,25 @@ void Fabric::barrier(int pid) {
     barrierCv_.notify_all();
     return;
   }
-  barrierCv_.wait(lk, [&] { return barrierGen_ != gen || aborted_; });
+  while (barrierGen_ == gen && !aborted_) {
+    // May throw a rollback/preempt signal; the leaked entrant count is
+    // reset by clearAbort at the start of the next recovery round.
+    if (barrierInterrupt_) barrierInterrupt_();
+    barrierCv_.wait(lk);
+  }
   if (barrierGen_ == gen && aborted_)
     throw DeadlockError(abortSummary_ + " [p" + std::to_string(pid) +
                             " blocked at barrier]",
                         abortReport_ ? *abortReport_ : std::string());
+}
+
+void Fabric::setBarrierInterrupt(std::function<void()> check) {
+  barrierInterrupt_ = std::move(check);
+}
+
+void Fabric::notifyBarrierWaiters() {
+  std::lock_guard lk(barrierMu_);
+  barrierCv_.notify_all();
 }
 
 NetStats Fabric::stats(int pid) const {
@@ -711,6 +754,229 @@ void Fabric::abortBlockedOps(const std::string& summary,
   abortSummary_ = summary;
   abortReport_ = std::move(report);
   barrierCv_.notify_all();
+}
+
+namespace {
+
+void putNetStats(ckpt::Writer& w, const NetStats& s) {
+  w.u64(s.messagesSent);
+  w.u64(s.bytesSent);
+  w.u64(s.messagesReceived);
+  w.u64(s.bytesReceived);
+  w.u64(s.rendezvousSends);
+  w.u64(s.directSends);
+  w.u64(s.ownershipTransfers);
+  w.u64(s.unexpectedMessages);
+}
+
+NetStats getNetStats(ckpt::Reader& r) {
+  NetStats s;
+  s.messagesSent = r.u64();
+  s.bytesSent = r.u64();
+  s.messagesReceived = r.u64();
+  s.bytesReceived = r.u64();
+  s.rendezvousSends = r.u64();
+  s.directSends = r.u64();
+  s.ownershipTransfers = r.u64();
+  s.unexpectedMessages = r.u64();
+  return s;
+}
+
+}  // namespace
+
+void Fabric::setCrashHook(CrashHook hook) { crashHook_ = std::move(hook); }
+
+void Fabric::disarmCrashes() {
+  std::lock_guard fk(faultMu_);
+  if (injector_) injector_->disarmCrashes();
+}
+
+std::vector<std::byte> Fabric::exportImage() const {
+  ckpt::Writer w;
+  w.u32(static_cast<std::uint32_t>(nprocs_));
+  // Pending-receive id -> (pid, position) so the matcher's FCFS interest
+  // order can be stored positionally (ReceiveIds are regenerated on
+  // restore and must not leak into the image).
+  std::vector<std::pair<int, std::uint32_t>> posOf;  // indexed by id lookup
+  std::vector<ReceiveId> idOf;
+  {
+    // All endpoint locks at once, ascending pid order — one consistent cut
+    // (callers only export at a capture point, with no traffic running).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(eps_.size());
+    for (const auto& e : eps_) locks.emplace_back(e.mu);
+    for (std::size_t p = 0; p < eps_.size(); ++p) {
+      const Endpoint& e = eps_[p];
+      w.f64(e.clock);
+      putNetStats(w, e.stats);
+      w.u32(static_cast<std::uint32_t>(e.unexpected.size()));
+      for (const Message& m : e.unexpected) wire::putMessage(w, m);
+      w.u32(static_cast<std::uint32_t>(e.pending.size()));
+      std::uint32_t idx = 0;
+      for (const PendingReceive& pr : e.pending) {
+        if (!pr.desc.has_value())
+          throw ckpt::CkptError(
+              "pending receive without a rebuild recipe; cannot export "
+              "fabric image");
+        wire::putName(w, pr.name);
+        w.u8(static_cast<std::uint8_t>(pr.kind));
+        w.f64(pr.postClock);
+        w.i64(pr.desc->dstSym);
+        w.u32(static_cast<std::uint32_t>(pr.desc->dsts.size()));
+        for (const sec::Section& s : pr.desc->dsts) wire::putSection(w, s);
+        w.boolean(pr.desc->withValue);
+        idOf.push_back(pr.id);
+        posOf.emplace_back(static_cast<int>(p), idx++);
+      }
+    }
+  }
+  {
+    std::lock_guard mk(matcherMu_);
+    w.u32(static_cast<std::uint32_t>(matcherMsgs_.size()));
+    for (const Message& m : matcherMsgs_) wire::putMessage(w, m);
+    // Interest entries, FCFS order, as (pid, pending-position). Stale
+    // entries (their receive already completed) are dropped here — they
+    // carry no information a restore could use.
+    std::vector<std::pair<int, std::uint32_t>> entries;
+    for (const MatcherEntry& me : matcherRecvs_) {
+      for (std::size_t k = 0; k < idOf.size(); ++k) {
+        if (idOf[k] == me.id) {
+          entries.push_back(posOf[k]);
+          break;
+        }
+      }
+    }
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [pid, idx] : entries) {
+      w.i64(pid);
+      w.u32(idx);
+    }
+  }
+  {
+    std::lock_guard dk(dupMu_);
+    std::vector<std::uint64_t> dups(completedDups_.begin(),
+                                    completedDups_.end());
+    std::sort(dups.begin(), dups.end());
+    w.u32(static_cast<std::uint32_t>(dups.size()));
+    for (std::uint64_t d : dups) w.u64(d);
+    w.u64(dupSuppressedCount_.load(std::memory_order_relaxed));
+  }
+  {
+    std::lock_guard fk(faultMu_);
+    w.boolean(injector_ != nullptr);
+    if (injector_) injector_->exportState(w);
+  }
+  return w.take();
+}
+
+void Fabric::restoreImage(const std::vector<std::byte>& image,
+                          const CompletionFactory& factory) {
+  XDP_CHECK(factory != nullptr, "restoreImage needs a completion factory");
+  ckpt::Reader r(image);
+  if (r.u32() != static_cast<std::uint32_t>(nprocs_))
+    throw ckpt::CkptError("fabric image endpoint count mismatch");
+
+  struct PendingImg {
+    Name name;
+    TransferKind kind;
+    double postClock;
+    RecvDesc desc;
+  };
+  struct EpImg {
+    double clock;
+    NetStats stats;
+    std::deque<Message> unexpected;
+    std::vector<PendingImg> pending;
+  };
+  // Decode (and validate) everything before touching live state, so a
+  // malformed image throws without leaving the fabric half-restored.
+  std::vector<EpImg> eps;
+  eps.reserve(eps_.size());
+  for (int p = 0; p < nprocs_; ++p) {
+    EpImg e;
+    e.clock = r.f64();
+    e.stats = getNetStats(r);
+    const std::uint32_t nu = r.u32();
+    for (std::uint32_t k = 0; k < nu; ++k)
+      e.unexpected.push_back(wire::getMessage(r));
+    const std::uint32_t np = r.u32();
+    for (std::uint32_t k = 0; k < np; ++k) {
+      PendingImg pi;
+      pi.name = wire::getName(r);
+      pi.kind = static_cast<TransferKind>(r.u8());
+      pi.postClock = r.f64();
+      pi.desc.dstSym = static_cast<int>(r.i64());
+      const std::uint32_t nd = r.u32();
+      for (std::uint32_t j = 0; j < nd; ++j)
+        pi.desc.dsts.push_back(wire::getSection(r));
+      pi.desc.withValue = r.boolean();
+      e.pending.push_back(std::move(pi));
+    }
+    eps.push_back(std::move(e));
+  }
+  std::deque<Message> mMsgs;
+  const std::uint32_t nm = r.u32();
+  for (std::uint32_t k = 0; k < nm; ++k) mMsgs.push_back(wire::getMessage(r));
+  std::vector<std::pair<int, std::uint32_t>> mEntries;
+  const std::uint32_t ne = r.u32();
+  for (std::uint32_t k = 0; k < ne; ++k) {
+    const int pid = static_cast<int>(r.i64());
+    const std::uint32_t idx = r.u32();
+    if (pid < 0 || pid >= nprocs_ ||
+        idx >= eps[static_cast<std::size_t>(pid)].pending.size())
+      throw ckpt::CkptError("fabric image matcher entry out of range");
+    mEntries.emplace_back(pid, idx);
+  }
+  std::vector<std::uint64_t> dups;
+  const std::uint32_t ndup = r.u32();
+  for (std::uint32_t k = 0; k < ndup; ++k) dups.push_back(r.u64());
+  const std::uint64_t dupSuppressed = r.u64();
+  const bool hasInjector = r.boolean();
+
+  // Apply. Restore runs between rounds with no traffic in flight; locks
+  // are still taken so the store is clean under TSan.
+  std::vector<std::vector<MatcherEntry>> reposted(
+      static_cast<std::size_t>(nprocs_));  // (pid, idx) -> rebuilt entry
+  for (int p = 0; p < nprocs_; ++p) {
+    Endpoint& e = ep(p);
+    EpImg& img = eps[static_cast<std::size_t>(p)];
+    std::lock_guard lk(e.mu);
+    e.clock = img.clock;
+    e.stats = img.stats;
+    e.unexpected = std::move(img.unexpected);
+    e.pending.clear();
+    for (PendingImg& pi : img.pending) {
+      const ReceiveId id = nextId_.fetch_add(1, std::memory_order_relaxed);
+      CompletionFn fn = factory(p, pi.desc, pi.name, pi.kind);
+      XDP_CHECK(fn != nullptr, "completion factory returned no callback");
+      reposted[static_cast<std::size_t>(p)].push_back(
+          MatcherEntry{id, p, pi.name, pi.kind});
+      e.pending.push_back(PendingReceive{id, std::move(pi.name), pi.kind,
+                                         std::move(fn), pi.postClock,
+                                         std::move(pi.desc)});
+    }
+  }
+  {
+    // Endpoint locks are released: entries are rebuilt from the `reposted`
+    // mirror, so the endpoint/matcher never-held-together rule holds even
+    // here.
+    std::lock_guard mk(matcherMu_);
+    matcherMsgs_ = std::move(mMsgs);
+    matcherRecvs_.clear();
+    for (const auto& [pid, idx] : mEntries)
+      matcherRecvs_.push_back(
+          reposted[static_cast<std::size_t>(pid)][idx]);
+  }
+  {
+    std::lock_guard dk(dupMu_);
+    completedDups_.clear();
+    completedDups_.insert(dups.begin(), dups.end());
+    dupSuppressedCount_.store(dupSuppressed, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard fk(faultMu_);
+    if (hasInjector && injector_) injector_->restoreState(r);
+  }
 }
 
 void Fabric::clearAbort() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "xdp/net/wire.hpp"
 #include "xdp/support/check.hpp"
 #include "xdp/support/rng.hpp"
 
@@ -84,6 +85,68 @@ bool FaultInjector::crashNow(int src) {
   if (sendCount_[s] <= plan_.crashAfterSends) return false;
   if (sendCount_[s] == plan_.crashAfterSends + 1) stats_.crashed += 1;
   return true;
+}
+
+void FaultInjector::disarmCrashes() {
+  std::fill(crashy_.begin(), crashy_.end(), 0);
+  // The crash that triggered this recovery was counted by crashNow and
+  // then rewound by restoreState (the snapshot predates it) — re-record
+  // it here so stats stay truthful across the rollback.
+  stats_.crashed += 1;
+  stats_.recovered += 1;
+}
+
+void FaultInjector::exportState(ckpt::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(seq_.size()));
+  for (std::uint64_t v : seq_) w.u64(v);
+  for (std::uint64_t v : sendCount_) w.u64(v);
+  w.u64(nextDupId_);
+  w.u64(stats_.dropped);
+  w.u64(stats_.duplicated);
+  w.u64(stats_.suppressedDuplicates);
+  w.u64(stats_.delayed);
+  w.u64(stats_.reordered);
+  w.u64(stats_.stalled);
+  w.u64(stats_.crashed);
+  w.u64(stats_.recovered);
+  w.u32(static_cast<std::uint32_t>(held_.size()));
+  for (const auto& slot : held_) {
+    w.boolean(slot.has_value());
+    if (!slot.has_value()) continue;
+    wire::putMessage(w, slot->msg);
+    w.boolean(slot->dest.has_value());
+    if (slot->dest.has_value()) w.i64(*slot->dest);
+  }
+}
+
+void FaultInjector::restoreState(ckpt::Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (n != seq_.size())
+    throw ckpt::CkptError("fault image endpoint count mismatch");
+  for (auto& v : seq_) v = r.u64();
+  for (auto& v : sendCount_) v = r.u64();
+  nextDupId_ = r.u64();
+  stats_.dropped = r.u64();
+  stats_.duplicated = r.u64();
+  stats_.suppressedDuplicates = r.u64();
+  stats_.delayed = r.u64();
+  stats_.reordered = r.u64();
+  stats_.stalled = r.u64();
+  stats_.crashed = r.u64();
+  stats_.recovered = r.u64();
+  const std::uint32_t hn = r.u32();
+  if (hn != held_.size())
+    throw ckpt::CkptError("fault image held-slot count mismatch");
+  heldCount_ = 0;
+  for (auto& slot : held_) {
+    slot.reset();
+    if (!r.boolean()) continue;
+    Held h;
+    h.msg = wire::getMessage(r);
+    if (r.boolean()) h.dest = static_cast<int>(r.i64());
+    slot = std::move(h);
+    heldCount_ += 1;
+  }
 }
 
 bool FaultInjector::hasHeld(int src) const {

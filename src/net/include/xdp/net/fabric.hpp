@@ -95,6 +95,29 @@ using CompletionFn = std::function<void(const Message&)>;
 /// quotas hang off (see xdp::serve). Must not call back into the fabric.
 using SendHook = std::function<void(int src, std::size_t bytes)>;
 
+/// Invoked (with no fabric lock held) when a crash-plan endpoint with
+/// CrashFate::Recover exhausts its send budget, just before the sending
+/// thread unwinds with ckpt::RollbackSignal. The runtime's checkpoint
+/// controller hangs its rollback request off this. Must not send.
+using CrashHook = std::function<void(int src)>;
+
+/// Rebuild recipe for a posted receive's completion callback. Closures do
+/// not serialize, so every receive posted by the runtime carries the data
+/// needed to re-create its `fn` when a checkpoint image is restored:
+/// scatter the payload into `dsts` of `dstSym` (data receives), or
+/// complete the transitional segments (ownership receives, `withValue`
+/// deciding whether the payload carries element values).
+struct RecvDesc {
+  int dstSym = -1;
+  std::vector<sec::Section> dsts;  ///< destination sections, payload order
+  bool withValue = false;          ///< ownership receives: scatter payload
+};
+
+/// Builds a CompletionFn back from its RecvDesc during image restore.
+/// `name`/`kind` are the receive's match criteria, as originally posted.
+using CompletionFactory = std::function<CompletionFn(
+    int pid, const RecvDesc& desc, const Name& name, TransferKind kind)>;
+
 /// What a drain (session/region teardown) actually reclaimed, for
 /// hygiene reporting: nonzero counts after a *clean* run indicate leaked
 /// match state (an XDP usage error or a faulted session's residue).
@@ -180,6 +203,12 @@ class Fabric {
   ReceiveId postReceive(int pid, const Name& name, TransferKind kind,
                         CompletionFn fn);
 
+  /// postReceive carrying the rebuild recipe for checkpoint images. The
+  /// runtime's Proc layer always uses this form so every pending receive
+  /// in a snapshot can be re-posted on restore.
+  ReceiveId postReceive(int pid, const Name& name, TransferKind kind,
+                        CompletionFn fn, RecvDesc desc);
+
   /// --- collectives ----------------------------------------------------
 
   /// Rendezvous of all endpoints; clocks advance to max + barrierCost.
@@ -243,6 +272,42 @@ class Fabric {
   /// is one consistent cut; matcher, injector and barrier state are read
   /// immediately after under their own locks.
   FabricSnapshot snapshot() const;
+
+  /// --- checkpoint image ------------------------------------------------
+
+  /// Serialize the in-flight state: per-endpoint clocks, stats,
+  /// unexpected queues and pending receives (with their RecvDescs),
+  /// matcher-parked messages and FCFS interest order, duplicate
+  /// bookkeeping, and the fault injector's dynamic state. Endpoint locks
+  /// are taken in ascending order for one consistent cut — callers invoke
+  /// this only at a capture point (no traffic in flight). Receives posted
+  /// without a RecvDesc make the export fail with CkptError (the image
+  /// could not be restored faithfully).
+  std::vector<std::byte> exportImage() const;
+
+  /// Inverse of exportImage: drop all current match state, then rebuild
+  /// from `image`, re-creating each pending receive's completion callback
+  /// via `factory` (fresh ReceiveIds are assigned; FCFS matcher order is
+  /// preserved). Throws CkptError on a malformed or mismatched image.
+  void restoreImage(const std::vector<std::byte>& image,
+                    const CompletionFactory& factory);
+
+  /// Install (or clear) the crash-recovery hook; same discipline as
+  /// setSendHook (set while no traffic runs).
+  void setCrashHook(CrashHook hook);
+
+  /// Install a hook polled by barrier waiters on entry and on every
+  /// wake-up; it may throw (the checkpoint controller's signal check), so
+  /// a rollback/preempt can unwind a processor parked in a barrier. Set
+  /// while no traffic runs. Entrant counts left behind by an unwound
+  /// barrier are reset by clearAbort between rounds.
+  void setBarrierInterrupt(std::function<void()> check);
+  /// Wake barrier waiters so they re-poll the interrupt hook.
+  void notifyBarrierWaiters();
+
+  /// Clear the injector's crash flags after a successful rollback (counts
+  /// one absorbed crash). No-op without a plan.
+  void disarmCrashes();
   /// Entrants of the current *incomplete* barrier (0 when no barrier is in
   /// progress). Waiters of an already-released barrier do not count.
   int barrierWaiters() const;
@@ -262,6 +327,7 @@ class Fabric {
     TransferKind kind;
     CompletionFn fn;
     double postClock = 0.0;  ///< receiver's virtual clock at post time
+    std::optional<RecvDesc> desc;  ///< rebuild recipe (checkpoint images)
   };
   /// One simulated processor's mailbox. Everything in it — including the
   /// virtual clock and the stats — is guarded by `mu`, which is the lock
@@ -325,6 +391,9 @@ class Fabric {
   /// Decides fates under faultMu_, then routes with no lock held.
   void faultSend(int src, Message msg, std::optional<int> dest);
 
+  ReceiveId postReceiveImpl(int pid, const Name& name, TransferKind kind,
+                            CompletionFn fn, std::optional<RecvDesc> desc);
+
   static bool matches(const Name& a, TransferKind ka, const Name& b,
                       TransferKind kb);
 
@@ -334,6 +403,12 @@ class Fabric {
   /// Send admission hook; set only while no traffic runs (see
   /// setSendHook), read by every sending thread.
   SendHook sendHook_;
+
+  /// Crash-recovery hook; same publication discipline as sendHook_.
+  CrashHook crashHook_;
+
+  /// Barrier interrupt hook; same publication discipline as sendHook_.
+  std::function<void()> barrierInterrupt_;
 
   /// Endpoint shards. Sized once in the constructor; never resized, so
   /// the embedded mutexes stay put.

@@ -34,8 +34,12 @@
 //                 MPI non-overtaking rule), so matching stays well-defined.
 //   * stall     — every send from a stalled endpoint pays a fixed extra
 //                 virtual delay (a slow NIC).
-//   * crash     — sends from a crash endpoint throw FaultAbort once the
-//                 configured send count is exceeded (a died processor).
+//   * crash     — sends from a crash endpoint die once the configured
+//                 send count is exceeded. The fate is configurable: Abort
+//                 throws FaultAbort (the run fails loudly); Recover hands
+//                 the crash to the runtime's checkpoint layer, which rolls
+//                 every processor back to the last good snapshot and
+//                 disarms the crash (the died processor rejoins).
 #pragma once
 
 #include <cstddef>
@@ -43,9 +47,16 @@
 #include <optional>
 #include <vector>
 
+#include "xdp/ckpt/io.hpp"
 #include "xdp/net/message.hpp"
 
 namespace xdp::net {
+
+/// What a crash-plan endpoint does when its send budget is exhausted.
+enum class CrashFate : std::uint8_t {
+  Abort = 0,    ///< throw FaultAbort — the whole run fails
+  Recover = 1,  ///< request a checkpoint rollback and rejoin
+};
 
 /// One stress configuration. Probabilities are per message, in [0, 1].
 struct FaultPlan {
@@ -62,6 +73,7 @@ struct FaultPlan {
 
   std::vector<int> crashPids;        ///< endpoints that die mid-run — lossy
   std::uint64_t crashAfterSends = 0; ///< sends completed before the crash
+  CrashFate crashFate = CrashFate::Abort;  ///< what the crash does
 
   /// A lossy plan can legitimately leave unmatched receives / undelivered
   /// messages behind, so the runtime's end-of-run usage checks are waived.
@@ -76,7 +88,8 @@ struct FaultStats {
   std::uint64_t delayed = 0;
   std::uint64_t reordered = 0;              ///< messages held back
   std::uint64_t stalled = 0;
-  std::uint64_t crashed = 0;                ///< endpoints that threw FaultAbort
+  std::uint64_t crashed = 0;                ///< crash budgets exhausted
+  std::uint64_t recovered = 0;              ///< crashes absorbed by rollback
 };
 
 /// Per-fabric fault state. All methods are called by the Fabric with its
@@ -100,8 +113,22 @@ class FaultInjector {
   };
   Outcome classify(int src);
 
-  /// True when this send must abort with FaultAbort (endpoint crash).
+  /// True when this send's endpoint just died (its crash budget is
+  /// exhausted). The caller picks the fate from plan().crashFate.
   bool crashNow(int src);
+
+  /// Clear every crash flag and count one absorbed crash — called after a
+  /// successful rollback so the recovered endpoint does not immediately
+  /// die again (its send counters were rewound by restoreState).
+  void disarmCrashes();
+
+  // --- checkpoint image --------------------------------------------------
+  /// Serialize the dynamic decision state (ordinals, send counts, held
+  /// messages, dup ids, stats). The plan itself is runtime configuration
+  /// and is not part of the image.
+  void exportState(ckpt::Writer& w) const;
+  /// Inverse of exportState. Crash/stall flags stay as configured.
+  void restoreState(ckpt::Reader& r);
 
   /// Fresh nonzero id tagging a duplicated original/copy pair.
   std::uint64_t newDupId() { return nextDupId_++; }

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -230,6 +231,28 @@ class ProcTable {
   void abortWaits(std::string summary,
                   std::shared_ptr<const std::string> report);
 
+  // --- checkpoint image (DESIGN.md §11) ---------------------------------
+  /// Serialize this table's run-time contents: per symbol, the segment
+  /// descriptors (bounds, arrival, element payload) and the outstanding
+  /// receive sections, plus the ownership epoch. Shared lock; callers
+  /// export only at a capture point.
+  std::vector<std::byte> exportImage() const;
+  /// Inverse of exportImage: rebuild every entry from the image under the
+  /// exclusive lock. Storage is reallocated, indexes rebuilt, memo caches
+  /// invalidated, epochs advanced past every value ever handed out (so no
+  /// stale epoch-validated cache entry can survive the rollback), and
+  /// waiters woken. Throws CkptError on a malformed image.
+  void restoreImage(const std::vector<std::byte>& image);
+
+  /// Install a hook polled by blocked awaits on every wake-up, before the
+  /// state re-check. The runtime points it at the checkpoint controller so
+  /// a rollback/preempt signal can unwind a blocked processor (the hook
+  /// throws; the continuation image for this position was published
+  /// before the blocking statement). Set while no node threads run.
+  void setWaitInterrupt(std::function<void()> fn);
+  /// Wake every blocked await so it re-polls the interrupt hook.
+  void notifyWaiters();
+
  private:
   struct Pool {
     std::vector<std::byte> bytes;
@@ -345,6 +368,7 @@ class ProcTable {
   std::atomic<bool> aborted_{false};
   std::string abortSummary_;
   std::shared_ptr<const std::string> abortReport_;
+  std::function<void()> waitInterrupt_;  ///< polled in await's wait loop
 };
 
 }  // namespace xdp::rt

@@ -17,11 +17,14 @@
 // across runs so callers control when to reset them.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "xdp/ckpt/controller.hpp"
+#include "xdp/ckpt/io.hpp"
 #include "xdp/net/fabric.hpp"
 #include "xdp/rt/proc_table.hpp"
 
@@ -113,13 +116,69 @@ class Runtime {
   /// run() and, for inspection, after it returns).
   ProcTable& table(int pid);
 
+  // --- checkpoint/restore (DESIGN.md §11) ------------------------------
+  /// Enable deterministic checkpoint/restore and crash recovery for
+  /// subsequent run() calls. Wires the controller, snapshot store, crash
+  /// hook, and blocked-wait interrupts. Call before run(), once.
+  void enableCheckpointing(const ckpt::CkptOptions& opts);
+  bool checkpointingEnabled() const { return ctrl_ != nullptr; }
+  /// The capture controller (engines publish continuations through it);
+  /// null unless enableCheckpointing was called.
+  ckpt::Controller* ckptController() { return ctrl_.get(); }
+  /// The snapshot store; null unless checkpointing is enabled.
+  ckpt::CheckpointStore* ckptStore() { return store_.get(); }
+
+  /// Identity stamped into every snapshot; restoreFrom() rejects a
+  /// snapshot whose hash disagrees (0 = unchecked).
+  void setCkptProgram(std::uint8_t backend, std::uint64_t programHash) {
+    ckptBackend_ = backend;
+    ckptProgramHash_ = programHash;
+  }
+
+  /// Build a snapshot of the current machine state (tables + fabric +
+  /// continuation slots). Valid between runs or from the capture leader;
+  /// requires checkpointing enabled and materialized tables.
+  ckpt::Snapshot checkpoint();
+  /// Seed the next run() to resume from `snap` instead of starting fresh
+  /// (also stores it, so an immediate crash can roll back to it). Throws
+  /// CkptError when the snapshot does not fit this runtime.
+  void restoreFrom(ckpt::Snapshot snap);
+
+  /// Ask the current run to stop at the next statement boundaries and
+  /// return with preempted() == true and a resumable snapshot pending in
+  /// takePreemptSnapshot(). Callable from any thread.
+  void requestPreempt();
+  bool preempted() const { return preempted_; }
+  /// The snapshot captured when a preempted run unwound (consume once).
+  ckpt::Snapshot takePreemptSnapshot();
+
+  /// Completed crash recoveries across all runs of this runtime.
+  std::uint64_t recoveries() const { return recoveries_; }
+
  private:
+  /// One watchdog-supervised SPMD execution over the current tables.
+  /// Returns true when every node ran to completion (no failure); recovery
+  /// signals are absorbed (read ctrl_->signal() afterwards).
+  bool runRound(const std::function<void(Proc&)>& node);
+  std::vector<ckpt::ContImage> applySnapshot(const ckpt::Snapshot& snap);
+  ckpt::Snapshot buildSnapshot();
+  bool captureAttempt();
+
   const int nprocs_;
   const RuntimeOptions opts_;
   std::optional<int> watchdogMsOverride_;
   net::Fabric fabric_;
   std::vector<SymbolDecl> decls_;
   std::vector<std::unique_ptr<ProcTable>> tables_;
+
+  std::unique_ptr<ckpt::Controller> ctrl_;
+  std::unique_ptr<ckpt::CheckpointStore> store_;
+  std::optional<ckpt::Snapshot> pendingRestore_;
+  std::optional<ckpt::Snapshot> preemptSnap_;
+  bool preempted_ = false;
+  std::uint64_t recoveries_ = 0;
+  std::uint8_t ckptBackend_ = 0;
+  std::uint64_t ckptProgramHash_ = 0;
 };
 
 }  // namespace xdp::rt

@@ -124,7 +124,8 @@ void Proc::recv(int dstSym, const Section& e, int srcSym, const Section& x) {
           XDP_USAGE_FAIL("matched send/receive transfer different sizes");
         }
         tp->completeReceive(dstSym, e, msg.payload.data(), msg.arrival);
-      });
+      },
+      net::RecvDesc{dstSym, {e}, false});
 }
 
 void Proc::recvOwnership(int sym, const Section& u, bool withValue) {
@@ -139,7 +140,8 @@ void Proc::recvOwnership(int sym, const Section& u, bool withValue) {
         tp->completeReceive(sym, u,
                             withValue ? msg.payload.data() : nullptr,
                             msg.arrival);
-      });
+      },
+      net::RecvDesc{sym, {u}, withValue});
 }
 
 namespace {
@@ -202,7 +204,8 @@ void Proc::recvMulti(int dstSym, const std::vector<Section>& dsts,
                               msg.arrival);
           off += static_cast<std::size_t>(d.count()) * sz;
         }
-      });
+      },
+      net::RecvDesc{dstSym, dstsCopy, false});
 }
 
 void Proc::sendOwnershipMulti(int sym, const std::vector<Section>& secs,
@@ -251,7 +254,8 @@ void Proc::recvOwnershipMulti(int sym, const std::vector<Section>& secs,
                               msg.arrival);
           off += static_cast<std::size_t>(s.count()) * sz;
         }
-      });
+      },
+      net::RecvDesc{sym, secsCopy, withValue});
 }
 
 void Proc::compute(double dt) { rt_.fabric().advance(pid_, dt); }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "xdp/net/wire.hpp"
 #include "xdp/support/check.hpp"
 
 namespace xdp::rt {
@@ -307,6 +308,9 @@ bool ProcTable::await(int sym, const Section& s, double* arrival) {
   while (true) {
     if (aborted_.load(std::memory_order_relaxed))
       throwAbortLocked("blocked in await");
+    // Checkpoint rollback/preempt: the hook throws out of the blocked
+    // await (the restart point was published before this statement).
+    if (waitInterrupt_) waitInterrupt_();
     double arr = 0.0;
     int st = stateOfLocked(sym, s, arrival != nullptr ? &arr : nullptr);
     if (arrival != nullptr) *arrival = arr;
@@ -757,6 +761,111 @@ std::size_t ProcTable::residentBytes() const {
   for (const Entry& e : entries_)
     n += e.pool.stats.currentElems * e.pool.elemSz;
   return n;
+}
+
+void ProcTable::setWaitInterrupt(std::function<void()> fn) {
+  std::lock_guard lk(mu_);
+  waitInterrupt_ = std::move(fn);
+}
+
+void ProcTable::notifyWaiters() {
+  std::lock_guard lk(mu_);
+  cv_.notify_all();
+}
+
+std::vector<std::byte> ProcTable::exportImage() const {
+  std::shared_lock lk(mu_);
+  ckpt::Writer w;
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const std::size_t sz = e.pool.elemSz;
+    w.u32(static_cast<std::uint32_t>(e.segs.size()));
+    for (const SegmentDesc& seg : e.segs) {
+      net::wire::putSection(w, seg.bounds);
+      w.f64(seg.arrival);
+      w.bytes(e.pool.bytes.data() + seg.elemOffset * sz,
+              static_cast<std::size_t>(seg.count()) * sz);
+    }
+    w.u32(static_cast<std::uint32_t>(e.pendingRecvs.size()));
+    for (const Section& s : e.pendingRecvs) net::wire::putSection(w, s);
+    w.u64(e.epoch.load(std::memory_order_relaxed));
+  }
+  return w.take();
+}
+
+void ProcTable::restoreImage(const std::vector<std::byte>& image) {
+  struct SegImg {
+    Section bounds;
+    double arrival;
+    std::vector<std::byte> payload;
+  };
+  struct EntryImg {
+    std::vector<SegImg> segs;
+    std::vector<Section> pendingRecvs;
+  };
+  // Decode and validate fully before touching live entries, so a corrupt
+  // image throws with the table unchanged.
+  ckpt::Reader r(image);
+  if (r.u32() != entries_.size())
+    throw ckpt::CkptError("table image symbol count mismatch");
+  std::vector<EntryImg> imgs;
+  imgs.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const std::size_t sz = elemSize(decls_[i].type);
+    EntryImg img;
+    const std::uint32_t nsegs = r.u32();
+    for (std::uint32_t k = 0; k < nsegs; ++k) {
+      SegImg seg;
+      seg.bounds = net::wire::getSection(r);
+      seg.arrival = r.f64();
+      seg.payload = r.bytes();
+      if (seg.payload.size() !=
+          static_cast<std::size_t>(seg.bounds.count()) * sz)
+        throw ckpt::CkptError("table image segment payload size mismatch");
+      img.segs.push_back(std::move(seg));
+    }
+    const std::uint32_t npend = r.u32();
+    for (std::uint32_t k = 0; k < npend; ++k)
+      img.pendingRecvs.push_back(net::wire::getSection(r));
+    (void)r.u64();  // epoch at capture — diagnostic only, see below
+    imgs.push_back(std::move(img));
+  }
+
+  std::lock_guard lk(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    EntryImg& img = imgs[i];
+    const std::size_t sz = elemSize(decls_[i].type);
+    e.pool = Pool{};
+    e.pool.elemSz = sz;
+    e.segs.clear();
+    for (SegImg& si : img.segs) {
+      SegmentDesc seg;
+      seg.status = SegState::Accessible;
+      seg.bounds = std::move(si.bounds);
+      seg.arrival = si.arrival;
+      seg.elemOffset =
+          e.pool.allocate(static_cast<std::size_t>(seg.bounds.count()));
+      std::memcpy(e.pool.bytes.data() + seg.elemOffset * sz,
+                  si.payload.data(), si.payload.size());
+      e.segs.push_back(std::move(seg));
+    }
+    e.pendingRecvs = std::move(img.pendingRecvs);
+    rebuildIndexLocked(e);
+    e.segHint.store(-1, std::memory_order_relaxed);
+    // The epoch keeps running FORWARD across a rollback (never restored):
+    // epochs from the abandoned timeline may live on in memo-cache slots,
+    // and re-entering an already-used epoch value with different table
+    // contents would validate those stale answers. Invalidate the slots
+    // too, for belt and braces.
+    e.epoch.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard ck(e.cacheMu);
+      for (CacheSlot& slot : e.cache) slot.valid = false;
+    }
+  }
+  cv_.notify_all();
 }
 
 }  // namespace xdp::rt

@@ -49,8 +49,9 @@ struct ServerStats {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;   ///< shed at admission control
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;     ///< any non-Completed outcome
+  std::uint64_t failed = 0;     ///< any non-Completed outcome (Preempted too)
   std::uint64_t retries = 0;    ///< extra attempts across all sessions
+  std::uint64_t readmitted = 0; ///< spilled sessions resumed at startup
 };
 
 class Server {
@@ -69,8 +70,17 @@ class Server {
   std::future<SessionReport> submit(SessionRequest req);
 
   /// Stop admitting, run everything already queued, join the workers.
-  /// Idempotent; the destructor calls it.
+  /// Trips the stop latch first, so sessions parked in retry backoff wake
+  /// immediately instead of serving out their sleep. Idempotent; the
+  /// destructor calls it.
   void shutdown();
+
+  /// Scan `dir` for *.xdpspill files written by preempted sessions (this
+  /// server's spillDir, or a crashed predecessor's) and resubmit each as
+  /// a resume request. Corrupt spills and spills checkpointed under a
+  /// different backend are skipped and left on disk; a resumed session
+  /// deletes its spill on completion. Returns the number re-admitted.
+  int readmitSpilled(const std::string& dir);
 
   ServerStats stats() const;
   int pendingSessions() const;
@@ -104,6 +114,9 @@ class Server {
   int endpointsInUse_ = 0;
   std::uint64_t nextId_ = 1;
   ServerStats stats_;
+
+  /// Shared shutdown gate handed to every session via SessionOptions.
+  StopLatch stopLatch_;
 
   std::vector<std::thread> workers_;
 };

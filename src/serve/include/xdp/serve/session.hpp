@@ -28,16 +28,51 @@
 // can never leak state into the server.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "xdp/ckpt/image.hpp"
 #include "xdp/il/program.hpp"
 #include "xdp/interp/interpreter.hpp"
 #include "xdp/net/fault.hpp"
 
 namespace xdp::serve {
+
+/// One-way shutdown gate for retry backoff: sessions wait on it instead
+/// of sleeping, so Server teardown interrupts a backoff immediately
+/// instead of being delayed by up to the full backoff cap per session.
+class StopLatch {
+ public:
+  void stop() {
+    {
+      std::lock_guard lk(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+  bool stopped() const {
+    std::lock_guard lk(mu_);
+    return stopped_;
+  }
+  /// Wait up to `ms` milliseconds; true when the latch tripped (the wait
+  /// was cut short by shutdown).
+  bool waitFor(int ms) {
+    std::unique_lock lk(mu_);
+    return cv_.wait_for(lk, std::chrono::milliseconds(ms),
+                        [&] { return stopped_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
 
 /// Per-tenant resource quotas. 0 = unlimited. Enforcement points:
 /// `maxSteps`/`maxResidentBytes`/`wallBudgetMs` at the interpreter's
@@ -74,6 +109,20 @@ struct SessionRequest {
   Quotas quotas;
   /// Faults injected into this session's fabric (and nobody else's).
   std::optional<net::FaultPlan> faultPlan;
+
+  // --- checkpoint / recovery envelope ----------------------------------
+  /// > 0 enables auto-checkpointing every N executed statements; a
+  /// `crashRecover` fault fate then rolls the session back to its last
+  /// good snapshot instead of killing it (fail-recover, not fail-stop).
+  std::uint64_t checkpointIntervalSteps = 0;
+  /// Preempt the session once its statement count crosses this bound: it
+  /// is checkpointed, spilled to SessionOptions::spillDir (when set), and
+  /// reported as Preempted. 0 = never preempt.
+  std::uint64_t preemptAfterSteps = 0;
+  /// Resume from a spill file written by a previously preempted session
+  /// (Server::readmitSpilled fills this in). The file's snapshot is
+  /// restored before execution and deleted once the session completes.
+  std::string resumeFrom;
 };
 
 enum class SessionOutcome {
@@ -83,9 +132,23 @@ enum class SessionOutcome {
   QuotaExceeded,     ///< a quota breach cancelled the session
   Crashed,           ///< a crash fault killed an endpoint mid-run
   Deadlocked,        ///< watchdog-diagnosed deadlock (retries exhausted)
+  Preempted,         ///< checkpointed and unwound; resumable from spill
   Failed,            ///< any other error
 };
 const char* outcomeName(SessionOutcome o);
+
+/// Structured account of what the checkpoint/recovery machinery did for
+/// one session (all zero when the session ran without a checkpoint
+/// envelope).
+struct RecoveryReport {
+  std::uint64_t snapshots = 0;       ///< coordinated captures accepted
+  std::uint64_t snapshotBytes = 0;   ///< encoded size of the newest one
+  std::uint64_t snapshotRecords = 0; ///< record count of the newest one
+  std::uint64_t recoveries = 0;      ///< crash rollbacks completed
+  std::uint64_t fallbacks = 0;       ///< corrupt snapshots skipped at load
+  bool resumed = false;              ///< session started from a spill file
+  std::string spillPath;  ///< spill written on preemption ("" if none)
+};
 
 /// Everything the server knows about a finished session. For failures,
 /// the stats/hygiene fields describe the *final* attempt.
@@ -105,6 +168,7 @@ struct SessionReport {
   interp::InterpStats stats;
   net::NetStats net;
   net::FaultStats faults;
+  RecoveryReport recovery;
   double makespan = 0.0;  ///< modeled seconds
   double wallMs = 0.0;    ///< real time, all attempts + backoff
 
@@ -136,6 +200,14 @@ struct SessionOptions {
   interp::Backend backend = interp::Backend::TreeWalk;
   net::CostModel costModel{};
   RetryPolicy retry{};
+  /// Directory for preemption spill files. Empty: a preempted session
+  /// still reports Preempted but its snapshot is discarded (nothing to
+  /// resume from).
+  std::string spillDir;
+  /// When set, retry backoff waits on this latch instead of sleeping, so
+  /// server shutdown interrupts sessions mid-backoff (the Server wires
+  /// its own latch in; standalone runSession callers may leave it null).
+  StopLatch* stopLatch = nullptr;
 };
 
 /// Run one session synchronously in the calling thread (the server's
@@ -145,5 +217,32 @@ struct SessionOptions {
 SessionReport runSession(const SessionRequest& req,
                          const SessionOptions& opts = {},
                          std::uint64_t id = 0);
+
+// --- preemption spill files ---------------------------------------------
+// A spill file ("<dir>/<name>-<id>.xdpspill") is the request's execution
+// envelope plus the encoded snapshot, with a whole-file FNV-1a trailer on
+// top of the snapshot's own per-record checksums. Only source-backed
+// sessions can spill: prebuilt-IL requests have no serializable program
+// identity, so they report Preempted with an empty spillPath.
+
+/// One preempted session at rest.
+struct SpillFile {
+  std::uint64_t id = 0;
+  std::string name;
+  std::uint64_t fillSeed = 42;
+  bool usePipeline = false;
+  bool analyze = true;
+  std::uint64_t checkpointIntervalSteps = 0;
+  std::uint8_t backend = 0;  ///< interp::Backend the snapshot belongs to
+  std::string source;        ///< the program, as .xdp source text
+  std::vector<std::byte> snapshot;  ///< encoded ckpt::Snapshot
+};
+
+std::string spillFilePath(const std::string& dir, std::uint64_t id,
+                          const std::string& name);
+void writeSpillFile(const std::string& path, const SpillFile& s);
+/// Throws ckpt::CkptError on any defect (bad magic, truncation, checksum
+/// mismatch) — a torn spill is rejected, never partially admitted.
+SpillFile readSpillFile(const std::string& path);
 
 }  // namespace xdp::serve

@@ -1,8 +1,12 @@
 #include "xdp/serve/server.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "xdp/ckpt/image.hpp"
 #include "xdp/il/parser.hpp"
 
 namespace xdp::serve {
@@ -11,6 +15,7 @@ Server::Server(ServerConfig cfg) : cfg_(cfg) {
   XDP_CHECK(cfg_.workers >= 1, "server needs at least one worker");
   XDP_CHECK(cfg_.maxPending >= 1, "server needs a positive pending bound");
   if (cfg_.endpointCapacity <= 0) cfg_.endpointCapacity = 8 * cfg_.workers;
+  cfg_.session.stopLatch = &stopLatch_;
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int w = 0; w < cfg_.workers; ++w)
     workers_.emplace_back([this] { workerLoop(); });
@@ -53,6 +58,7 @@ void Server::shutdown() {
     }
     stopping_ = true;
   }
+  stopLatch_.stop();
   cv_.notify_all();
   for (auto& t : workers_)
     if (t.joinable()) t.join();
@@ -62,6 +68,52 @@ void Server::shutdown() {
 ServerStats Server::stats() const {
   std::lock_guard lk(mu_);
   return stats_;
+}
+
+int Server::readmitSpilled(const std::string& dir) {
+  if (dir.empty()) return 0;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& ent : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.size() > 9 && name.substr(name.size() - 9) == ".xdpspill")
+      paths.push_back(ent.path().string());
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic re-admission order
+
+  int readmitted = 0;
+  for (const std::string& path : paths) {
+    SpillFile sp;
+    try {
+      sp = readSpillFile(path);
+    } catch (const ckpt::CkptError&) {
+      continue;  // torn/corrupt spill: leave it for inspection
+    }
+    // A snapshot carries one backend's continuation representation; this
+    // server can only resume spills matching its own engine. Foreign
+    // spills stay on disk for a compatible server.
+    if (sp.backend != static_cast<std::uint8_t>(cfg_.session.backend))
+      continue;
+    SessionRequest req;
+    req.name = sp.name;
+    req.source = sp.source;
+    req.fillSeed = sp.fillSeed;
+    req.usePipeline = sp.usePipeline;
+    req.analyze = sp.analyze;
+    req.checkpointIntervalSteps = sp.checkpointIntervalSteps;
+    req.resumeFrom = path;
+    try {
+      submit(std::move(req));
+    } catch (const AdmissionRejected&) {
+      break;  // queue full: the rest stay spilled for a later sweep
+    }
+    {
+      std::lock_guard lk(mu_);
+      stats_.readmitted += 1;
+    }
+    ++readmitted;
+  }
+  return readmitted;
 }
 
 int Server::pendingSessions() const {

@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "xdp/analysis/verifier.hpp"
+#include "xdp/ckpt/io.hpp"
 #include "xdp/apps/fft.hpp"
 #include "xdp/apps/programs.hpp"
 #include "xdp/il/parser.hpp"
@@ -30,6 +32,8 @@ const char* outcomeName(SessionOutcome o) {
       return "crashed";
     case SessionOutcome::Deadlocked:
       return "deadlocked";
+    case SessionOutcome::Preempted:
+      return "preempted";
     case SessionOutcome::Failed:
       return "failed";
   }
@@ -54,8 +58,9 @@ using Clock = std::chrono::steady_clock;
 /// breached(), not by which exception type won the SPMD aggregation.
 class SessionScope {
  public:
-  SessionScope(const Quotas& q, Clock::time_point sessionStart)
-      : quotas_(q) {
+  SessionScope(const Quotas& q, Clock::time_point sessionStart,
+               std::uint64_t preemptAfterSteps = 0)
+      : quotas_(q), preemptAfter_(preemptAfterSteps) {
     if (q.wallBudgetMs > 0)
       deadline_ = sessionStart + std::chrono::milliseconds(q.wallBudgetMs);
   }
@@ -68,6 +73,12 @@ class SessionScope {
     if (breached_.load(std::memory_order_acquire)) throwCancelled();
     const std::uint64_t steps =
         steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Preemption pressure: unlike a breach, this is a graceful unwind —
+    // the runtime checkpoints at the statement-boundary cut and the
+    // session is spilled for later resume, not failed.
+    if (preemptAfter_ != 0 && steps > preemptAfter_ &&
+        !preemptRequested_.exchange(true, std::memory_order_acq_rel))
+      interp_->runtime().requestPreempt();
     if (quotas_.maxSteps != 0 && steps > quotas_.maxSteps)
       breach("steps", "logical step budget of " +
                           std::to_string(quotas_.maxSteps) + " exhausted");
@@ -141,9 +152,11 @@ class SessionScope {
   }
 
   const Quotas quotas_;
+  const std::uint64_t preemptAfter_;
   Clock::time_point deadline_{};
   interp::Interpreter* interp_ = nullptr;
 
+  std::atomic<bool> preemptRequested_{false};
   std::atomic<bool> breached_{false};
   std::atomic<const char*> resource_{nullptr};
   std::atomic<std::uint64_t> steps_{0};
@@ -197,6 +210,14 @@ bool planIsTransient(const std::optional<net::FaultPlan>& plan) {
   return plan->dropProb > 0.0 || plan->dupProb > 0.0 ||
          plan->delayProb > 0.0 || plan->reorderProb > 0.0 ||
          !plan->stallPids.empty();
+}
+
+/// SplitMix64: the deterministic jitter source for retry backoff.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -266,7 +287,24 @@ SessionReport runSession(const SessionRequest& req, const SessionOptions& opts,
     if (attempt > 1) {
       int ms = opts.retry.backoffBaseMs << (attempt - 2);
       ms = std::min(std::max(ms, 0), opts.retry.backoffCapMs);
-      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      // Deterministic full jitter (SplitMix64 over session id + attempt):
+      // tenants retrying after a shared fault burst spread out instead of
+      // re-hitting the fabric in lockstep, and a given (id, attempt)
+      // always waits the same time, so chaos runs stay reproducible.
+      if (ms > 0)
+        ms = 1 + static_cast<int>(
+                     splitmix64(id * 0x9E3779B97F4A7C15ULL +
+                                static_cast<std::uint64_t>(attempt)) %
+                     static_cast<std::uint64_t>(ms));
+      if (ms > 0) {
+        if (opts.stopLatch) {
+          // Shutdown-interruptible: teardown cuts the wait short and the
+          // final attempt runs immediately (queued sessions still finish).
+          opts.stopLatch->waitFor(ms);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+      }
     }
 
     rt::RuntimeOptions ropts;
@@ -283,11 +321,14 @@ SessionReport runSession(const SessionRequest& req, const SessionOptions& opts,
             0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt);
     }
 
-    SessionScope scope(req.quotas, sessionStart);
+    SessionScope scope(req.quotas, sessionStart, req.preemptAfterSteps);
     interp::InterpOptions iopts;
     iopts.splitGuardedLoops = opts.splitGuardedLoops;
     iopts.backend = opts.backend;
     iopts.stepHook = [&scope](rt::Proc& p) { scope.onStep(p); };
+
+    const bool wantCkpt = req.checkpointIntervalSteps > 0 ||
+                          req.preemptAfterSteps > 0 || !req.resumeFrom.empty();
 
     SessionOutcome outcome = SessionOutcome::Completed;
     std::string error;
@@ -299,9 +340,30 @@ SessionReport runSession(const SessionRequest& req, const SessionOptions& opts,
           [&scope](int src, std::size_t bytes) { scope.onSend(src, bytes); });
       apps::registerFillKernel(interp, req.fillSeed);
       apps::registerFftKernels(interp);
+      if (wantCkpt) {
+        ckpt::CkptOptions co;
+        co.intervalSteps = req.checkpointIntervalSteps;
+        rt.enableCheckpointing(co);
+        // Snapshot identity: the source text's digest, so a resume into a
+        // different program (or a torn spill) is rejected structurally.
+        rt.setCkptProgram(
+            static_cast<std::uint8_t>(opts.backend),
+            req.source.empty()
+                ? 0
+                : ckpt::fnv1a(
+                      reinterpret_cast<const std::byte*>(req.source.data()),
+                      req.source.size()));
+      }
 
       bool deadlocked = false;
       try {
+        if (!req.resumeFrom.empty()) {
+          // Restore inside the attempt boundary: a defective spill file
+          // surfaces as a contained session failure, never a throw.
+          SpillFile sp = readSpillFile(req.resumeFrom);
+          rt.restoreFrom(ckpt::decodeSnapshot(sp.snapshot));
+          rep.recovery.resumed = true;
+        }
         interp.run();
       } catch (const DeadlockError& e) {
         deadlocked = true;
@@ -319,8 +381,34 @@ SessionReport runSession(const SessionRequest& req, const SessionOptions& opts,
       rep.residentBytesAtTeardown = 0;
       for (int p = 0; p < rt.nprocs(); ++p)
         rep.residentBytesAtTeardown += rt.table(p).residentBytes();
+      if (rt.checkpointingEnabled()) {
+        rep.recovery.recoveries = rt.recoveries();
+        if (const auto* st = rt.ckptStore()) {
+          rep.recovery.snapshots = st->stats().snapshots;
+          rep.recovery.snapshotBytes = st->stats().lastBytes;
+          rep.recovery.snapshotRecords = st->stats().lastRecords;
+          rep.recovery.fallbacks = st->stats().fallbacks;
+        }
+      }
 
-      if (error.empty() && !deadlocked) {
+      if (error.empty() && !deadlocked && rt.preempted()) {
+        outcome = SessionOutcome::Preempted;
+        ckpt::Snapshot snap = rt.takePreemptSnapshot();
+        if (!opts.spillDir.empty() && !req.source.empty()) {
+          SpillFile sp;
+          sp.id = id;
+          sp.name = req.name;
+          sp.fillSeed = req.fillSeed;
+          sp.usePipeline = req.usePipeline;
+          sp.analyze = req.analyze;
+          sp.checkpointIntervalSteps = req.checkpointIntervalSteps;
+          sp.backend = static_cast<std::uint8_t>(opts.backend);
+          sp.source = req.source;
+          sp.snapshot = ckpt::encodeSnapshot(snap);
+          rep.recovery.spillPath = spillFilePath(opts.spillDir, id, req.name);
+          writeSpillFile(rep.recovery.spillPath, sp);
+        }
+      } else if (error.empty() && !deadlocked) {
         outcome = SessionOutcome::Completed;
         rep.resultDigest = digestState(rt);
       } else if (scope.breached()) {
@@ -359,7 +447,76 @@ SessionReport runSession(const SessionRequest& req, const SessionOptions& opts,
     break;
   }
 
+  // A resumed session that ran to completion consumes its spill file, so
+  // re-admission is exactly-once across server restarts.
+  if (rep.outcome == SessionOutcome::Completed && !req.resumeFrom.empty())
+    std::remove(req.resumeFrom.c_str());
+
   return finish(rep);
+}
+
+// --- preemption spill files ---------------------------------------------
+
+namespace {
+constexpr char kSpillMagic[8] = {'X', 'D', 'P', 'S', 'P', 'I', 'L', '1'};
+}  // namespace
+
+std::string spillFilePath(const std::string& dir, std::uint64_t id,
+                          const std::string& name) {
+  std::string safe;
+  safe.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    safe.push_back(ok ? c : '_');
+  }
+  return dir + "/" + safe + "-" + std::to_string(id) + ".xdpspill";
+}
+
+void writeSpillFile(const std::string& path, const SpillFile& s) {
+  ckpt::Writer w;
+  for (char c : kSpillMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.str(s.name);
+  w.u64(s.id);
+  w.u64(s.fillSeed);
+  w.boolean(s.usePipeline);
+  w.boolean(s.analyze);
+  w.u64(s.checkpointIntervalSteps);
+  w.u8(s.backend);
+  w.str(s.source);
+  w.bytes(s.snapshot);
+  const std::uint64_t sum = ckpt::fnv1a(w.buffer());
+  w.u64(sum);
+  ckpt::saveSnapshotFile(path, w.buffer());
+}
+
+SpillFile readSpillFile(const std::string& path) {
+  const std::vector<std::byte> buf = ckpt::loadSnapshotFile(path);
+  if (buf.size() < sizeof(kSpillMagic) + 8)
+    throw ckpt::CkptError("spill file too short: " + path);
+  if (std::memcmp(buf.data(), kSpillMagic, sizeof(kSpillMagic)) != 0)
+    throw ckpt::CkptError("not a spill file (bad magic): " + path);
+  const std::size_t body = buf.size() - 8;
+  ckpt::Reader trailer(buf.data() + body, 8);
+  if (trailer.u64() != ckpt::fnv1a(buf.data(), body))
+    throw ckpt::CkptError("spill file checksum mismatch (torn write?): " +
+                          path);
+  ckpt::Reader r(buf.data() + sizeof(kSpillMagic),
+                 body - sizeof(kSpillMagic));
+  SpillFile s;
+  s.name = r.str();
+  s.id = r.u64();
+  s.fillSeed = r.u64();
+  s.usePipeline = r.boolean();
+  s.analyze = r.boolean();
+  s.checkpointIntervalSteps = r.u64();
+  s.backend = r.u8();
+  s.source = r.str();
+  s.snapshot = r.bytes();
+  if (!r.atEnd())
+    throw ckpt::CkptError("spill file has trailing bytes: " + path);
+  return s;
 }
 
 }  // namespace xdp::serve

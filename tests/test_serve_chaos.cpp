@@ -13,10 +13,14 @@
 // Runs under -DXDP_SANITIZE=thread via the `sanitize` ctest label.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "xdp/ckpt/io.hpp"
 #include "xdp/serve/server.hpp"
 
 namespace {
@@ -88,6 +92,14 @@ serve::SessionOptions chaosOptions() {
   o.retry.backoffBaseMs = 1;
   o.retry.backoffCapMs = 4;
   return o;
+}
+
+/// Fresh empty scratch directory under the test temp root.
+std::string scratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "xdp_serve_chaos_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
 }
 
 }  // namespace
@@ -379,4 +391,221 @@ fill(A[1:8])
   serve::SessionReport r3 = serve::runSession(orphan, sopts);
   EXPECT_EQ(r3.outcome, SessionOutcome::Deadlocked) << r3.error;
   EXPECT_TRUE(r3.hygieneClean);
+}
+
+TEST(ServeChaos, CrashRecoverMixMatchesFaultFree) {
+  // Fail-recover chaos: half the population gets an endpoint that dies
+  // mid-run and restores from its last snapshot. Every session — faulted
+  // or not — must complete bit-identical to the fault-free solo run, and
+  // the arena must drain back to zero.
+  const serve::SessionOptions sopts = chaosOptions();
+
+  serve::SessionRequest ref;
+  ref.name = "jacobi-ref";
+  ref.source = kJacobi;
+  serve::SessionReport solo = serve::runSession(ref, sopts);
+  ASSERT_EQ(solo.outcome, SessionOutcome::Completed) << solo.error;
+  ASSERT_NE(solo.resultDigest, 0u);
+
+  const int kSessions = 48;
+  serve::ServerConfig cfg;
+  cfg.workers = 8;
+  cfg.maxPending = kSessions + 8;
+  cfg.session = sopts;
+  serve::Server server(cfg);
+
+  std::vector<std::future<serve::SessionReport>> futs;
+  for (int i = 0; i < kSessions; ++i) {
+    serve::SessionRequest req = ref;
+    const bool faulted = i % 2 == 0;
+    req.name = (faulted ? "recover#" : "healthy#") + std::to_string(i);
+    req.checkpointIntervalSteps = 16;
+    if (faulted) {
+      net::FaultPlan plan;
+      plan.seed = 3000 + static_cast<std::uint64_t>(i);
+      plan.crashPids = {1 + i % 3};  // every jacobi pid in 1..3 sends,
+                                     // so the crash is guaranteed to fire
+      plan.crashAfterSends = static_cast<std::uint64_t>(i % 3);
+      plan.crashFate = net::CrashFate::Recover;
+      req.faultPlan = plan;
+    }
+    futs.push_back(server.submit(std::move(req)));
+  }
+
+  for (int i = 0; i < kSessions; ++i) {
+    serve::SessionReport r = futs[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.outcome, SessionOutcome::Completed)
+        << r.name << ": " << r.error;
+    // Digest parity: recovery replays to the exact fault-free result.
+    EXPECT_EQ(r.resultDigest, solo.resultDigest) << r.name;
+    EXPECT_TRUE(r.hygieneClean) << r.name;
+    EXPECT_GE(r.recovery.snapshots, 1u) << r.name;  // genesis at least
+    if (i % 2 == 0) {
+      EXPECT_GE(r.recovery.recoveries, 1u)
+          << r.name << ": crash never triggered";
+      EXPECT_GE(r.faults.recovered, 1u) << r.name;
+    } else {
+      EXPECT_EQ(r.recovery.recoveries, 0u) << r.name;
+    }
+  }
+
+  EXPECT_EQ(server.endpointsInUse(), 0);
+  EXPECT_EQ(server.pendingSessions(), 0);
+}
+
+TEST(ServeChaos, PreemptSpillResumeRoundTrip) {
+  const std::string dir = scratchDir("preempt");
+  serve::SessionOptions sopts = chaosOptions();
+  sopts.spillDir = dir;
+
+  serve::SessionRequest ref;
+  ref.name = "jacobi";
+  ref.source = kJacobi;
+  serve::SessionReport solo = serve::runSession(ref, sopts);
+  ASSERT_EQ(solo.outcome, SessionOutcome::Completed) << solo.error;
+
+  // Preempt mid-run: the session checkpoints, spills, and unwinds.
+  serve::SessionRequest req = ref;
+  req.preemptAfterSteps = 30;
+  serve::SessionReport pre = serve::runSession(req, sopts, 7);
+  ASSERT_EQ(pre.outcome, SessionOutcome::Preempted) << pre.error;
+  ASSERT_FALSE(pre.recovery.spillPath.empty());
+  EXPECT_TRUE(std::filesystem::exists(pre.recovery.spillPath));
+  EXPECT_TRUE(pre.hygieneClean);
+  EXPECT_EQ(pre.resultDigest, 0u);  // no result yet
+
+  // The spill round-trips through its reader.
+  serve::SpillFile sp = serve::readSpillFile(pre.recovery.spillPath);
+  EXPECT_EQ(sp.name, req.name);
+  EXPECT_EQ(sp.source, req.source);
+  EXPECT_FALSE(sp.snapshot.empty());
+
+  // Resume in a fresh session: completes bit-identical to the
+  // uninterrupted run and consumes the spill file.
+  serve::SessionRequest resume = ref;
+  resume.preemptAfterSteps = 0;
+  resume.resumeFrom = pre.recovery.spillPath;
+  serve::SessionReport post = serve::runSession(resume, sopts, 8);
+  ASSERT_EQ(post.outcome, SessionOutcome::Completed) << post.error;
+  EXPECT_TRUE(post.recovery.resumed);
+  EXPECT_EQ(post.resultDigest, solo.resultDigest);
+  EXPECT_FALSE(std::filesystem::exists(pre.recovery.spillPath));
+}
+
+TEST(ServeChaos, ServerReadmitsSpilledSessions) {
+  const std::string dir = scratchDir("readmit");
+  serve::SessionOptions sopts = chaosOptions();
+  sopts.spillDir = dir;
+
+  serve::SessionRequest ref;
+  ref.name = "jacobi";
+  ref.source = kJacobi;
+  serve::SessionReport solo = serve::runSession(ref, sopts);
+  ASSERT_EQ(solo.outcome, SessionOutcome::Completed) << solo.error;
+
+  // Server 1 preempts the session and is then torn down — the moral
+  // equivalent of killing it mid-job.
+  {
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.session = sopts;
+    serve::Server server(cfg);
+    serve::SessionRequest req = ref;
+    req.preemptAfterSteps = 30;
+    serve::SessionReport r = server.submit(std::move(req)).get();
+    ASSERT_EQ(r.outcome, SessionOutcome::Preempted) << r.error;
+    ASSERT_FALSE(r.recovery.spillPath.empty());
+  }
+  ASSERT_EQ(std::distance(std::filesystem::directory_iterator(dir),
+                          std::filesystem::directory_iterator()),
+            1);
+
+  // Server 2 finds the spill at startup and runs it to completion.
+  {
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.session = sopts;
+    serve::Server server(cfg);
+    EXPECT_EQ(server.readmitSpilled(dir), 1);
+    server.shutdown();  // runs everything queued
+    serve::ServerStats st = server.stats();
+    EXPECT_EQ(st.readmitted, 1u);
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.failed, 0u);
+  }
+  // The resumed completion consumed the spill; a third sweep is a no-op.
+  serve::ServerConfig cfg;
+  cfg.session = sopts;
+  serve::Server server(cfg);
+  EXPECT_EQ(server.readmitSpilled(dir), 0);
+}
+
+TEST(ServeChaos, CorruptSpillsAreSkippedNotAdmitted) {
+  const std::string dir = scratchDir("corrupt");
+  serve::SessionOptions sopts = chaosOptions();
+  sopts.spillDir = dir;
+
+  // A valid spill, then a bit flip in the middle.
+  serve::SessionRequest req;
+  req.name = "jacobi";
+  req.source = kJacobi;
+  req.preemptAfterSteps = 30;
+  serve::SessionReport pre = serve::runSession(req, sopts, 3);
+  ASSERT_EQ(pre.outcome, SessionOutcome::Preempted) << pre.error;
+  const std::string good = pre.recovery.spillPath;
+  {
+    std::fstream f(good, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char c = 0;
+    f.seekg(64);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x20);
+    f.seekp(64);
+    f.write(&c, 1);
+  }
+  EXPECT_THROW(serve::readSpillFile(good), ckpt::CkptError);
+
+  // Plus outright garbage and a truncated file.
+  std::ofstream(dir + "/garbage-1.xdpspill") << "not a spill";
+  std::ofstream(dir + "/empty-2.xdpspill");
+
+  serve::ServerConfig cfg;
+  cfg.session = sopts;
+  serve::Server server(cfg);
+  EXPECT_EQ(server.readmitSpilled(dir), 0);
+  EXPECT_EQ(server.stats().readmitted, 0u);
+  // Skipped spills stay on disk for inspection; nothing was deleted.
+  EXPECT_EQ(std::distance(std::filesystem::directory_iterator(dir),
+                          std::filesystem::directory_iterator()),
+            3);
+}
+
+TEST(ServeChaos, StopLatchInterruptsRetryBackoff) {
+  // A tripped latch turns a 60-second backoff into an immediate return,
+  // so server shutdown is never stuck behind sleeping retries.
+  serve::StopLatch latch;
+  latch.stop();
+  EXPECT_TRUE(latch.stopped());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(latch.waitFor(60000));
+  serve::SessionOptions sopts = chaosOptions();
+  sopts.retry.maxAttempts = 3;
+  sopts.retry.backoffBaseMs = 60000;
+  sopts.retry.backoffCapMs = 60000;
+  sopts.stopLatch = &latch;
+
+  serve::SessionRequest req;
+  req.name = "dropall";
+  req.source = kJacobi;
+  net::FaultPlan plan;
+  plan.dropProb = 1.0;  // every attempt deadlocks; retry must back off
+  req.faultPlan = plan;
+  serve::SessionReport r = serve::runSession(req, sopts);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(r.outcome, SessionOutcome::Deadlocked) << r.error;
+  EXPECT_EQ(r.attempts, 3);
+  // Two backoffs of nominally 60 s each collapsed through the latch; the
+  // bound is generous (watchdog windows dominate) but far under one sleep.
+  EXPECT_LT(elapsed.count(), 30000) << "backoff ignored the stop latch";
 }

@@ -11,6 +11,10 @@
 //     single backend;
 //   * guardCacheHits / rangeSplits / guardedItersSaved — non-logical
 //     fast-path counters; the VM never range-splits by design.
+//   * makespan, for programs that use the FCFS matchmaker (taskfarm) —
+//     which worker draws which job depends on real-time arrival order, so
+//     the virtual-time critical path is not comparable across two
+//     independent runs (the data outcome and traffic counters still are).
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -107,7 +111,8 @@ RunResult runWith(const il::Program& prog, Backend be,
 }
 
 void expectBackendsAgree(const il::Program& prog, const std::string& what,
-                         std::uint64_t seed = 42) {
+                         std::uint64_t seed = 42,
+                         bool compareMakespan = true) {
   RunResult t = runWith(prog, Backend::TreeWalk, seed);
   RunResult v = runWith(prog, Backend::Bytecode, seed);
   EXPECT_EQ(t.digest, v.digest) << what << ": result digests differ";
@@ -120,20 +125,30 @@ void expectBackendsAgree(const il::Program& prog, const std::string& what,
   EXPECT_EQ(t.messagesSent, v.messagesSent) << what;
   EXPECT_EQ(t.bytesSent, v.bytesSent) << what;
   EXPECT_EQ(t.ownershipTransfers, v.ownershipTransfers) << what;
-  EXPECT_DOUBLE_EQ(t.makespan, v.makespan) << what;
+  if (compareMakespan) {
+    EXPECT_DOUBLE_EQ(t.makespan, v.makespan) << what;
+  }
 }
 
 class VmExampleDifferential : public ::testing::TestWithParam<const char*> {};
 
+/// Matchmaker-paired job assignment makes the virtual critical path
+/// run-dependent (see file comment).
+bool makespanComparable(const std::string& name) {
+  return name != "taskfarm.xdp";
+}
+
 TEST_P(VmExampleDifferential, RawProgramMatchesOracle) {
-  expectBackendsAgree(loadExample(GetParam()), GetParam());
+  expectBackendsAgree(loadExample(GetParam()), GetParam(), 42,
+                      makespanComparable(GetParam()));
 }
 
 TEST_P(VmExampleDifferential, PipelinedProgramMatchesOracle) {
   il::Program prog = loadExample(GetParam());
   opt::PassManager pm;
   for (const auto& p : opt::standardPipeline()) pm.add(p.name, p.fn);
-  expectBackendsAgree(pm.run(prog), std::string(GetParam()) + " (pipeline)");
+  expectBackendsAgree(pm.run(prog), std::string(GetParam()) + " (pipeline)",
+                      42, makespanComparable(GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Examples, VmExampleDifferential,

@@ -11,10 +11,18 @@
 //   xdp_serve a.xdp b.xdp --sessions 32 --workers 8   # round-robin mix
 //   xdp_serve prog.xdp --drop 0.05 --retries 3        # lossy + retry
 //   xdp_serve prog.xdp --max-steps 10000              # step quota
+//   xdp_serve prog.xdp --spill-dir d --preempt-steps 50   # preempt+spill
+//   xdp_serve --spill-dir d                           # resume the spills
+//
+// With --spill-dir the server re-admits any *.xdpspill files found there
+// at startup (sessions preempted by an earlier, possibly killed, server)
+// before running the FILE arguments — so FILE... may be empty when the
+// directory has spills to resume.
 //
 // Exit codes: 0 = server ran every admitted session to a report,
 // 1 = a session report was lost (server bug), 2 = usage error.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -45,6 +53,17 @@ int usage(const char* argv0) {
                "  --drop P           per-session fault: drop probability\n"
                "  --delay P          per-session fault: delay probability\n"
                "  --crash PID        per-session fault: crash endpoint PID\n"
+               "  --crash-recover    crashed endpoints restore from their\n"
+               "                     last snapshot instead of dying\n"
+               "                     (fail-recover; implies --checkpoint-"
+               "steps 64\n"
+               "                     unless given)\n"
+               "  --checkpoint-steps N\n"
+               "                     per-session auto-checkpoint interval\n"
+               "  --preempt-steps N  checkpoint + spill each session after\n"
+               "                     N statements (needs --spill-dir)\n"
+               "  --spill-dir DIR    spill preempted sessions to DIR and\n"
+               "                     re-admit DIR's spills at startup\n"
                "  --fault-seed N     fault decision-stream seed (default 1)\n",
                argv0);
   return 2;
@@ -95,7 +114,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--crash") {
       plan.crashPids.push_back(std::stoi(nextArg(i)));
       anyFault = true;
-    } else if (arg == "--fault-seed") plan.seed = std::stoull(nextArg(i));
+    } else if (arg == "--crash-recover") {
+      plan.crashFate = net::CrashFate::Recover;
+      anyFault = true;
+    } else if (arg == "--checkpoint-steps")
+      proto.checkpointIntervalSteps = std::stoull(nextArg(i));
+    else if (arg == "--preempt-steps")
+      proto.preemptAfterSteps = std::stoull(nextArg(i));
+    else if (arg == "--spill-dir") cfg.session.spillDir = nextArg(i);
+    else if (arg == "--fault-seed") plan.seed = std::stoull(nextArg(i));
     else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -103,9 +130,22 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) return usage(argv[0]);
+  if (files.empty() && cfg.session.spillDir.empty()) return usage(argv[0]);
   if (sessions <= 0) sessions = static_cast<int>(files.size());
   if (anyFault) proto.faultPlan = plan;
+  // Fail-recover needs snapshots to roll back to.
+  if (plan.crashFate == net::CrashFate::Recover &&
+      proto.checkpointIntervalSteps == 0)
+    proto.checkpointIntervalSteps = 64;
+  if (!cfg.session.spillDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.session.spillDir, ec);
+    if (ec) {
+      std::fprintf(stderr, "xdp_serve: cannot create spill dir %s: %s\n",
+                   cfg.session.spillDir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
 
   std::vector<std::string> sources;
   for (const auto& f : files) {
@@ -120,6 +160,12 @@ int main(int argc, char** argv) {
   }
 
   serve::Server server(cfg);
+  if (!cfg.session.spillDir.empty()) {
+    int n = server.readmitSpilled(cfg.session.spillDir);
+    if (n > 0)
+      std::printf("xdp_serve: re-admitted %d spilled session%s from %s\n",
+                  n, n == 1 ? "" : "s", cfg.session.spillDir.c_str());
+  }
   std::vector<std::future<serve::SessionReport>> futs;
   for (int s = 0; s < sessions; ++s) {
     serve::SessionRequest req = proto;
@@ -148,6 +194,11 @@ int main(int argc, char** argv) {
     }
     std::string tail;
     if (!r.quotaResource.empty()) tail += " quota=" + r.quotaResource;
+    if (r.recovery.recoveries > 0)
+      tail += " recoveries=" + std::to_string(r.recovery.recoveries);
+    if (r.recovery.resumed) tail += " resumed";
+    if (!r.recovery.spillPath.empty())
+      tail += " spill=" + r.recovery.spillPath;
     if (!r.hygieneClean) tail += " HYGIENE-LEAK";
     if (r.outcome != serve::SessionOutcome::Completed && !r.error.empty()) {
       std::string first = r.error.substr(0, r.error.find('\n'));
@@ -163,9 +214,10 @@ int main(int argc, char** argv) {
   server.shutdown();
   drained = server.stats();
   std::printf(
-      "xdp_serve: %llu admitted, %llu completed, %llu failed, %llu shed, "
-      "%llu retries; arena in use at exit: %d\n",
+      "xdp_serve: %llu admitted (%llu re-admitted), %llu completed, "
+      "%llu failed, %llu shed, %llu retries; arena in use at exit: %d\n",
       static_cast<unsigned long long>(drained.admitted),
+      static_cast<unsigned long long>(drained.readmitted),
       static_cast<unsigned long long>(drained.completed),
       static_cast<unsigned long long>(drained.failed),
       static_cast<unsigned long long>(drained.rejected),

@@ -27,6 +27,7 @@
 #include "xdp/analysis/verifier.hpp"
 #include "xdp/apps/fft.hpp"
 #include "xdp/apps/programs.hpp"
+#include "xdp/ckpt/io.hpp"
 #include "xdp/il/parser.hpp"
 #include "xdp/il/printer.hpp"
 #include "xdp/opt/auto_place.hpp"
@@ -82,6 +83,13 @@ int usage(const char* argv0) {
                "                     the compiled bytecode VM\n"
                "  --debug-checks     enforce the Figure-1 usage rules\n"
                "  --seed N           fill-kernel seed (default 42)\n"
+               "  --checkpoint-dir DIR\n"
+               "                     persist coordinated snapshots to DIR\n"
+               "                     during --run (ckpt-NNNNNNNN.xdpckpt)\n"
+               "  --checkpoint-interval N\n"
+               "                     auto-checkpoint every N executed\n"
+               "                     statements (default 1024 when only\n"
+               "                     --checkpoint-dir is given)\n"
                "  --trace            dump the program after every pass\n",
                argv0);
   return 2;
@@ -97,6 +105,8 @@ int main(int argc, char** argv) {
   bool cost = false, autoPlace = false, jsonFormat = false;
   interp::Backend backend = interp::Backend::TreeWalk;
   std::uint64_t seed = 42;
+  std::string ckptDir;
+  std::uint64_t ckptInterval = 0;
 
   auto reg = passRegistry();
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +134,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       if (++i >= argc) return usage(argv[0]);
       seed = std::stoull(argv[i]);
+    } else if (arg == "--checkpoint-dir") {
+      if (++i >= argc) return usage(argv[0]);
+      ckptDir = argv[i];
+    } else if (arg == "--checkpoint-interval") {
+      if (++i >= argc) return usage(argv[0]);
+      ckptInterval = std::stoull(argv[i]);
     } else if (arg == "--list-passes") {
       for (const auto& [name, fn] : reg) std::printf("%s\n", name.c_str());
       return 0;
@@ -264,7 +280,23 @@ int main(int argc, char** argv) {
       interp::Interpreter interp(prog, opts, iopts);
       apps::registerFillKernel(interp, seed);
       apps::registerFftKernels(interp);
+      if (!ckptDir.empty() || ckptInterval > 0) {
+        ckpt::CkptOptions co;
+        co.dir = ckptDir;
+        co.intervalSteps = ckptInterval > 0 ? ckptInterval : 1024;
+        interp.runtime().enableCheckpointing(co);
+      }
       interp.run();
+      if (interp.runtime().checkpointingEnabled()) {
+        const ckpt::StoreStats& cs = interp.runtime().ckptStore()->stats();
+        std::printf(
+            "xdpc: checkpoints: %llu snapshots (%llu records, %llu bytes "
+            "newest), %llu recoveries\n",
+            static_cast<unsigned long long>(cs.snapshots),
+            static_cast<unsigned long long>(cs.lastRecords),
+            static_cast<unsigned long long>(cs.lastBytes),
+            static_cast<unsigned long long>(interp.runtime().recoveries()));
+      }
       auto net = interp.runtime().fabric().totalStats();
       auto st = interp.totalStats();
       std::printf(
