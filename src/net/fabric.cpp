@@ -1,6 +1,7 @@
 #include "xdp/net/fabric.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -64,8 +65,13 @@ NetStats& NetStats::operator+=(const NetStats& o) {
   return *this;
 }
 
-Fabric::Fabric(int nprocs, CostModel model)
-    : nprocs_(nprocs), model_(model), eps_(static_cast<std::size_t>(nprocs)) {
+Fabric::Fabric(int nprocs, CostModel model, TransportOptions transport)
+    : nprocs_(nprocs),
+      model_(model),
+      transport_(makeTransport(std::max(nprocs, 1), transport)),
+      ringActive_(transport_->kind() == TransportKind::Ring),
+      reapBatch_(std::max<std::uint32_t>(transport.reapBatch, 1)),
+      eps_(static_cast<std::size_t>(nprocs)) {
   XDP_CHECK(nprocs >= 1, "fabric needs at least one endpoint");
   if (auto plan = currentGlobalFaultPlan()) {
     injector_ = std::make_unique<FaultInjector>(*plan, nprocs_);
@@ -184,45 +190,93 @@ void Fabric::purgeDuplicate(std::uint64_t dupId) {
   }
 }
 
-void Fabric::deliverDirect(int dst, Message msg) {
-  Endpoint& e = ep(dst);
+void Fabric::deliverLocked(Endpoint& e, Message msg, DeliveryEffects& fx) {
   const std::uint64_t dupId = msg.dupId;
-  ReceiveId cancelId = 0;
-  bool completed = false;
+  bool consumed = false;
+  for (auto it = e.pending.begin(); it != e.pending.end(); ++it) {
+    if (!matches(it->name, it->kind, msg.name, msg.kind)) continue;
+    if (tryCompleteLocked(e, *it, std::move(msg))) {
+      // The completed receive may have registered rendezvous interest;
+      // retiring it (and purging a completed duplicate's twin) takes the
+      // matcher / other endpoints' locks, so both are deferred into `fx`
+      // until this endpoint's lock is released.
+      fx.cancels.push_back(it->id);
+      if (dupId != 0) fx.purges.push_back(dupId);
+      e.pending.erase(it);
+    }
+    // On suppression the receive stays posted (its real message is the
+    // twin that already completed elsewhere or is still in flight for
+    // another receive); this copy is simply gone.
+    consumed = true;
+    break;
+  }
+  // Park-or-suppress under the endpoint lock: a copy whose twin
+  // completes after this check is removed by that completion's purge,
+  // which takes e.mu after us.
+  if (!consumed && !dupSuppressed(msg)) e.unexpected.push_back(std::move(msg));
+}
+
+std::size_t Fabric::reapLocked(int dst, Endpoint& e, std::size_t max,
+                               DeliveryEffects& fx) {
+  if (!ringActive_) return 0;
+  struct DeliverSink final : Transport::Sink {
+    Fabric* f = nullptr;
+    Endpoint* e = nullptr;
+    DeliveryEffects* fx = nullptr;
+    void operator()(Message&& m) override {
+      f->deliverLocked(*e, std::move(m), *fx);
+    }
+  } sink;
+  sink.f = this;
+  sink.e = &e;
+  sink.fx = &fx;
+  return transport_->reap(dst, max, sink);
+}
+
+void Fabric::applyEffects(DeliveryEffects& fx) {
+  for (ReceiveId id : fx.cancels) cancelMatcherInterest(id);
+  for (std::uint64_t d : fx.purges) purgeDuplicate(d);
+  fx.cancels.clear();
+  fx.purges.clear();
+}
+
+void Fabric::cancelMatcherInterest(ReceiveId id) {
+  std::lock_guard mk(matcherMu_);
+  if (matcherLive_.erase(id) == 0) return;  // never registered, or taken
+  ++matcherDead_;
+  if (matcherDead_ * 2 > matcherRecvs_.size() && matcherRecvs_.size() >= 64)
+    compactMatcherLocked();
+}
+
+void Fabric::compactMatcherLocked() {
+  std::deque<MatcherEntry> keep;
+  for (MatcherEntry& me : matcherRecvs_)
+    if (matcherLive_.count(me.id) != 0) keep.push_back(std::move(me));
+  matcherRecvs_ = std::move(keep);
+  matcherDead_ = 0;
+}
+
+void Fabric::deliverDirect(int dst, Message msg, bool allowFast) {
+  if (ringActive_ && allowFast) {
+    const int src = msg.src;
+    if (transport_->trySubmit(src, dst, std::move(msg))) {
+      // Queued; the receiver completes it at its next reap. Wake a parked
+      // receiver with no fabric lock held.
+      if (wakeHook_) wakeHook_(dst);
+      return;
+    }
+    // Ring full: fall through to inline delivery (`msg` is untouched).
+  }
+  Endpoint& e = ep(dst);
+  DeliveryEffects fx;
   {
     std::lock_guard lk(e.mu);
-    bool consumed = false;
-    for (auto it = e.pending.begin(); it != e.pending.end(); ++it) {
-      if (!matches(it->name, it->kind, msg.name, msg.kind)) continue;
-      if (tryCompleteLocked(e, *it, std::move(msg))) {
-        cancelId = it->id;
-        e.pending.erase(it);
-        completed = true;
-      }
-      // On suppression the receive stays posted (its real message is the
-      // twin that already completed elsewhere or is still in flight for
-      // another receive); this copy is simply gone.
-      consumed = true;
-      break;
-    }
-    // Park-or-suppress under the endpoint lock: a copy whose twin
-    // completes after this check is removed by that completion's purge,
-    // which takes e.mu after us.
-    if (!consumed && !dupSuppressed(msg)) e.unexpected.push_back(std::move(msg));
+    // Drain queued descriptors first so this inline message can never
+    // overtake an earlier submission on the same (src, dst) route.
+    reapLocked(dst, e, std::numeric_limits<std::size_t>::max(), fx);
+    deliverLocked(e, std::move(msg), fx);
   }
-  if (cancelId != 0) {
-    // The completed receive may have registered rendezvous interest;
-    // retire it so the matcher queue does not accumulate stale entries
-    // (a rendezvous send that races us retires it the same way).
-    std::lock_guard mk(matcherMu_);
-    for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end(); ++it) {
-      if (it->id == cancelId) {
-        matcherRecvs_.erase(it);
-        break;
-      }
-    }
-  }
-  if (completed && dupId != 0) purgeDuplicate(dupId);
+  applyEffects(fx);
 }
 
 void Fabric::routeRendezvous(Message msg) {
@@ -231,13 +285,22 @@ void Fabric::routeRendezvous(Message msg) {
     std::optional<MatcherEntry> entry;
     {
       std::lock_guard mk(matcherMu_);
-      // FCFS: hand to the first registered receive interest with this name.
-      for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end(); ++it) {
+      // FCFS: hand to the first *live* registered receive interest with
+      // this name. Dead entries (retired in O(1) by a direct completion —
+      // see cancelMatcherInterest) are reclaimed in passing.
+      for (auto it = matcherRecvs_.begin(); it != matcherRecvs_.end();) {
+        if (matcherLive_.count(it->id) == 0) {
+          it = matcherRecvs_.erase(it);
+          if (matcherDead_ > 0) --matcherDead_;
+          continue;
+        }
         if (matches(it->name, it->kind, msg.name, msg.kind)) {
           entry = *it;
+          matcherLive_.erase(it->id);
           matcherRecvs_.erase(it);
           break;
         }
+        ++it;
       }
       if (!entry.has_value()) {
         // Park-or-suppress inside the matcher critical section (same
@@ -250,8 +313,14 @@ void Fabric::routeRendezvous(Message msg) {
     Endpoint& e = ep(entry->pid);
     bool completed = false;
     bool suppressed = false;
+    DeliveryEffects fx;
     {
       std::lock_guard lk(e.mu);
+      // Drain queued descriptors first: a ring-queued direct message may
+      // be older than this rendezvous one and must get first claim on the
+      // receive (if it takes it, the by-id scan below turns up empty and
+      // the stale-retry path re-circulates our message).
+      reapLocked(entry->pid, e, std::numeric_limits<std::size_t>::max(), fx);
       for (auto it = e.pending.begin(); it != e.pending.end(); ++it) {
         if (it->id != entry->id) continue;
         if (tryCompleteLocked(e, *it, std::move(msg))) {
@@ -263,6 +332,7 @@ void Fabric::routeRendezvous(Message msg) {
         break;
       }
     }
+    applyEffects(fx);
     if (completed) {
       if (dupId != 0) purgeDuplicate(dupId);
       return;
@@ -273,6 +343,7 @@ void Fabric::routeRendezvous(Message msg) {
       // (front keeps it first among same-name entries).
       std::lock_guard mk(matcherMu_);
       matcherRecvs_.push_front(*entry);
+      matcherLive_.insert(entry->id);
       return;
     }
     // Stale entry: the receive was completed by a direct send after
@@ -280,11 +351,14 @@ void Fabric::routeRendezvous(Message msg) {
   }
 }
 
-void Fabric::route(Message msg, std::optional<int> dest) {
+void Fabric::route(Message msg, std::optional<int> dest, bool allowFast) {
   if (dest.has_value()) {
-    deliverDirect(*dest, std::move(msg));
+    deliverDirect(*dest, std::move(msg), allowFast);
     return;
   }
+  // Rendezvous sends always pair inline: the matcher decision needs the
+  // sending thread anyway, and the extra control hop is already the
+  // dominant modeled cost.
   routeRendezvous(std::move(msg));
 }
 
@@ -321,21 +395,24 @@ void Fabric::send(int src, const Name& name, TransferKind kind,
     faultSend(src, std::move(msg), dest);
     return;
   }
-  route(std::move(msg), dest);
+  route(std::move(msg), dest, /*allowFast=*/true);
 }
 
 void Fabric::faultSend(int src, Message msg, std::optional<int> dest) {
-  // Decide every fate under faultMu_, releasing it before any routing so
-  // the injector lock is never held together with endpoint/matcher locks.
+  // Decide every fate under the injector's per-source lock (faultMu_ held
+  // shared, for injector-pointer stability only — concurrent sources no
+  // longer serialize here), releasing both before any routing so no
+  // injector lock is ever held together with endpoint/matcher locks.
   // `out` preserves the required delivery order.
   std::vector<std::pair<Message, std::optional<int>>> out;
   bool crashRecover = false;
   {
-    std::lock_guard fk(faultMu_);
+    std::shared_lock fk(faultMu_);
     if (!injector_) {
       out.emplace_back(std::move(msg), dest);
     } else {
       FaultInjector& in = *injector_;
+      std::lock_guard sk(in.sourceMu(src));
       if (in.crashNow(src)) {
         // The fate is decided here, but a recovery unwinds outside
         // faultMu_: the crash hook reaches into the checkpoint
@@ -386,7 +463,9 @@ void Fabric::faultSend(int src, Message msg, std::optional<int> dest) {
     crashHook_(src);
     throw ckpt::RollbackSignal{src};
   }
-  for (auto& [m, d] : out) route(std::move(m), d);
+  // Everything in `out` originates from `src`, whose sending thread we
+  // are — the SPSC producer role holds, so the fast path stays open.
+  for (auto& [m, d] : out) route(std::move(m), d, /*allowFast=*/true);
 }
 
 void Fabric::sendToSet(int src, const Name& name, TransferKind kind,
@@ -413,13 +492,20 @@ ReceiveId Fabric::postReceiveImpl(int pid, const Name& name,
   Endpoint& e = ep(pid);
   const ReceiveId id = nextId_.fetch_add(1, std::memory_order_relaxed);
 
-  // Phase 1 (endpoint lock): complete from the unexpected queue, or post
-  // the receive so a concurrent direct send can find it.
+  // Phase 1 (endpoint lock): reap queued transport descriptors (batched —
+  // this is the ring backend's main completion point), then complete from
+  // the unexpected queue, or post the receive so a concurrent direct send
+  // can find it.
   {
     bool done = false;
     std::uint64_t purgeId = 0;
+    DeliveryEffects fx;
     {
       std::lock_guard lk(e.mu);
+      // Before pr.postClock is read: reaped completions may advance
+      // e.clock (unexpected-copy penalty), exactly as their inline
+      // delivery would have under the locked backend.
+      reapLocked(pid, e, reapBatch_, fx);
       PendingReceive pr{id, name, kind, std::move(fn), e.clock,
                        std::move(desc)};
       for (auto it = e.unexpected.begin(); it != e.unexpected.end();) {
@@ -442,6 +528,7 @@ ReceiveId Fabric::postReceiveImpl(int pid, const Name& name,
       }
       if (!done) e.pending.push_back(std::move(pr));
     }
+    applyEffects(fx);
     if (done) {
       if (purgeId != 0) purgeDuplicate(purgeId);
       return id;
@@ -465,14 +552,19 @@ ReceiveId Fabric::postReceiveImpl(int pid, const Name& name,
       }
       if (!paired.has_value()) {
         matcherRecvs_.push_back(MatcherEntry{id, pid, name, kind});
+        matcherLive_.insert(id);
         return id;
       }
     }
     const std::uint64_t dupId = paired->dupId;
     bool completed = false;
     bool stale = true;
+    DeliveryEffects fx;
     {
       std::lock_guard lk(e.mu);
+      // Same drain-first rule as the rendezvous completion: an older
+      // ring-queued direct message gets first claim on this receive.
+      reapLocked(pid, e, std::numeric_limits<std::size_t>::max(), fx);
       for (auto it = e.pending.begin(); it != e.pending.end(); ++it) {
         if (it->id != id) continue;
         stale = false;
@@ -485,6 +577,7 @@ ReceiveId Fabric::postReceiveImpl(int pid, const Name& name,
         break;
       }
     }
+    applyEffects(fx);
     if (completed) {
       if (dupId != 0) purgeDuplicate(dupId);
       return id;
@@ -505,11 +598,19 @@ void Fabric::barrier(int pid) {
   if (faultsActive_.load(std::memory_order_acquire)) {
     std::optional<FaultInjector::Held> due;
     {
-      std::lock_guard fk(faultMu_);
-      if (injector_ && injector_->hasHeld(pid)) due = injector_->takeHeld(pid);
+      std::shared_lock fk(faultMu_);
+      if (injector_) {
+        std::lock_guard sk(injector_->sourceMu(pid));
+        if (injector_->hasHeld(pid)) due = injector_->takeHeld(pid);
+      }
     }
-    if (due.has_value()) route(std::move(due->msg), due->dest);
+    // The entrant is pid's own sending thread, so the fast path is open.
+    if (due.has_value()) route(std::move(due->msg), due->dest, true);
   }
+  // Drain the entrant's own transport inbox before its entry clock is
+  // read: deferred deliveries (and their unexpected-copy penalties) must
+  // land pre-barrier, as the locked backend's inline deliveries do.
+  if (ringActive_) poll(pid, std::numeric_limits<std::size_t>::max());
   double myClock;
   {
     Endpoint& e = ep(pid);
@@ -533,6 +634,24 @@ void Fabric::barrier(int pid) {
     // Lock order barrierMu_ -> endpoint is taken only here; barrier
     // entrants never hold an endpoint lock when acquiring barrierMu_, so
     // this cannot deadlock.
+    if (ringActive_) {
+      // Every endpoint's queued descriptors must land before the release
+      // clock is applied: with the locked backend those messages were
+      // delivered inline pre-barrier, and their unexpected-copy penalties
+      // belong on the pre-release clocks. Applying each endpoint's
+      // deferred effects right after its unlock keeps the never-held-
+      // together rule intact (barrierMu_ -> matcher is a fresh edge, but
+      // no path acquires barrierMu_ while holding the matcher lock).
+      for (int p = 0; p < nprocs_; ++p) {
+        Endpoint& e = ep(p);
+        DeliveryEffects fx;
+        {
+          std::lock_guard g(e.mu);
+          reapLocked(p, e, std::numeric_limits<std::size_t>::max(), fx);
+        }
+        applyEffects(fx);
+      }
+    }
     for (auto& e : eps_) {
       std::lock_guard g(e.mu);
       e.clock = std::max(e.clock, release);
@@ -562,6 +681,49 @@ void Fabric::notifyBarrierWaiters() {
   barrierCv_.notify_all();
 }
 
+std::size_t Fabric::poll(int pid, std::size_t max) {
+  checkPid(pid, "poll");
+  if (!ringActive_ || transport_->backlog(pid) == 0) return 0;
+  if (max == 0) max = reapBatch_;
+  Endpoint& e = ep(pid);
+  DeliveryEffects fx;
+  std::size_t n;
+  {
+    std::lock_guard lk(e.mu);
+    n = reapLocked(pid, e, max, fx);
+  }
+  applyEffects(fx);
+  return n;
+}
+
+std::size_t Fabric::pollAll() {
+  if (!ringActive_) return 0;
+  std::size_t total = 0;
+  // Sweep until a whole pass reaps nothing: reaps never create new
+  // submissions themselves, but concurrent senders may still be landing
+  // messages while early endpoints are drained.
+  for (;;) {
+    std::size_t n = 0;
+    for (int p = 0; p < nprocs_; ++p)
+      n += poll(p, std::numeric_limits<std::size_t>::max());
+    total += n;
+    if (n == 0) return total;
+  }
+}
+
+std::size_t Fabric::transportBacklog(int pid) const {
+  checkPid(pid, "transportBacklog");
+  return transport_->backlog(pid);
+}
+
+std::size_t Fabric::totalTransportBacklog() const {
+  return transport_->totalBacklog();
+}
+
+void Fabric::setDeliveryWake(std::function<void(int)> hook) {
+  wakeHook_ = std::move(hook);
+}
+
 NetStats Fabric::stats(int pid) const {
   checkPid(pid, "stats");
   const Endpoint& e = ep(pid);
@@ -586,7 +748,7 @@ void Fabric::resetStats() {
 }
 
 std::size_t Fabric::undeliveredCount() const {
-  std::size_t n = 0;
+  std::size_t n = transport_->totalBacklog();
   {
     std::lock_guard mk(matcherMu_);
     n += matcherMsgs_.size();
@@ -611,13 +773,19 @@ void Fabric::clearMatchState() { (void)drain(); }
 
 DrainReport Fabric::drain() {
   DrainReport r;
+  // Transport-queued messages were never matched; count them with the
+  // other unmatched residue. Drain runs at region/session boundaries with
+  // no traffic in flight, which is discardAll's contract.
+  r.unmatchedMessages += transport_->discardAll();
   {
     std::lock_guard mk(matcherMu_);
     r.unmatchedMessages += matcherMsgs_.size();
     // Matcher interest entries mirror posted receives; the receive itself
-    // is counted once, at its endpoint below.
+    // is counted once, at its endpoint below. Dead entries mirror nothing.
     matcherMsgs_.clear();
     matcherRecvs_.clear();
+    matcherLive_.clear();
+    matcherDead_ = 0;
   }
   for (auto& e : eps_) {
     std::lock_guard lk(e.mu);
@@ -647,7 +815,9 @@ void Fabric::setFaultPlan(const FaultPlan& plan) {
     dupSuppressedCount_.store(0, std::memory_order_relaxed);
     faultsActive_.store(true, std::memory_order_release);
   }
-  for (auto& h : due) route(std::move(h.msg), h.dest);
+  // Plan-swap releases may run off the holders' sending threads, so the
+  // SPSC fast path stays closed for them (same for the flushes below).
+  for (auto& h : due) route(std::move(h.msg), h.dest, /*allowFast=*/false);
 }
 
 void Fabric::clearFaultPlan() {
@@ -659,21 +829,21 @@ void Fabric::clearFaultPlan() {
     injector_.reset();
     faultsActive_.store(false, std::memory_order_release);
   }
-  for (auto& h : due) route(std::move(h.msg), h.dest);
+  for (auto& h : due) route(std::move(h.msg), h.dest, /*allowFast=*/false);
 }
 
 bool Fabric::hasFaultPlan() const {
-  std::lock_guard fk(faultMu_);
+  std::shared_lock fk(faultMu_);
   return injector_ != nullptr;
 }
 
 bool Fabric::faultPlanLossy() const {
-  std::lock_guard fk(faultMu_);
+  std::shared_lock fk(faultMu_);
   return injector_ != nullptr && injector_->plan().lossy();
 }
 
 FaultStats Fabric::faultStats() const {
-  std::lock_guard fk(faultMu_);
+  std::shared_lock fk(faultMu_);
   if (!injector_) return FaultStats{};
   FaultStats s = injector_->stats();
   s.suppressedDuplicates +=
@@ -684,15 +854,15 @@ FaultStats Fabric::faultStats() const {
 std::size_t Fabric::flushHeldFaults() {
   std::vector<FaultInjector::Held> due;
   {
-    std::lock_guard fk(faultMu_);
+    std::shared_lock fk(faultMu_);
     if (injector_) due = injector_->takeAllHeld();
   }
-  for (auto& h : due) route(std::move(h.msg), h.dest);
+  for (auto& h : due) route(std::move(h.msg), h.dest, /*allowFast=*/false);
   return due.size();
 }
 
 std::size_t Fabric::heldFaultCount() const {
-  std::lock_guard fk(faultMu_);
+  std::shared_lock fk(faultMu_);
   return injector_ ? injector_->heldCount() : 0;
 }
 
@@ -727,9 +897,10 @@ FabricSnapshot Fabric::snapshot() const {
     }
   }
   {
-    std::lock_guard fk(faultMu_);
+    std::shared_lock fk(faultMu_);
     snap.heldFaults = injector_ ? injector_->heldCount() : 0;
   }
+  snap.transportBacklog = transport_->totalBacklog();
   {
     std::lock_guard lk(barrierMu_);
     snap.barrierWaiters = barrierCount_;
@@ -792,6 +963,11 @@ void Fabric::disarmCrashes() {
 }
 
 std::vector<std::byte> Fabric::exportImage() const {
+  // The image format has no representation for transport-queued messages;
+  // callers (the checkpoint layer) must pollAll() to quiescence first.
+  if (const std::size_t q = transport_->totalBacklog(); q != 0)
+    throw ckpt::CkptError("transport backlog not drained before export (" +
+                          std::to_string(q) + " queued)");
   ckpt::Writer w;
   w.u32(static_cast<std::uint32_t>(nprocs_));
   // Pending-receive id -> (pid, position) so the matcher's FCFS interest
@@ -834,11 +1010,12 @@ std::vector<std::byte> Fabric::exportImage() const {
     std::lock_guard mk(matcherMu_);
     w.u32(static_cast<std::uint32_t>(matcherMsgs_.size()));
     for (const Message& m : matcherMsgs_) wire::putMessage(w, m);
-    // Interest entries, FCFS order, as (pid, pending-position). Stale
-    // entries (their receive already completed) are dropped here — they
-    // carry no information a restore could use.
+    // Interest entries, FCFS order, as (pid, pending-position). Dead and
+    // stale entries (their receive already completed) are dropped here —
+    // they carry no information a restore could use.
     std::vector<std::pair<int, std::uint32_t>> entries;
     for (const MatcherEntry& me : matcherRecvs_) {
+      if (matcherLive_.count(me.id) == 0) continue;
       for (std::size_t k = 0; k < idOf.size(); ++k) {
         if (idOf[k] == me.id) {
           entries.push_back(posOf[k]);
@@ -862,7 +1039,7 @@ std::vector<std::byte> Fabric::exportImage() const {
     w.u64(dupSuppressedCount_.load(std::memory_order_relaxed));
   }
   {
-    std::lock_guard fk(faultMu_);
+    std::shared_lock fk(faultMu_);
     w.boolean(injector_ != nullptr);
     if (injector_) injector_->exportState(w);
   }
@@ -934,7 +1111,10 @@ void Fabric::restoreImage(const std::vector<std::byte>& image,
   const bool hasInjector = r.boolean();
 
   // Apply. Restore runs between rounds with no traffic in flight; locks
-  // are still taken so the store is clean under TSan.
+  // are still taken so the store is clean under TSan. Any descriptors a
+  // crashed round left queued predate the snapshot's world and are
+  // dropped first.
+  transport_->discardAll();
   std::vector<std::vector<MatcherEntry>> reposted(
       static_cast<std::size_t>(nprocs_));  // (pid, idx) -> rebuilt entry
   for (int p = 0; p < nprocs_; ++p) {
@@ -963,9 +1143,13 @@ void Fabric::restoreImage(const std::vector<std::byte>& image,
     std::lock_guard mk(matcherMu_);
     matcherMsgs_ = std::move(mMsgs);
     matcherRecvs_.clear();
-    for (const auto& [pid, idx] : mEntries)
-      matcherRecvs_.push_back(
-          reposted[static_cast<std::size_t>(pid)][idx]);
+    matcherLive_.clear();
+    matcherDead_ = 0;
+    for (const auto& [pid, idx] : mEntries) {
+      const MatcherEntry& me = reposted[static_cast<std::size_t>(pid)][idx];
+      matcherRecvs_.push_back(me);
+      matcherLive_.insert(me.id);
+    }
   }
   {
     std::lock_guard dk(dupMu_);

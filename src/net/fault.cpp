@@ -23,15 +23,15 @@ double unitReal(std::uint64_t x) {
   return static_cast<double>(x >> 11) * 0x1.0p-53;
 }
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 }  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan, int nprocs)
     : plan_(std::move(plan)),
       stalled_(static_cast<std::size_t>(nprocs), 0),
       crashy_(static_cast<std::size_t>(nprocs), 0),
-      seq_(static_cast<std::size_t>(nprocs), 0),
-      sendCount_(static_cast<std::size_t>(nprocs), 0),
-      held_(static_cast<std::size_t>(nprocs)) {
+      src_(static_cast<std::size_t>(nprocs)) {
   auto checkProb = [](double p, const char* what) {
     XDP_CHECK(p >= 0.0 && p <= 1.0,
               std::string("FaultPlan: probability out of [0,1]: ") + what);
@@ -44,9 +44,22 @@ FaultInjector::FaultInjector(FaultPlan plan, int nprocs)
   markPids(plan_.crashPids, nprocs, crashy_, "crashPids");
 }
 
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  s.dropped = stats_.dropped.load(kRelaxed);
+  s.duplicated = stats_.duplicated.load(kRelaxed);
+  s.suppressedDuplicates = stats_.suppressedDuplicates.load(kRelaxed);
+  s.delayed = stats_.delayed.load(kRelaxed);
+  s.reordered = stats_.reordered.load(kRelaxed);
+  s.stalled = stats_.stalled.load(kRelaxed);
+  s.crashed = stats_.crashed.load(kRelaxed);
+  s.recovered = stats_.recovered.load(kRelaxed);
+  return s;
+}
+
 FaultInjector::Outcome FaultInjector::classify(int src) {
-  const auto s = static_cast<std::size_t>(src);
-  const std::uint64_t ordinal = seq_[s]++;
+  SrcState& st = src_[idx(src)];
+  const std::uint64_t ordinal = st.seq++;
   // Counter-based decision stream: one generator per (seed, src, ordinal),
   // so decisions do not depend on the interleaving of other endpoints.
   SplitMix64 g(plan_.seed +
@@ -61,29 +74,30 @@ FaultInjector::Outcome FaultInjector::classify(int src) {
   Outcome o;
   o.drop = uDrop < plan_.dropProb;
   if (o.drop) {
-    stats_.dropped += 1;
+    stats_.dropped.fetch_add(1, kRelaxed);
     return o;
   }
   o.duplicate = uDup < plan_.dupProb;
-  if (o.duplicate) stats_.duplicated += 1;
+  if (o.duplicate) stats_.duplicated.fetch_add(1, kRelaxed);
   if (uDelay < plan_.delayProb) {
     o.extraDelay += uDelayAmt * plan_.maxDelay;
-    stats_.delayed += 1;
+    stats_.delayed.fetch_add(1, kRelaxed);
   }
-  if (stalled_[s]) {
+  if (stalled_[idx(src)]) {
     o.extraDelay += plan_.stallDelay;
-    stats_.stalled += 1;
+    stats_.stalled.fetch_add(1, kRelaxed);
   }
   o.hold = uReorder < plan_.reorderProb;
   return o;
 }
 
 bool FaultInjector::crashNow(int src) {
-  const auto s = static_cast<std::size_t>(src);
-  if (!crashy_[s]) return false;
-  sendCount_[s] += 1;
-  if (sendCount_[s] <= plan_.crashAfterSends) return false;
-  if (sendCount_[s] == plan_.crashAfterSends + 1) stats_.crashed += 1;
+  if (!crashy_[idx(src)]) return false;
+  SrcState& st = src_[idx(src)];
+  st.sendCount += 1;
+  if (st.sendCount <= plan_.crashAfterSends) return false;
+  if (st.sendCount == plan_.crashAfterSends + 1)
+    stats_.crashed.fetch_add(1, kRelaxed);
   return true;
 }
 
@@ -92,98 +106,115 @@ void FaultInjector::disarmCrashes() {
   // The crash that triggered this recovery was counted by crashNow and
   // then rewound by restoreState (the snapshot predates it) — re-record
   // it here so stats stay truthful across the rollback.
-  stats_.crashed += 1;
-  stats_.recovered += 1;
+  stats_.crashed.fetch_add(1, kRelaxed);
+  stats_.recovered.fetch_add(1, kRelaxed);
 }
 
 void FaultInjector::exportState(ckpt::Writer& w) const {
-  w.u32(static_cast<std::uint32_t>(seq_.size()));
-  for (std::uint64_t v : seq_) w.u64(v);
-  for (std::uint64_t v : sendCount_) w.u64(v);
-  w.u64(nextDupId_);
-  w.u64(stats_.dropped);
-  w.u64(stats_.duplicated);
-  w.u64(stats_.suppressedDuplicates);
-  w.u64(stats_.delayed);
-  w.u64(stats_.reordered);
-  w.u64(stats_.stalled);
-  w.u64(stats_.crashed);
-  w.u64(stats_.recovered);
-  w.u32(static_cast<std::uint32_t>(held_.size()));
-  for (const auto& slot : held_) {
-    w.boolean(slot.has_value());
-    if (!slot.has_value()) continue;
-    wire::putMessage(w, slot->msg);
-    w.boolean(slot->dest.has_value());
-    if (slot->dest.has_value()) w.i64(*slot->dest);
+  w.u32(static_cast<std::uint32_t>(src_.size()));
+  for (const SrcState& st : src_) {
+    std::lock_guard lk(st.mu);
+    w.u64(st.seq);
+  }
+  for (const SrcState& st : src_) {
+    std::lock_guard lk(st.mu);
+    w.u64(st.sendCount);
+  }
+  w.u64(nextDupId_.load(kRelaxed));
+  const FaultStats s = stats();
+  w.u64(s.dropped);
+  w.u64(s.duplicated);
+  w.u64(s.suppressedDuplicates);
+  w.u64(s.delayed);
+  w.u64(s.reordered);
+  w.u64(s.stalled);
+  w.u64(s.crashed);
+  w.u64(s.recovered);
+  w.u32(static_cast<std::uint32_t>(src_.size()));
+  for (const SrcState& st : src_) {
+    std::lock_guard lk(st.mu);
+    w.boolean(st.held.has_value());
+    if (!st.held.has_value()) continue;
+    wire::putMessage(w, st.held->msg);
+    w.boolean(st.held->dest.has_value());
+    if (st.held->dest.has_value()) w.i64(*st.held->dest);
   }
 }
 
 void FaultInjector::restoreState(ckpt::Reader& r) {
   const std::uint32_t n = r.u32();
-  if (n != seq_.size())
+  if (n != src_.size())
     throw ckpt::CkptError("fault image endpoint count mismatch");
-  for (auto& v : seq_) v = r.u64();
-  for (auto& v : sendCount_) v = r.u64();
-  nextDupId_ = r.u64();
-  stats_.dropped = r.u64();
-  stats_.duplicated = r.u64();
-  stats_.suppressedDuplicates = r.u64();
-  stats_.delayed = r.u64();
-  stats_.reordered = r.u64();
-  stats_.stalled = r.u64();
-  stats_.crashed = r.u64();
-  stats_.recovered = r.u64();
+  for (SrcState& st : src_) {
+    std::lock_guard lk(st.mu);
+    st.seq = r.u64();
+  }
+  for (SrcState& st : src_) {
+    std::lock_guard lk(st.mu);
+    st.sendCount = r.u64();
+  }
+  nextDupId_.store(r.u64(), kRelaxed);
+  stats_.dropped.store(r.u64(), kRelaxed);
+  stats_.duplicated.store(r.u64(), kRelaxed);
+  stats_.suppressedDuplicates.store(r.u64(), kRelaxed);
+  stats_.delayed.store(r.u64(), kRelaxed);
+  stats_.reordered.store(r.u64(), kRelaxed);
+  stats_.stalled.store(r.u64(), kRelaxed);
+  stats_.crashed.store(r.u64(), kRelaxed);
+  stats_.recovered.store(r.u64(), kRelaxed);
   const std::uint32_t hn = r.u32();
-  if (hn != held_.size())
+  if (hn != src_.size())
     throw ckpt::CkptError("fault image held-slot count mismatch");
-  heldCount_ = 0;
-  for (auto& slot : held_) {
-    slot.reset();
+  std::size_t count = 0;
+  for (SrcState& st : src_) {
+    std::lock_guard lk(st.mu);
+    st.held.reset();
     if (!r.boolean()) continue;
     Held h;
     h.msg = wire::getMessage(r);
     if (r.boolean()) h.dest = static_cast<int>(r.i64());
-    slot = std::move(h);
-    heldCount_ += 1;
+    st.held = std::move(h);
+    count += 1;
   }
+  heldCount_.store(count, kRelaxed);
 }
 
 bool FaultInjector::hasHeld(int src) const {
-  return held_[static_cast<std::size_t>(src)].has_value();
+  return src_[idx(src)].held.has_value();
 }
 
 const Name& FaultInjector::heldName(int src) const {
-  const auto& h = held_[static_cast<std::size_t>(src)];
+  const auto& h = src_[idx(src)].held;
   XDP_CHECK(h.has_value(), "heldName: no held message for this source");
   return h->msg.name;
 }
 
 void FaultInjector::hold(int src, Message msg, std::optional<int> dest) {
-  auto& slot = held_[static_cast<std::size_t>(src)];
+  auto& slot = src_[idx(src)].held;
   XDP_CHECK(!slot.has_value(), "hold: source already has a held message");
   slot = Held{std::move(msg), dest};
-  heldCount_ += 1;
-  stats_.reordered += 1;
+  heldCount_.fetch_add(1, kRelaxed);
+  stats_.reordered.fetch_add(1, kRelaxed);
 }
 
 FaultInjector::Held FaultInjector::takeHeld(int src) {
-  auto& slot = held_[static_cast<std::size_t>(src)];
+  auto& slot = src_[idx(src)].held;
   XDP_CHECK(slot.has_value(), "takeHeld: no held message for this source");
   Held h = std::move(*slot);
   slot.reset();
-  heldCount_ -= 1;
+  heldCount_.fetch_sub(1, kRelaxed);
   return h;
 }
 
 std::vector<FaultInjector::Held> FaultInjector::takeAllHeld() {
   std::vector<Held> out;
-  for (auto& slot : held_) {
-    if (!slot.has_value()) continue;
-    out.push_back(std::move(*slot));
-    slot.reset();
+  for (SrcState& st : src_) {
+    std::lock_guard lk(st.mu);
+    if (!st.held.has_value()) continue;
+    out.push_back(std::move(*st.held));
+    st.held.reset();
+    heldCount_.fetch_sub(1, kRelaxed);
   }
-  heldCount_ = 0;
   return out;
 }
 

@@ -1,0 +1,120 @@
+// Pluggable intra-process message transport (DESIGN.md §12).
+//
+// The Fabric owns all *matching* state — posted receives, unexpected
+// queues, the rendezvous matcher, duplicate suppression. A Transport is
+// the layer underneath: it moves a finished Message descriptor from the
+// sending thread to the destination endpoint. Two backends exist:
+//
+//   * locked — the original behaviour. trySubmit() always declines, so
+//     every message is delivered inline on the sending thread under the
+//     destination endpoint's lock. Delivery is synchronous: send()
+//     returns only after the message completed a receive or was parked.
+//
+//   * ring   — a lock-free fast path borrowed from the AF_XDP UMEM
+//     fill/completion-ring idiom: one SPSC ring per (src, dst) endpoint
+//     pair (MPSC per destination = per-producer rings + a batched
+//     consumer sweep), cache-line-aligned slots, power-of-two capacity,
+//     acquire/release head/tail indices. The sender never touches the
+//     receiver's lock; the receiver reaps up to a batch of descriptors
+//     per poll instead of paying one lock round-trip per message.
+//     Delivery is *deferred*: a submitted message completes a receive
+//     only when the destination is next reaped (postReceive, an rt-layer
+//     await poll, barrier entry/release, or Fabric::pollAll).
+//
+// Concurrency contract:
+//   * trySubmit(src, dst, ...) — at most one thread per `src` at a time
+//     (the SPSC producer role). The Fabric guarantees this by only
+//     submitting from the sending thread's own call chain; auxiliary
+//     routes (watchdog held-fault flushes, plan teardown) deliver inline.
+//   * reap(dst, ...) / discardAll() — the consumer role for `dst` must be
+//     serialized externally; the Fabric calls them only while holding
+//     dst's endpoint lock.
+//   * backlog queries are lock-free estimates, safe from any thread.
+//
+// Memory-ordering invariants of the ring backend (the full argument is
+// in DESIGN.md §12):
+//   1. producer: slot write  →  backlog.fetch_add(relaxed)  →
+//      tail.store(release);
+//   2. consumer: tail.load(acquire) → slot read/move → head.store(release);
+//   3. producer full-check: head.load(acquire) before overwriting a slot.
+// (1)+(2) make the slot contents visible to the consumer; (2)+(3) keep
+// the producer from reusing a slot the consumer still reads; (1)'s
+// ordering of the backlog increment *before* the tail publish means a
+// consumer that reaped a message has already observed its backlog
+// increment (RMWs on one object are totally ordered), so the decrement
+// in reap() can never underflow.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "xdp/net/message.hpp"
+
+namespace xdp::net {
+
+enum class TransportKind : std::uint8_t {
+  Locked = 0,  ///< inline delivery under the destination endpoint lock
+  Ring = 1,    ///< per-(src,dst) SPSC rings with batched completion reaping
+};
+
+const char* transportKindName(TransportKind k);
+/// Parse "locked" / "ring"; nullopt on anything else.
+std::optional<TransportKind> parseTransportKind(std::string_view s);
+
+struct TransportOptions {
+  TransportKind kind = TransportKind::Locked;
+  /// Ring backend: per-(src,dst) ring capacity, rounded up to a power of
+  /// two (min 2). A full ring falls back to inline delivery, which first
+  /// drains the destination so per-(src,dst) FIFO order is preserved.
+  std::uint32_t ringSlots = 1024;
+  /// Ring backend: max descriptors reaped per poll (postReceive / await
+  /// poll). Quiescent-point drains (barrier, pollAll) ignore it.
+  std::uint32_t reapBatch = 256;
+};
+
+/// The descriptor-movement interface. See the file comment for the
+/// concurrency contract.
+class Transport {
+ public:
+  /// Non-owning reap callback (no std::function allocation per poll).
+  class Sink {
+   public:
+    virtual void operator()(Message&& m) = 0;
+
+   protected:
+    ~Sink() = default;
+  };
+
+  virtual ~Transport();
+
+  virtual TransportKind kind() const noexcept = 0;
+
+  /// Queue `msg` for deferred delivery at `dst`. Returns false — leaving
+  /// `msg` intact — when the caller must deliver inline instead (locked
+  /// backend always; ring backend when the (src,dst) ring is full).
+  virtual bool trySubmit(int src, int dst, Message&& msg) = 0;
+
+  /// Pop up to `max` queued messages for `dst` into `sink`, sweeping the
+  /// active producer rings round-robin. Caller holds dst's consumer
+  /// context (the Fabric: dst's endpoint lock). Returns the count.
+  virtual std::size_t reap(int dst, std::size_t max, Sink& sink) = 0;
+
+  /// Drop every queued message (restore/teardown). Caller must hold every
+  /// consumer context, or guarantee no traffic runs. Returns the count.
+  virtual std::size_t discardAll() = 0;
+
+  /// Queued-message estimate for one destination / the whole transport.
+  virtual std::size_t backlog(int dst) const noexcept = 0;
+  virtual std::size_t totalBacklog() const noexcept = 0;
+};
+
+std::unique_ptr<Transport> makeTransport(int nprocs,
+                                         const TransportOptions& opts);
+
+}  // namespace xdp::net

@@ -1,0 +1,210 @@
+#include "xdp/net/transport.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "xdp/support/check.hpp"
+
+namespace xdp::net {
+
+Transport::~Transport() = default;
+
+const char* transportKindName(TransportKind k) {
+  switch (k) {
+    case TransportKind::Locked:
+      return "locked";
+    case TransportKind::Ring:
+      return "ring";
+  }
+  return "?";
+}
+
+std::optional<TransportKind> parseTransportKind(std::string_view s) {
+  if (s == "locked") return TransportKind::Locked;
+  if (s == "ring") return TransportKind::Ring;
+  return std::nullopt;
+}
+
+namespace {
+
+/// The original backend: decline every submission so the Fabric delivers
+/// inline under the destination endpoint's lock, exactly as before the
+/// transport split.
+class LockedTransport final : public Transport {
+ public:
+  TransportKind kind() const noexcept override {
+    return TransportKind::Locked;
+  }
+  bool trySubmit(int, int, Message&&) override { return false; }
+  std::size_t reap(int, std::size_t, Sink&) override { return 0; }
+  std::size_t discardAll() override { return 0; }
+  std::size_t backlog(int) const noexcept override { return 0; }
+  std::size_t totalBacklog() const noexcept override { return 0; }
+};
+
+std::uint32_t ceilPow2(std::uint32_t v) {
+  std::uint32_t c = 2;
+  while (c < v && c < (1u << 30)) c <<= 1;
+  return c;
+}
+
+class RingTransport final : public Transport {
+ public:
+  RingTransport(int nprocs, const TransportOptions& opts)
+      : nprocs_(static_cast<std::size_t>(nprocs)),
+        capacity_(ceilPow2(std::max<std::uint32_t>(opts.ringSlots, 2))),
+        dsts_(nprocs_) {
+    for (DstState& d : dsts_) {
+      d.rings = std::make_unique<std::atomic<Ring*>[]>(nprocs_);
+      for (std::size_t s = 0; s < nprocs_; ++s)
+        d.rings[s].store(nullptr, std::memory_order_relaxed);
+      d.active = std::make_unique<std::uint32_t[]>(nprocs_);
+    }
+  }
+
+  ~RingTransport() override {
+    for (DstState& d : dsts_)
+      for (std::size_t s = 0; s < nprocs_; ++s)
+        delete d.rings[s].load(std::memory_order_relaxed);
+  }
+
+  TransportKind kind() const noexcept override { return TransportKind::Ring; }
+
+  bool trySubmit(int src, int dst, Message&& msg) override {
+    DstState& d = dsts_[static_cast<std::size_t>(dst)];
+    Ring* r = d.rings[static_cast<std::size_t>(src)].load(
+        std::memory_order_acquire);
+    if (r == nullptr) r = addRing(d, static_cast<std::size_t>(src));
+    const std::uint64_t t = r->tail.load(std::memory_order_relaxed);
+    // Full check against the consumer's published head; acquire pairs with
+    // the consumer's head release so the slot we are about to overwrite
+    // has really been vacated.
+    if (t - r->head.load(std::memory_order_acquire) >= capacity_)
+      return false;
+    r->slots[t & r->mask].msg = std::move(msg);
+    // Backlog rises before the tail publish — see the ordering note in
+    // transport.hpp (keeps the reap-side decrement from underflowing).
+    d.backlog.fetch_add(1, std::memory_order_relaxed);
+    r->tail.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t reap(int dst, std::size_t max, Sink& sink) override {
+    DstState& d = dsts_[static_cast<std::size_t>(dst)];
+    if (d.backlog.load(std::memory_order_acquire) == 0) return 0;
+    const std::uint32_t nActive = d.nActive.load(std::memory_order_acquire);
+    std::size_t n = 0;
+    // Round-robin over the producer rings so a chatty source cannot starve
+    // the others when `max` binds. sweepStart is consumer state: guarded by
+    // the caller's consumer context, not by any atomic.
+    for (std::uint32_t k = 0; k < nActive && n < max; ++k) {
+      const std::uint32_t slot = (d.sweepStart + k) % nActive;
+      Ring* r =
+          d.rings[d.active[slot]].load(std::memory_order_acquire);
+      std::uint64_t h = r->head.load(std::memory_order_relaxed);
+      const std::uint64_t t = r->tail.load(std::memory_order_acquire);
+      while (h != t && n < max) {
+        sink(std::move(r->slots[h & r->mask].msg));
+        ++h;
+        ++n;
+      }
+      r->head.store(h, std::memory_order_release);
+    }
+    if (n != 0) {
+      if (nActive != 0) d.sweepStart = (d.sweepStart + 1) % nActive;
+      d.backlog.fetch_sub(n, std::memory_order_release);
+    }
+    return n;
+  }
+
+  std::size_t discardAll() override {
+    struct Discard final : Sink {
+      void operator()(Message&&) override {}
+    } sink;
+    std::size_t n = 0;
+    for (std::size_t dst = 0; dst < nprocs_; ++dst)
+      n += reap(static_cast<int>(dst),
+                std::numeric_limits<std::size_t>::max(), sink);
+    return n;
+  }
+
+  std::size_t backlog(int dst) const noexcept override {
+    return dsts_[static_cast<std::size_t>(dst)].backlog.load(
+        std::memory_order_acquire);
+  }
+
+  std::size_t totalBacklog() const noexcept override {
+    std::size_t n = 0;
+    for (const DstState& d : dsts_)
+      n += d.backlog.load(std::memory_order_acquire);
+    return n;
+  }
+
+ private:
+  /// One slot per message; cache-line-aligned so neighbouring slots never
+  /// share a line between the producer writing slot t and the consumer
+  /// reading slot h.
+  struct alignas(64) Slot {
+    Message msg;
+  };
+
+  /// SPSC ring for one (src, dst) pair. head (consumer cursor) and tail
+  /// (producer cursor) live on separate cache lines so the two sides never
+  /// false-share.
+  struct Ring {
+    explicit Ring(std::uint32_t cap) : mask(cap - 1), slots(cap) {}
+    const std::uint64_t mask;
+    std::vector<Slot> slots;
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    alignas(64) std::atomic<std::uint64_t> tail{0};
+  };
+
+  /// Per-destination mailbox: lazily created per-producer rings (allocating
+  /// P² rings up front would be prohibitive at P=256 and the communication
+  /// graph of real programs is sparse) plus the active-producer list the
+  /// consumer sweeps.
+  struct alignas(64) DstState {
+    std::unique_ptr<std::atomic<Ring*>[]> rings;  ///< by src; null = none yet
+    std::unique_ptr<std::uint32_t[]> active;      ///< src ids, creation order
+    std::atomic<std::uint32_t> nActive{0};
+    std::mutex registerMu;  ///< serializes ring creation only
+    /// Queued-message estimate (see the ordering note in transport.hpp).
+    std::atomic<std::uint64_t> backlog{0};
+    std::uint32_t sweepStart = 0;  ///< consumer-context round-robin cursor
+  };
+
+  Ring* addRing(DstState& d, std::size_t src) {
+    std::lock_guard lk(d.registerMu);
+    Ring* r = d.rings[src].load(std::memory_order_acquire);
+    if (r != nullptr) return r;  // lost the creation race
+    r = new Ring(capacity_);
+    const std::uint32_t idx = d.nActive.load(std::memory_order_relaxed);
+    d.active[idx] = static_cast<std::uint32_t>(src);
+    // Publish the ring pointer before the count: a consumer that reads the
+    // new count (acquire) sees both the active[] entry and the ring.
+    d.rings[src].store(r, std::memory_order_release);
+    d.nActive.store(idx + 1, std::memory_order_release);
+    return r;
+  }
+
+  const std::size_t nprocs_;
+  const std::uint64_t capacity_;
+  std::vector<DstState> dsts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> makeTransport(int nprocs,
+                                         const TransportOptions& opts) {
+  XDP_CHECK(nprocs >= 1, "transport needs at least one endpoint");
+  switch (opts.kind) {
+    case TransportKind::Locked:
+      return std::make_unique<LockedTransport>();
+    case TransportKind::Ring:
+      return std::make_unique<RingTransport>(nprocs, opts);
+  }
+  XDP_CHECK(false, "unknown transport kind");
+  return nullptr;
+}
+
+}  // namespace xdp::net
